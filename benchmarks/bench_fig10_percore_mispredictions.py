@@ -1,0 +1,29 @@
+"""Fig 10 — average branch mispredictions per core across core counts.
+
+Paper: ~40 % (Amazon) / ~46 % (DBLP) reduction, consistent across cores.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.harness.experiments import fig10_percore_mispredictions
+
+
+def test_fig10_amazon(benchmark):
+    data, table = benchmark.pedantic(
+        fig10_percore_mispredictions, kwargs=dict(name="amazon"),
+        rounds=1, iterations=1,
+    )
+    emit(table)
+    reductions = [d["reduction"] for d in data.values()]
+    assert all(0.30 < r < 0.80 for r in reductions)
+    assert np.std(reductions) < 0.10
+
+
+def test_fig10_dblp(benchmark):
+    data, table = benchmark.pedantic(
+        fig10_percore_mispredictions, kwargs=dict(name="dblp"),
+        rounds=1, iterations=1,
+    )
+    emit(table)
+    assert all(0.30 < d["reduction"] < 0.80 for d in data.values())

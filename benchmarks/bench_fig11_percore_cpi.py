@@ -1,0 +1,29 @@
+"""Fig 11 — average CPI per core across core counts.
+
+Paper: ~20 % (Amazon) / ~21 % (DBLP) CPI reduction, consistent across cores.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.harness.experiments import fig11_percore_cpi
+
+
+def test_fig11_amazon(benchmark):
+    data, table = benchmark.pedantic(
+        fig11_percore_cpi, kwargs=dict(name="amazon"),
+        rounds=1, iterations=1,
+    )
+    emit(table)
+    reductions = [d["reduction"] for d in data.values()]
+    assert all(0.05 < r < 0.35 for r in reductions)
+    assert np.std(reductions) < 0.08
+
+
+def test_fig11_dblp(benchmark):
+    data, table = benchmark.pedantic(
+        fig11_percore_cpi, kwargs=dict(name="dblp"),
+        rounds=1, iterations=1,
+    )
+    emit(table)
+    assert all(0.05 < d["reduction"] < 0.35 for d in data.values())

@@ -1,0 +1,20 @@
+"""Fig 2 — kernel time breakdown (Baseline, single core, Pokec & Orkut).
+
+Paper claims: FindBestCommunity takes 70–90 % of the application (2a) and
+hash operations take 50–65 % of FindBestCommunity (2b).
+"""
+
+from conftest import emit
+
+from repro.harness.experiments import fig2_kernel_breakdown
+
+
+def test_fig2_kernel_breakdown(benchmark):
+    data, table = benchmark.pedantic(
+        fig2_kernel_breakdown, args=(("soc-pokec", "orkut"),),
+        rounds=1, iterations=1,
+    )
+    emit(table)
+    for name, d in data.items():
+        assert 0.60 < d["findbest_share"] < 0.95, name
+        assert 0.40 < d["hash_share_of_findbest"] < 0.70, name

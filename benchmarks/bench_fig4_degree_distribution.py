@@ -1,0 +1,23 @@
+"""Fig 4 — power-law degree distributions (LiveJournal, Pokec, YouTube)."""
+
+from conftest import emit
+
+from repro.harness.experiments import fig4_degree_distribution
+
+
+def test_fig4_degree_distribution(benchmark):
+    data, table = benchmark.pedantic(fig4_degree_distribution, rounds=1, iterations=1)
+    emit(table)
+    for name, d in data.items():
+        buckets = d["buckets"]
+        keys = sorted(buckets)
+        # the modal bucket dwarfs the high-degree tail (power law)
+        head = max(buckets.values())
+        tail = sum(buckets[k] for k in keys if k >= 256)
+        assert head > 20 * max(1, tail), name
+        # a heavy tail exists: some vertex has degree >= 64
+        assert sum(buckets[k] for k in keys if k >= 64) > 0, name
+        # counts decay monotonically past the mode
+        vals = [buckets[k] for k in keys]
+        mode = vals.index(head)
+        assert all(b <= a for a, b in zip(vals[mode:], vals[mode + 1:])), name

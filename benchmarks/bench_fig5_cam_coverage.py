@@ -1,0 +1,20 @@
+"""Fig 5 — CAM capacity coverage.
+
+Paper claims: a 1 KB core-local CAM covers >82 % of vertices, 8 KB covers
+>99 %, across all six networks.
+"""
+
+from conftest import emit
+
+from repro.harness.experiments import fig5_cam_coverage
+
+
+def test_fig5_cam_coverage(benchmark):
+    data, table = benchmark.pedantic(fig5_cam_coverage, rounds=1, iterations=1)
+    emit(table)
+    for name, cov in data.items():
+        assert cov[1] > 0.82, name
+        assert cov[8] > 0.99, name
+        # monotone in capacity
+        vals = [cov[kb] for kb in sorted(cov)]
+        assert all(b >= a for a, b in zip(vals, vals[1:]))

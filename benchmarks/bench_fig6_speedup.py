@@ -1,0 +1,22 @@
+"""Fig 6 — ASA speedup on hash operations per network.
+
+Paper: Amazon 3.28x, DBLP 3.95x, YouTube 4.70x, Orkut 4.86x, Pokec 5.56x.
+"""
+
+from conftest import emit
+
+from repro.harness.experiments import fig6_speedups
+
+
+def test_fig6_speedups(benchmark):
+    data, table = benchmark.pedantic(fig6_speedups, rounds=1, iterations=1)
+    emit(table)
+    # every network sits in the paper's 3x-7x neighbourhood
+    for name, s in data.items():
+        assert 2.5 < s < 8.0, (name, s)
+    # the minimum comes from the sparse trio (paper: Amazon 3.28x is the
+    # floor; our sparsest surrogate is YouTube) and dense networks gain more
+    sparse_min = min(data[n] for n in ("amazon", "dblp", "youtube"))
+    assert min(data.values()) == sparse_min
+    assert data["soc-pokec"] > sparse_min
+    assert data["orkut"] > sparse_min

@@ -1,0 +1,31 @@
+"""Fig 7 — FindBestCommunity timing breakdown across core counts.
+
+Paper: 68–70 % hash-time reduction for Amazon and 75–77 % for DBLP, at
+every core count from 1 to 16.
+"""
+
+from conftest import emit
+
+from repro.harness.experiments import fig7_multicore_breakdown
+
+
+def test_fig7_amazon(benchmark):
+    data, table = benchmark.pedantic(
+        fig7_multicore_breakdown, kwargs=dict(name="amazon"),
+        rounds=1, iterations=1,
+    )
+    emit(table)
+    for p, d in data.items():
+        assert 0.5 < d["hash_reduction"] < 0.95, p
+    # hash time shrinks with more cores (parallel scaling)
+    assert data[16]["baseline_hash"] < data[1]["baseline_hash"]
+
+
+def test_fig7_dblp(benchmark):
+    data, table = benchmark.pedantic(
+        fig7_multicore_breakdown, kwargs=dict(name="dblp"),
+        rounds=1, iterations=1,
+    )
+    emit(table)
+    for p, d in data.items():
+        assert 0.5 < d["hash_reduction"] < 0.95, p

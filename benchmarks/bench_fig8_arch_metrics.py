@@ -1,0 +1,19 @@
+"""Fig 8 — instructions, branch mispredictions, CPI (big networks).
+
+Paper: up to 24 % fewer instructions (8a), up to 59 % fewer mispredicted
+branches (8b), 18–21 % lower CPI (8c) for the FindBestCommunity kernel.
+"""
+
+from conftest import emit
+
+from repro.harness.experiments import fig8_arch_metrics
+
+
+def test_fig8_arch_metrics(benchmark):
+    data, table = benchmark.pedantic(fig8_arch_metrics, rounds=1, iterations=1)
+    emit(table)
+    for name, d in data.items():
+        assert 0.10 < d["instr_reduction"] < 0.40, name
+        assert 0.30 < d["miss_reduction"] < 0.80, name
+        assert 0.08 < d["cpi_reduction"] < 0.35, name
+        assert d["cpi_asa"] < d["cpi_base"], name

@@ -1,0 +1,33 @@
+"""Fig 9 — average instructions per core across core counts.
+
+Paper: the reduction factor is consistent across multi-core executions
+(~12 % Amazon, ~15 % DBLP).
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.harness.experiments import fig9_percore_instructions
+
+
+def test_fig9_amazon(benchmark):
+    data, table = benchmark.pedantic(
+        fig9_percore_instructions, kwargs=dict(name="amazon"),
+        rounds=1, iterations=1,
+    )
+    emit(table)
+    reductions = [d["reduction"] for d in data.values()]
+    assert all(0.08 < r < 0.40 for r in reductions)
+    # consistency across core counts (paper's key observation)
+    assert np.std(reductions) < 0.08
+    # per-core work shrinks as cores grow
+    assert data[16]["baseline"] < data[1]["baseline"]
+
+
+def test_fig9_dblp(benchmark):
+    data, table = benchmark.pedantic(
+        fig9_percore_instructions, kwargs=dict(name="dblp"),
+        rounds=1, iterations=1,
+    )
+    emit(table)
+    assert all(0.08 < d["reduction"] < 0.40 for d in data.values())

@@ -1,0 +1,20 @@
+"""§IV-C — overflow handling share of ASA compute time.
+
+Paper: overflow handling takes 9.86 % of ASA time for soc-Pokec and
+13.31 % for Orkut.
+"""
+
+from conftest import emit
+
+from repro.harness.experiments import overflow_share
+
+
+def test_overflow_share(benchmark):
+    data, table = benchmark.pedantic(
+        overflow_share, args=(("soc-pokec", "orkut"),), rounds=1, iterations=1
+    )
+    emit(table)
+    for name, d in data.items():
+        # overflow exists but stays a minor share of ASA time
+        assert d["overflowed_vertices"] > 0, name
+        assert 0.0 < d["share"] < 0.25, name

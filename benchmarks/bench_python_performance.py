@@ -1,0 +1,50 @@
+"""Wall-clock performance of the library itself (not simulated time).
+
+Everything else in ``benchmarks/`` measures *simulated* hardware; this
+file uses pytest-benchmark for its real purpose — timing our Python code —
+so regressions in the vectorized engine, the generators, or the
+accumulator inner loop show up as real milliseconds.
+"""
+
+from repro.accum.plain import PlainDictAccumulator
+from repro.core.vectorized import run_infomap_vectorized
+from repro.graph.generators import chung_lu, powerlaw_degree_sequence
+from repro.graph.lfr import LFRParams, lfr_graph
+
+
+def test_perf_vectorized_engine(benchmark):
+    """Vectorized Infomap on a 2k-vertex LFR graph."""
+    g, _ = lfr_graph(LFRParams(n=2000, mu=0.25, seed=3))
+    result = benchmark.pedantic(
+        run_infomap_vectorized, args=(g,), rounds=3, iterations=1
+    )
+    assert result.num_modules > 1
+
+
+def test_perf_graph_generation(benchmark):
+    """Chung-Lu generation of a ~50k-edge power-law graph."""
+
+    def gen():
+        deg = powerlaw_degree_sequence(10_000, alpha=2.3, min_degree=4, seed=1)
+        return chung_lu(deg, seed=2)
+
+    g = benchmark.pedantic(gen, rounds=3, iterations=1)
+    assert g.num_edges > 10_000
+
+
+def test_perf_accumulator_inner_loop(benchmark):
+    """The plain-dict accumulate loop (the functional hot path)."""
+    keys = [(i * 7919) % 257 for i in range(20_000)]
+
+    def run():
+        acc = PlainDictAccumulator()
+        acc.begin(0)
+        accumulate = acc.accumulate
+        for k in keys:
+            accumulate(k, 0.5)
+        out = acc.items()
+        acc.finish()
+        return out
+
+    pairs = benchmark.pedantic(run, rounds=5, iterations=1)
+    assert len(pairs) == 257

@@ -1,0 +1,18 @@
+"""Table I — dataset inventory (surrogates vs SNAP originals)."""
+
+from conftest import emit
+
+from repro.harness.experiments import table1_datasets
+
+
+def test_table1_datasets(benchmark):
+    data, table = benchmark.pedantic(table1_datasets, rounds=1, iterations=1)
+    emit(table)
+    # paper orderings preserved
+    names = list(data)
+    assert names == ["amazon", "dblp", "youtube", "soc-pokec", "livejournal", "orkut"]
+    edges = [data[n]["edges"] for n in names]
+    assert edges == sorted(edges) or edges[-1] == max(edges)
+    # every surrogate is scale-free-ish
+    for n in names:
+        assert 1.2 < data[n]["alpha"] < 3.5

@@ -1,0 +1,33 @@
+"""Tables II & III — machine configs and Native-vs-Baseline validation.
+
+The paper validates ZSim against native hardware on per-iteration
+FindBestCommunity runtimes (YouTube, 1 core; average error ~12.7 %).
+Here "Native" is the fast statistical model on the 20 MB-L3 machine and
+"Baseline" the detailed event-driven simulation on the 16 MB-L3 machine;
+their per-iteration disagreement plays the role of the ZSim validation
+error and must stay within a sane modeling band.
+"""
+
+from conftest import emit
+
+from repro.harness.experiments import table2_machines, table3_validation
+
+
+def test_table2_machines(benchmark):
+    data, table = benchmark.pedantic(table2_machines, rounds=1, iterations=1)
+    emit(table)
+    assert data["native_l3"] > data["baseline_l3"]
+
+
+def test_table3_validation(benchmark):
+    data, table = benchmark.pedantic(
+        table3_validation, kwargs=dict(name="youtube", cores=1, iterations=7),
+        rounds=1, iterations=1,
+    )
+    emit(table)
+    assert len(data["iterations"]) >= 5
+    # iteration times decay (the paper's 8.4s -> 1.2s shape)
+    nat = [d["native"] for d in data["iterations"]]
+    assert nat[-1] < nat[0]
+    # modeling disagreement in a plausible validation band
+    assert data["avg_pct_diff"] < 40.0

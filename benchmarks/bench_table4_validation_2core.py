@@ -1,0 +1,17 @@
+"""Table IV — Native vs Baseline validation with 2 processing cores."""
+
+from conftest import emit
+
+from repro.harness.experiments import table3_validation
+
+
+def test_table4_validation_2core(benchmark):
+    data, table = benchmark.pedantic(
+        table3_validation, kwargs=dict(name="youtube", cores=2, iterations=5),
+        rounds=1, iterations=1,
+    )
+    emit(table)
+    assert len(data["iterations"]) >= 4
+    nat = [d["native"] for d in data["iterations"]]
+    assert nat[-1] < nat[0]
+    assert data["avg_pct_diff"] < 40.0

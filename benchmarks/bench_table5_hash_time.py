@@ -1,0 +1,15 @@
+"""Table V — time spent on hash operations, Baseline vs ASA."""
+
+from conftest import emit
+
+from repro.harness.experiments import table5_hash_time
+
+
+def test_table5_hash_time(benchmark):
+    data, table = benchmark.pedantic(table5_hash_time, rounds=1, iterations=1)
+    emit(table)
+    for name, d in data.items():
+        assert d["asa_s"] < d["baseline_s"], name
+        assert 2.5 < d["speedup"] < 8.0, name
+    # bigger/denser networks spend more absolute hash time (Table V rows grow)
+    assert data["orkut"]["baseline_s"] > data["amazon"]["baseline_s"]

@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench prints its reproduced table via :func:`emit` (which bypasses
+pytest's output capture so ``pytest benchmarks/ --benchmark-only``
+regenerates the paper's evaluation section on the terminal) and asserts
+the headline shape so regressions fail loudly.
+"""
+
+import sys
+
+import pytest
+
+
+def emit(table) -> None:
+    """Print a Table (or string) directly to the real stdout."""
+    text = table.render() if hasattr(table, "render") else str(table)
+    sys.__stdout__.write("\n" + text + "\n")
+    sys.__stdout__.flush()
+
+
+@pytest.fixture
+def show():
+    return emit

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Accelerator design-space study: how big should the CAM be?
+
+Sweeps the ASA CAM capacity on a social-network surrogate and reports the
+trade-off the paper's Section IV-A discusses: on-chip memory cost versus
+the fraction of vertices processed without overflow, and the resulting
+hash-operation time.
+
+Run:  python examples/accelerator_design_study.py
+"""
+
+from repro import load_dataset, run_infomap
+from repro.graph.metrics import cam_coverage
+from repro.sim.machine import asa_machine
+from repro.util.tables import Table, format_pct
+
+
+def main() -> None:
+    name = "soc-pokec"
+    graph = load_dataset(name)
+    print(f"Design study on the {name} surrogate "
+          f"({graph.num_vertices} vertices, {graph.num_edges} edges)\n")
+
+    baseline = run_infomap(graph, backend="softhash")
+    print(f"Software-hash baseline: hash ops take "
+          f"{baseline.hash_seconds*1e3:.2f} ms (simulated)\n")
+
+    t = Table(
+        "CAM capacity sweep (ASA backend)",
+        ["CAM size", "Entries", "Vertex coverage", "Overflowed vertices",
+         "Overflow share", "Hash time (ms)", "Speedup vs software"],
+    )
+    for kb in (1, 2, 4, 8, 16):
+        machine = asa_machine(cam_bytes=kb * 1024)
+        r = run_infomap(graph, backend="asa", machine=machine)
+        coverage = cam_coverage(graph, kb * 1024)
+        t.add_row([
+            f"{kb}KB",
+            machine.asa.cam_entries,
+            format_pct(coverage),
+            r.overflowed_vertices,
+            format_pct(r.overflow_seconds / max(r.hash_seconds, 1e-12)),
+            f"{r.hash_seconds*1e3:.2f}",
+            f"{baseline.hash_seconds / r.hash_seconds:.2f}x",
+        ])
+    t.print()
+
+    print("Reading the table: coverage crosses 99% around 8KB (the paper's")
+    print("Fig 5 observation), after which extra CAM capacity buys little —")
+    print("overflow handling is already a minor share of ASA time.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""LFR quality benchmark: Infomap vs Louvain (the paper's motivation).
+
+Sweeps the LFR mixing parameter and prints NMI against the planted
+communities for Infomap (map equation) and Louvain (modularity), plus the
+resolution-limit demonstration on a ring of cliques.
+
+Run:  python examples/benchmark_quality_lfr.py
+"""
+
+from repro import LFRParams, lfr_graph, ring_of_cliques, run_infomap, run_infomap_vectorized
+from repro.baselines import louvain
+from repro.quality import normalized_mutual_information
+from repro.util.tables import Table
+
+
+def lfr_sweep() -> None:
+    t = Table(
+        "LFR benchmark (n=1000): NMI vs mixing parameter",
+        ["mu", "Infomap", "Louvain", "Infomap #modules", "Louvain #modules"],
+    )
+    for mu in (0.1, 0.2, 0.3, 0.4, 0.5, 0.6):
+        g, truth = lfr_graph(LFRParams(n=1000, mu=mu, seed=7))
+        ri = run_infomap_vectorized(g)
+        rl = louvain(g, seed=7)
+        t.add_row([
+            f"{mu:.1f}",
+            f"{normalized_mutual_information(ri.modules, truth):.3f}",
+            f"{normalized_mutual_information(rl.modules, truth):.3f}",
+            ri.num_modules,
+            rl.num_modules,
+        ])
+    t.print()
+
+
+def resolution_limit() -> None:
+    t = Table(
+        "Resolution limit: ring of 5-cliques",
+        ["#cliques", "Infomap modules", "Louvain modules"],
+    )
+    for nc in (10, 20, 30, 40):
+        g, _ = ring_of_cliques(nc, 5)
+        ri = run_infomap(g)
+        rl = louvain(g)
+        t.add_row([nc, ri.num_modules, rl.num_modules])
+    t.print()
+    print("Infomap recovers every clique; modularity merges neighbouring")
+    print("cliques once the ring grows (Fortunato & Barthelemy 2007) — the")
+    print("quality advantage the paper cites for the information-theoretic")
+    print("approach.")
+
+
+if __name__ == "__main__":
+    lfr_sweep()
+    resolution_limit()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Hierarchical community detection (the nested map equation).
+
+The paper's HyPC-Map optimizes the two-level map equation; the method
+family it belongs to extends to *hierarchical* maps (Rosvall & Bergstrom
+2011): super-modules containing modules containing vertices.  This example
+builds a network with genuinely nested structure — departments made of
+teams made of people — and shows the hierarchical decomposition recovering
+both levels while the flat partition can only pick one.
+
+Run:  python examples/hierarchical_communities.py
+"""
+
+import numpy as np
+
+from repro import run_infomap_hierarchical
+from repro.graph.build import from_edge_array
+from repro.graph.generators import ring_of_cliques
+from repro.quality import normalized_mutual_information
+from repro.util.tables import Table
+
+
+def build_org_network(departments=5, teams_per_dept=4, team_size=6, seed=0):
+    """Departments of teams of people: teams are near-cliques; teams in a
+    department share a few links; departments barely interact."""
+    rng = np.random.default_rng(seed)
+    per_dept = teams_per_dept * team_size
+    n = departments * per_dept
+    src_l, dst_l = [], []
+    for d in range(departments):
+        base = d * per_dept
+        # ring-of-cliques gives each department teams + intra-dept links
+        g, _ = ring_of_cliques(teams_per_dept, team_size)
+        s, t, _w = g.edge_array()
+        keep = s < t
+        src_l.append(s[keep] + base)
+        dst_l.append(t[keep] + base)
+        # a few extra random intra-department links
+        extra = rng.integers(0, per_dept, size=(teams_per_dept, 2))
+        src_l.append(extra[:, 0] + base)
+        dst_l.append(extra[:, 1] + base)
+    # sparse inter-department contacts
+    for d in range(departments):
+        src_l.append(np.array([d * per_dept]))
+        dst_l.append(np.array([((d + 1) % departments) * per_dept + 1]))
+    src = np.concatenate(src_l)
+    dst = np.concatenate(dst_l)
+    keep = src != dst
+    graph = from_edge_array(src[keep], dst[keep], num_vertices=n,
+                            name="org-chart")
+    truth_dept = np.repeat(np.arange(departments), per_dept)
+    truth_team = np.repeat(np.arange(departments * teams_per_dept), team_size)
+    return graph, truth_dept, truth_team
+
+
+def main() -> None:
+    graph, truth_dept, truth_team = build_org_network()
+    n = graph.num_vertices
+    print(f"Organization network: {n} people, {graph.num_edges} ties, "
+          f"{len(np.unique(truth_dept))} departments x "
+          f"{len(np.unique(truth_team))} teams\n")
+
+    r = run_infomap_hierarchical(graph)
+    print(r.summary(), "\n")
+
+    top = r.top_assignment(n)
+    leaf = r.leaf_assignment(n)
+    t = Table(
+        "Recovered hierarchy vs ground truth (NMI)",
+        ["Level", "Found modules", "True modules", "NMI"],
+    )
+    t.add_row([
+        "top (departments)", len(np.unique(top)),
+        len(np.unique(truth_dept)),
+        f"{normalized_mutual_information(top, truth_dept):.3f}",
+    ])
+    t.add_row([
+        "leaf (teams)", len(np.unique(leaf)),
+        len(np.unique(truth_team)),
+        f"{normalized_mutual_information(leaf, truth_team):.3f}",
+    ])
+    t.print()
+
+    print("Tree view (first two departments):")
+    for i, dept in enumerate(r.root_children[:2]):
+        print(f"  super-module {i}: {dept.size} people, "
+              f"{len(dept.leaves())} teams")
+        for leaf_mod in dept.leaves()[:5]:
+            print(f"    - team of {leaf_mod.size}")
+
+    print(f"\nHierarchical codelength {r.codelength:.4f} bits beats the "
+          f"flat two-level {r.two_level_codelength:.4f} bits: the nested "
+          f"map compresses the walk better, which is the map equation's "
+          f"criterion for real hierarchy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Protein-interaction-style clustering (the paper's Fig 1 scenario).
+
+The paper opens with a yeast protein-protein interaction network clustered
+by functional similarity.  PPI networks are sparse, power-law, and modular
+— exactly what the LFR family models — so this example builds a synthetic
+PPI-style network, clusters it with Infomap, and reports what a biologist
+would look at: module sizes, intra-module density, and the "unknown
+protein" annotation trick (predict an unannotated protein's function from
+its module's majority label).
+
+Run:  python examples/protein_interaction_clustering.py
+"""
+
+import numpy as np
+
+from repro import LFRParams, lfr_graph, run_infomap_vectorized
+from repro.baselines import modularity
+from repro.quality import normalized_mutual_information, pairwise_f1
+from repro.util.tables import Table
+
+
+def main() -> None:
+    # A synthetic PPI network: ~2.5k proteins, power-law interactions,
+    # functional modules of 20-80 proteins, moderate cross-talk.
+    params = LFRParams(
+        n=2500, mu=0.2, avg_degree=10, max_degree=80,
+        min_community=20, max_community=90, seed=11,
+    )
+    graph, function = lfr_graph(params)
+    print(f"Synthetic PPI network: {graph.num_vertices} proteins, "
+          f"{graph.num_edges} interactions, "
+          f"{len(np.unique(function))} true functional groups\n")
+
+    result = run_infomap_vectorized(graph, seed=1)
+    print(f"Infomap found {result.num_modules} modules "
+          f"(codelength {result.codelength:.3f} bits, "
+          f"vs {result.one_level_codelength:.3f} unpartitioned)\n")
+
+    nmi = normalized_mutual_information(result.modules, function)
+    f1 = pairwise_f1(result.modules, function)
+    q = modularity(graph, result.modules)
+    print(f"Agreement with true functional groups: NMI={nmi:.3f}, "
+          f"pairwise F1={f1:.3f}, modularity Q={q:.3f}\n")
+
+    # module size distribution
+    sizes = np.bincount(result.modules)
+    sizes = np.sort(sizes[sizes > 0])[::-1]
+    t = Table("Largest functional modules", ["Rank", "Proteins", "Purity"])
+    for rank, module_id in enumerate(
+        np.argsort(-np.bincount(result.modules))[:8], start=1
+    ):
+        members = np.flatnonzero(result.modules == module_id)
+        true_labels = function[members]
+        purity = np.bincount(true_labels).max() / len(members)
+        t.add_row([rank, len(members), f"{purity:.2f}"])
+    t.print()
+
+    # function prediction for "unannotated" proteins: hide 10 % of labels,
+    # predict by module majority
+    rng = np.random.default_rng(0)
+    hidden = rng.choice(graph.num_vertices, size=graph.num_vertices // 10,
+                        replace=False)
+    correct = 0
+    for v in hidden:
+        members = np.flatnonzero(result.modules == result.modules[v])
+        others = members[members != v]
+        if len(others) == 0:
+            continue
+        predicted = np.bincount(function[others]).argmax()
+        correct += predicted == function[v]
+    print(f"Function prediction by module-majority vote: "
+          f"{correct}/{len(hidden)} = {correct/len(hidden):.1%} accuracy")
+
+
+if __name__ == "__main__":
+    main()

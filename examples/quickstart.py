@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: detect communities and compare the ASA backend to Baseline.
+
+Runs the full pipeline on a small synthetic social network:
+
+1. generate a graph with planted community structure;
+2. run Infomap with the software-hash Baseline (the paper's Algorithm 1);
+3. run Infomap with the ASA accelerator backend (Algorithm 2);
+4. verify both find the identical partition and report the simulated
+   hardware costs side by side.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import planted_partition, run_infomap
+from repro.quality import normalized_mutual_information
+from repro.util.tables import Table, format_pct, format_si
+
+
+def main() -> None:
+    print("Generating a planted-partition network (8 communities of 40)...")
+    graph, truth = planted_partition(
+        num_communities=8, community_size=40, p_in=0.25, p_out=0.005, seed=42
+    )
+    print(f"  {graph.num_vertices} vertices, {graph.num_edges} edges\n")
+
+    results = {}
+    for backend in ("softhash", "asa"):
+        results[backend] = run_infomap(graph, backend=backend)
+
+    base, asa = results["softhash"], results["asa"]
+
+    assert np.array_equal(base.modules, asa.modules), "backends must agree!"
+    nmi = normalized_mutual_information(base.modules, truth)
+    print(f"Both backends found {base.num_modules} communities "
+          f"(codelength {base.codelength:.4f} bits, NMI vs truth {nmi:.3f})\n")
+
+    t = Table(
+        "Simulated hardware cost of the FindBestCommunity kernel",
+        ["Metric", "Baseline (software hash)", "ASA accelerator", "Change"],
+    )
+    cb, ca = base.stats.findbest, asa.stats.findbest
+    bb, ba = base.breakdown(cb), asa.breakdown(ca)
+    rows = [
+        ("Instructions", format_si(cb.instructions), format_si(ca.instructions),
+         format_pct(1 - ca.instructions / cb.instructions)),
+        ("Branch mispredicts", format_si(cb.branch_mispredict),
+         format_si(ca.branch_mispredict),
+         format_pct(1 - ca.branch_mispredict / cb.branch_mispredict)),
+        ("CPI", f"{bb.cpi:.3f}", f"{ba.cpi:.3f}",
+         format_pct(1 - ba.cpi / bb.cpi)),
+        ("Hash-op time (sim)", f"{base.hash_seconds*1e3:.3f} ms",
+         f"{asa.hash_seconds*1e3:.3f} ms",
+         f"{base.hash_seconds/asa.hash_seconds:.2f}x faster"),
+    ]
+    for r in rows:
+        t.add_row(r)
+    t.print()
+
+    print("The ASA accelerator eliminates the software hash table's")
+    print("collision-handling branches and pointer chasing — the same")
+    print("mechanism behind the paper's 3.28x-5.56x hash-op speedups.")
+
+
+if __name__ == "__main__":
+    main()

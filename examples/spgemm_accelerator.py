@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""SpGEMM through the generalized ASA interface.
+
+ASA was designed for sparse matrix-matrix multiplication (Chao et al., ACM
+TACO 2022); this paper generalizes its interface so hash-heavy graph
+analytics benefit too.  This example closes the loop in the other
+direction: the *same* accumulator objects that accelerate Infomap here
+compute ``C = A @ B`` row-by-row (Gustavson), and the hardware report
+shows the same cost structure — software hashing pays in branches and
+pointer chasing, ASA pays a flat occupancy.
+
+Run:  python examples/spgemm_accelerator.py
+"""
+
+import numpy as np
+
+from repro.sim.report import instruction_mix_table
+from repro.spgemm import random_sparse_matrix, spgemm
+from repro.util.tables import Table, format_pct, format_si
+
+
+def main() -> None:
+    a = random_sparse_matrix(600, 600, 0.015, seed=1, powerlaw_rows=True)
+    b = random_sparse_matrix(600, 600, 0.015, seed=2, powerlaw_rows=True)
+    print(f"A: {a.shape} with {a.nnz} nnz;  B: {b.shape} with {b.nnz} nnz\n")
+
+    results = {}
+    for backend in ("softhash", "asa"):
+        results[backend] = spgemm(a, b, backend=backend)
+    soft, asa = results["softhash"], results["asa"]
+
+    assert np.allclose(soft.matrix.to_dense(), asa.matrix.to_dense())
+    print(f"C = A @ B: {soft.matrix.nnz} nnz from {soft.flops} partial "
+          f"products (compression "
+          f"{soft.flops / max(soft.matrix.nnz, 1):.2f} products/output)\n")
+
+    t = Table(
+        "SpGEMM hash-accumulation cost: software hash vs ASA",
+        ["Metric", "Software hash", "ASA", "Change"],
+    )
+    cs, ca = soft.stats.findbest_hash_total, asa.stats.findbest_hash_total
+    t.add_row([
+        "Instructions", format_si(cs.instructions), format_si(ca.instructions),
+        format_pct(1 - ca.instructions / cs.instructions),
+    ])
+    t.add_row([
+        "Branch mispredicts", format_si(cs.branch_mispredict),
+        format_si(ca.branch_mispredict),
+        format_pct(1 - ca.branch_mispredict / max(cs.branch_mispredict, 1e-9)),
+    ])
+    t.add_row([
+        "Accumulation time", f"{soft.hash_seconds*1e3:.3f} ms",
+        f"{asa.hash_seconds*1e3:.3f} ms",
+        f"{soft.hash_seconds/asa.hash_seconds:.2f}x faster",
+    ])
+    t.print()
+
+    instruction_mix_table(
+        cs, "Instruction mix of the software-hash accumulation"
+    ).print()
+
+    print("The identical Accumulator interface served Infomap in the other")
+    print("examples — the paper's point that ASA generalizes beyond its")
+    print("original SpGEMM formulation, demonstrated in both directions.")
+
+
+if __name__ == "__main__":
+    main()

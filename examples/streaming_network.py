@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Streaming network: maintain communities as the graph evolves.
+
+Social networks grow edge by edge.  This example simulates a stream: a
+community structure that gradually *rewires* — one planted group dissolves
+into two, two others merge — while :class:`repro.DynamicCommunities`
+keeps the partition fresh with warm-started incremental refreshes, touching
+only the changed neighbourhoods instead of re-clustering from scratch.
+
+Run:  python examples/streaming_network.py
+"""
+
+import numpy as np
+
+from repro import DynamicCommunities, planted_partition, run_infomap
+from repro.util.tables import Table
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    g, truth = planted_partition(6, 25, 0.35, 0.01, seed=9)
+    n = g.num_vertices
+
+    dyn = DynamicCommunities(n)
+    src, dst, w = g.edge_array()
+    keep = src < dst
+    for u, v, x in zip(src[keep].tolist(), dst[keep].tolist(), w[keep].tolist()):
+        dyn.add_edge(u, v, x)
+
+    first = dyn.refresh()
+    print(f"Initial network: {n} vertices, {dyn.num_edges} edges -> "
+          f"{first.num_modules} communities "
+          f"(L={first.codelength:.3f}, full run over "
+          f"{first.touched_vertices} vertex visits)\n")
+
+    t = Table(
+        "Evolving network: incremental refresh after each batch",
+        ["Batch", "Event", "Edges", "Communities", "L (bits)",
+         "Touched", "vs full rerun"],
+    )
+
+    def record(batch, event):
+        res = dyn.refresh()
+        scratch = run_infomap(dyn.graph())
+        t.add_row([
+            batch, event, dyn.num_edges, res.num_modules,
+            f"{res.codelength:.3f}", res.touched_vertices,
+            f"{res.codelength/scratch.codelength:.3f}x L",
+        ])
+
+    # batch 1: merge communities 0 and 1 with heavy cross-links
+    for _ in range(60):
+        u = int(rng.integers(0, 25))
+        v = int(rng.integers(25, 50))
+        dyn.add_edge(u, v)
+    record(1, "merge groups 0+1")
+
+    # batch 2: community 5 splits — delete half its internal edges
+    members = np.flatnonzero(truth == 5)
+    half_a = set(members[: len(members) // 2].tolist())
+    removed = 0
+    src, dst, w = dyn.graph().edge_array()
+    keep = src < dst
+    for u, v in zip(src[keep].tolist(), dst[keep].tolist()):
+        if (u in half_a) != (v in half_a) and u in set(members.tolist()) and v in set(members.tolist()):
+            try:
+                dyn.remove_edge(u, v)
+                removed += 1
+            except KeyError:
+                pass
+    record(2, f"split group 5 (-{removed} edges)")
+
+    # batch 3: organic growth, random new friendships inside groups
+    for _ in range(40):
+        c = int(rng.integers(0, 6))
+        u, v = rng.integers(c * 25, (c + 1) * 25, 2)
+        if u != v:
+            dyn.add_edge(int(u), int(v))
+    record(3, "organic intra-group growth")
+
+    t.print()
+    print("Incremental refreshes track structural change (merges, splits)")
+    print("while re-examining only the dirty neighbourhoods — the 'Touched'")
+    print("column stays far below a full sweep after the initial run.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""repro — ASA-accelerated Infomap community detection.
+
+A full Python reproduction of *"Fast Community Detection in Graphs with
+Infomap Method using Accelerated Sparse Accumulation"* (Faysal et al.,
+IPDPS-W 2023): the multilevel Infomap application, the software-hash
+Baseline and the ASA hardware-accelerator backend, a ZSim-substitute
+microarchitecture cost model, synthetic surrogates for the paper's SNAP
+datasets, quality baselines (Louvain/modularity, NMI on LFR), and a
+benchmark harness regenerating every table and figure of the evaluation.
+
+Quickstart
+----------
+>>> from repro import ring_of_cliques, run_infomap
+>>> g, truth = ring_of_cliques(8, 6)
+>>> result = run_infomap(g)
+>>> result.num_modules
+8
+"""
+
+from repro.graph import (
+    CSRGraph,
+    from_edges,
+    from_edge_array,
+    read_edge_list,
+    write_edge_list,
+    chung_lu,
+    rmat,
+    barabasi_albert,
+    planted_partition,
+    ring_of_cliques,
+    powerlaw_degree_sequence,
+    lfr_graph,
+    LFRParams,
+    load_dataset,
+    DATASETS,
+)
+from repro.core import (
+    run_infomap_hierarchical,
+    HierarchicalResult,
+    run_infomap_distributed,
+    DistributedResult,
+    DynamicCommunities,
+    FlowNetwork,
+    pagerank,
+    MapEquation,
+    Partition,
+    run_infomap,
+    InfomapResult,
+    run_infomap_vectorized,
+    run_infomap_multicore,
+    MulticoreResult,
+)
+from repro.sim import (
+    MachineConfig,
+    native_machine,
+    baseline_machine,
+    asa_machine,
+    CycleModel,
+    Counters,
+    KernelStats,
+)
+from repro.asa import CAM, sort_and_merge
+from repro.accum import make_accumulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSRGraph",
+    "from_edges",
+    "from_edge_array",
+    "read_edge_list",
+    "write_edge_list",
+    "chung_lu",
+    "rmat",
+    "barabasi_albert",
+    "planted_partition",
+    "ring_of_cliques",
+    "powerlaw_degree_sequence",
+    "lfr_graph",
+    "LFRParams",
+    "load_dataset",
+    "DATASETS",
+    "FlowNetwork",
+    "pagerank",
+    "MapEquation",
+    "Partition",
+    "run_infomap",
+    "InfomapResult",
+    "run_infomap_vectorized",
+    "run_infomap_multicore",
+    "MulticoreResult",
+    "run_infomap_hierarchical",
+    "HierarchicalResult",
+    "run_infomap_distributed",
+    "DistributedResult",
+    "DynamicCommunities",
+    "MachineConfig",
+    "native_machine",
+    "baseline_machine",
+    "asa_machine",
+    "CycleModel",
+    "Counters",
+    "KernelStats",
+    "CAM",
+    "sort_and_merge",
+    "make_accumulator",
+    "__version__",
+]

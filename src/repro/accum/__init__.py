@@ -1,0 +1,34 @@
+"""Flow-accumulation backends for the FindBestCommunity kernel.
+
+Algorithm 1 of the paper accumulates per-module flow into a software hash
+table; Algorithm 2 replaces it with ASA accelerator calls.  Both are
+implemented here behind one interface (:class:`repro.accum.base.Accumulator`)
+so the kernel code is shared and the backends differ only in functional
+mechanics and hardware cost accounting:
+
+* :class:`~repro.accum.plain.PlainDictAccumulator` — uninstrumented dict,
+  for pure-algorithm / quality runs;
+* :class:`~repro.accum.softhash.SoftwareHashAccumulator` — chained hash
+  table modelling ``std::unordered_map`` (collision chains, load-factor
+  rehash, the double-probe ``count()`` + ``operator[]`` idiom of
+  Algorithm 1);
+* :class:`~repro.accum.asa_accum.ASAAccumulator` — per-core CAM with LRU
+  overflow and software sort_and_merge (Algorithm 2).
+"""
+
+from repro.accum.base import Accumulator
+from repro.accum.plain import PlainDictAccumulator
+from repro.accum.robinhood import RobinHoodAccumulator
+from repro.accum.softhash import SoftwareHashAccumulator
+from repro.accum.asa_accum import ASAAccumulator
+from repro.accum.factory import make_accumulator, BACKENDS
+
+__all__ = [
+    "Accumulator",
+    "PlainDictAccumulator",
+    "SoftwareHashAccumulator",
+    "RobinHoodAccumulator",
+    "ASAAccumulator",
+    "make_accumulator",
+    "BACKENDS",
+]

@@ -1,0 +1,138 @@
+"""Instrumented ASA accumulator backend (the paper's Algorithm 2).
+
+One :class:`~repro.asa.cam.CAM` per simulated core; the kernel issues one
+``accumulate`` ISA instruction per adjacency link (the ``xchg``-encoded
+custom instruction of Section II-E), a ``gather_CAM`` to stream results
+back, and — only when the CAM overflowed — the software
+``sort_and_merge`` post-pass whose cost is tracked separately in
+``overflow_counters`` so the overflow share of ASA time (Section IV-C:
+9.86 % for soc-Pokec, 13.31 % for Orkut) can be reported.
+"""
+
+from __future__ import annotations
+
+from repro.asa.cam import CAM
+from repro.asa.merge import sort_and_merge
+from repro.accum.base import Accumulator
+from repro.sim.branch import BranchSite
+from repro.sim.context import HardwareContext
+from repro.sim.counters import Counters
+
+__all__ = ["ASAAccumulator"]
+
+
+class ASAAccumulator(Accumulator):
+    """CAM-backed accumulation with software overflow merging.
+
+    Parameters
+    ----------
+    ctx:
+        The simulated core (supplies the machine's :class:`ASACosts`).
+    counters:
+        Attribution target for accelerator-path work
+        (``KernelStats.findbest_hash``).
+    overflow_counters:
+        Attribution target for the sort_and_merge overflow path
+        (``KernelStats.findbest_overflow``).
+    cam:
+        Optional externally owned CAM (the multicore engine passes each
+        core's CAM explicitly); by default a CAM sized from the machine
+        config is created.
+    """
+
+    name = "asa"
+
+    def __init__(
+        self,
+        ctx: HardwareContext,
+        counters: Counters,
+        overflow_counters: Counters | None = None,
+        cam: CAM | None = None,
+    ):
+        self.ctx = ctx
+        self.counters = counters
+        self.overflow_counters = (
+            overflow_counters if overflow_counters is not None else Counters()
+        )
+        self.costs = ctx.machine.asa
+        self.cam = cam if cam is not None else CAM(self.costs.cam_entries)
+        self._ops = 0
+        self._evictions = 0
+        #: total vertices whose accumulation overflowed (for reporting)
+        self.overflowed_vertices = 0
+
+    def begin(self, expected_keys: int = 0) -> None:
+        if len(self.cam) or self.cam.overflow_count:
+            raise RuntimeError(
+                "CAM not drained before begin(); call items() per vertex"
+            )
+        self._ops = 0
+        self._evictions = 0
+
+    def accumulate(self, key: int, value: float) -> None:
+        outcome = self.cam.accumulate(key, value)
+        self._ops += 1
+        if outcome == "evict":
+            self._evictions += 1
+
+    def items(self) -> list[tuple[int, float]]:
+        non_overflowed, overflowed = self.cam.gather()
+        ctx = self.ctx
+        costs = self.costs
+
+        # --- accelerator-path accounting --------------------------------
+        ctx.use(self.counters)
+        gathered = len(non_overflowed) + len(overflowed)
+        ctx.instr(
+            int_alu=self._ops * costs.issue_int_alu
+            + gathered * costs.gather_int_alu,
+            asa=self._ops + 1,  # accumulates + the gather instruction
+            store=gathered * costs.gather_store,
+            branch=1,  # overflow emptiness check (Alg 2 ln 10)
+        )
+        ctx.asa_busy(
+            self._ops * costs.accumulate_cycles
+            + self._evictions * costs.evict_cycles
+            + gathered * costs.gather_cycles_per_entry
+        )
+        overflow_happened = bool(overflowed)
+        ctx.branches(
+            BranchSite.OVERFLOW_CHECK, 1, 1.0 if overflow_happened else 0.0
+        )
+        # gather writes stream into the result vectors
+        ctx.mem(
+            gathered * costs.gather_store,
+            footprint_bytes=gathered * 16,
+            streaming=True,
+        )
+
+        if not overflow_happened:
+            return non_overflowed
+
+        # --- software overflow handling (sort_and_merge) ------------------
+        self.overflowed_vertices += 1
+        merged, mstats = sort_and_merge(non_overflowed, overflowed)
+        ctx.use(self.overflow_counters)
+        n = mstats.elements
+        sort_branches = mstats.comparisons * costs.sort_branch_fraction
+        ctx.instr(
+            int_alu=mstats.comparisons * costs.sort_int_alu_per_cmp
+            + n * costs.merge_int_alu_per_elem,
+            load=n * costs.merge_load_per_elem,
+            store=n * costs.merge_store_per_elem,
+            branch=sort_branches + n,
+        )
+        # about half the sort comparisons reach an unpredictable branch
+        # (introsort partitioning is partially branch-free on pairs)
+        ctx.branches(BranchSite.SORT_CMP, sort_branches, sort_branches * 0.5)
+        ctx.branches(BranchSite.MERGE_KEYCMP, n, float(mstats.merged_duplicates))
+        ctx.mem(
+            n * (costs.merge_load_per_elem + costs.merge_store_per_elem),
+            footprint_bytes=n * 16,
+            streaming=True,
+        )
+        ctx.use(self.counters)
+        return merged
+
+    def finish(self) -> None:
+        """No teardown: the CAM persists across vertices (drained per use)."""

@@ -1,0 +1,42 @@
+"""Accumulator interface shared by the software-hash and ASA backends."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+__all__ = ["Accumulator"]
+
+
+class Accumulator(ABC):
+    """Key→value accumulation for one vertex's neighbourhood at a time.
+
+    Lifecycle per vertex (and per direction for directed graphs)::
+
+        acc.begin(expected)        # fresh table / empty CAM
+        acc.accumulate(k, v) ...   # one call per adjacency link
+        pairs = acc.items()        # gathered, merged (k, sum) pairs
+        acc.finish()               # destruction accounting
+
+    Implementations must guarantee that ``items()`` returns each key once
+    with the exact sum of its accumulated values (the property tests in
+    ``tests/test_accum_equivalence.py`` enforce this across backends).
+    """
+
+    #: short backend name used in benchmark tables
+    name: str = "abstract"
+
+    @abstractmethod
+    def begin(self, expected_keys: int = 0) -> None:
+        """Start accumulation for a new vertex neighbourhood."""
+
+    @abstractmethod
+    def accumulate(self, key: int, value: float) -> None:
+        """Add ``value`` to the partial sum stored under ``key``."""
+
+    @abstractmethod
+    def items(self) -> list[tuple[int, float]]:
+        """Return merged ``(key, total)`` pairs accumulated since begin()."""
+
+    @abstractmethod
+    def finish(self) -> None:
+        """Account for tearing the structure down after the vertex."""

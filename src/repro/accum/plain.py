@@ -1,0 +1,33 @@
+"""Uninstrumented dict accumulator — the fast functional reference."""
+
+from __future__ import annotations
+
+from repro.accum.base import Accumulator
+
+__all__ = ["PlainDictAccumulator"]
+
+
+class PlainDictAccumulator(Accumulator):
+    """Plain Python dict; no hardware accounting.
+
+    Used by the vectorized/quality engines and as the functional oracle in
+    backend-equivalence tests.
+    """
+
+    name = "plain"
+
+    def __init__(self) -> None:
+        self._data: dict[int, float] = {}
+
+    def begin(self, expected_keys: int = 0) -> None:
+        self._data = {}
+
+    def accumulate(self, key: int, value: float) -> None:
+        d = self._data
+        d[key] = d.get(key, 0.0) + value
+
+    def items(self) -> list[tuple[int, float]]:
+        return list(self._data.items())
+
+    def finish(self) -> None:
+        self._data = {}

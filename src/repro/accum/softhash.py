@@ -1,0 +1,284 @@
+"""Instrumented software hash table (the paper's *Baseline*).
+
+Models a ``std::unordered_map<int, double>`` the way HyPC-Map uses it in
+Algorithm 1: a fresh table per vertex, the double-probe idiom
+(``count(k)`` on line 6 followed by ``operator[]`` on lines 7/9), chained
+collision resolution, and load-factor-triggered rehashing.
+
+The *functional* state is a Python dict plus an explicit bucket/chain model
+(bucket index = splitmix64(key) & (B-1), new nodes prepended to their
+bucket's chain, exactly like libstdc++'s forward-list buckets).  The chain
+model is what produces the data-dependent branch streams (chain-continue,
+key-compare) and pointer-chasing loads the paper blames for the baseline's
+stalls — we *simulate* the collisions rather than assuming a collision
+rate.
+
+Cost accounting is tallied per table lifetime and flushed in
+:meth:`finish` (fast mode) or additionally emitted per event
+(detailed mode).
+"""
+
+from __future__ import annotations
+
+from repro.accum.base import Accumulator
+from repro.sim.branch import BranchSite
+from repro.sim.context import HardwareContext
+from repro.sim.counters import Counters
+from repro.util.rng import stable_hash64
+
+__all__ = ["SoftwareHashAccumulator"]
+
+
+class SoftwareHashAccumulator(Accumulator):
+    """Chained hash table with full hardware-event accounting.
+
+    Parameters
+    ----------
+    ctx:
+        The simulated core this table runs on.
+    counters:
+        Where hash-operation costs are attributed (normally
+        ``KernelStats.findbest_hash``).
+    double_probe:
+        Model Algorithm 1's ``count()`` + ``operator[]`` pattern (two
+        traversals per accumulate).  Setting False gives the single-probe
+        variant used by the ablation bench.
+    hash_seed:
+        Seed of the modelled ``std::hash`` — deterministic collisions.
+    """
+
+    name = "softhash"
+
+    def __init__(
+        self,
+        ctx: HardwareContext,
+        counters: Counters,
+        double_probe: bool = True,
+        hash_seed: int = 1,
+    ):
+        self.ctx = ctx
+        self.counters = counters
+        self.costs = ctx.machine.softhash
+        self.double_probe = double_probe
+        self.hash_seed = hash_seed
+        # functional state
+        self._data: dict[int, float] = {}
+        self._chains: dict[int, list[int]] = {}
+        self._buckets = self.costs.initial_buckets
+        self._node_addr: dict[int, int] = {}
+        # per-table tallies (reset in begin)
+        self._reset_tallies()
+
+    # ------------------------------------------------------------------
+    def _reset_tallies(self) -> None:
+        self._n_probes = 0
+        self._chain_events = 0
+        self._chain_taken = 0
+        self._keycmp_events = 0
+        self._keycmp_taken = 0
+        self._hits = 0
+        self._inserts = 0
+        self._rehashes = 0
+        self._rehash_elems = 0
+        self._iterated = 0
+        self._ctor_buckets = 0
+
+    def begin(self, expected_keys: int = 0) -> None:
+        """Construct a fresh table (HyPC-Map constructs one per vertex)."""
+        self._data = {}
+        self._chains = {}
+        self._buckets = self.costs.initial_buckets
+        self._node_addr = {}
+        self._reset_tallies()
+        self._ctor_buckets = self._buckets
+
+    # ------------------------------------------------------------------
+    def _bucket_of(self, key: int) -> int:
+        return stable_hash64(key, self.hash_seed) & (self._buckets - 1)
+
+    def _probe(self, key: int) -> tuple[bool, int, int]:
+        """Walk the chain for ``key``.
+
+        Returns ``(found, visits, bucket)`` and tallies the branch events
+        of the traversal.  ``visits`` is the number of chain nodes
+        inspected.
+        """
+        b = self._bucket_of(key)
+        chain = self._chains.get(b)
+        detailed = self.ctx.detailed
+        self._n_probes += 1
+        if detailed:
+            self.ctx.use(self.counters)
+            self.ctx.mem_event(self.ctx.layout.bucket_addr(b))
+        if not chain:
+            # empty bucket: one not-taken chain check
+            self._chain_events += 1
+            if detailed:
+                self.ctx.branch_event(BranchSite.HASH_CHAIN, False)
+            return False, 0, b
+        try:
+            pos = chain.index(key)
+            found = True
+            visits = pos + 1
+        except ValueError:
+            found = False
+            visits = len(chain)
+        # chain-continue branch: taken once per visited node, plus the
+        # final not-taken exit on a miss
+        self._chain_events += visits + (0 if found else 1)
+        self._chain_taken += visits
+        # key compare: one per visited node, taken only on the match
+        self._keycmp_events += visits
+        self._keycmp_taken += 1 if found else 0
+        if detailed:
+            for i in range(visits):
+                self.ctx.mem_event(self._node_addr[chain[i]])
+                self.ctx.branch_event(BranchSite.HASH_CHAIN, True)
+                self.ctx.branch_event(
+                    BranchSite.HASH_KEYCMP, found and i == visits - 1
+                )
+            if not found:
+                self.ctx.branch_event(BranchSite.HASH_CHAIN, False)
+        return found, visits, b
+
+    def _maybe_rehash(self) -> None:
+        if len(self._data) + 1 <= self._buckets * self.costs.max_load_factor:
+            return
+        self._buckets *= 2
+        self._rehashes += 1
+        self._rehash_elems += len(self._data)
+        old = self._chains
+        self._chains = {}
+        # rebuild preserving within-bucket relative order (libstdc++ walks
+        # the old buckets and prepends, which reverses; order only affects
+        # probe positions marginally — keep it simple and stable)
+        for chain in old.values():
+            for key in chain:
+                self._chains.setdefault(self._bucket_of(key), []).append(key)
+        if self.ctx.detailed:
+            self.ctx.use(self.counters)
+            for key in self._data:
+                self.ctx.mem_event(self._node_addr[key])
+                self.ctx.mem_event(
+                    self.ctx.layout.bucket_addr(self._bucket_of(key))
+                )
+
+    def accumulate(self, key: int, value: float) -> None:
+        found, _v1, _b = self._probe(key)  # Algorithm 1 ln 6: count(k)
+        if self.double_probe:
+            found2, _v2, b = self._probe(key)  # ln 7/9: operator[]
+        else:
+            found2, b = found, _b
+        if found2:
+            self._data[key] += value
+            self._hits += 1
+            if self.ctx.detailed:
+                self.ctx.mem_event(self._node_addr[key])
+        else:
+            self._maybe_rehash()
+            b = self._bucket_of(key)
+            self._data[key] = value
+            self._chains.setdefault(b, []).insert(0, key)
+            self._inserts += 1
+            if self.ctx.detailed:
+                addr = self.ctx.layout.alloc_heap_node()
+                self._node_addr[key] = addr
+                self.ctx.use(self.counters)
+                self.ctx.branch_event(BranchSite.HASH_LOADFACTOR, False)
+                self.ctx.mem_event(addr)
+
+    def items(self) -> list[tuple[int, float]]:
+        self._iterated = len(self._data)
+        if self.ctx.detailed:
+            self.ctx.use(self.counters)
+            for key in self._data:
+                self.ctx.mem_event(self._node_addr[key])
+        return list(self._data.items())
+
+    # ------------------------------------------------------------------
+    def finish(self) -> None:
+        """Flush tallied instruction counts (and fast-mode expectations)."""
+        ctx = self.ctx
+        costs = self.costs
+        ctx.use(self.counters)
+        if ctx.detailed:
+            # destruction frees every chain node back to the allocator
+            for addr in self._node_addr.values():
+                ctx.layout.free_heap_node(addr)
+
+        size = len(self._data)
+        total_visits = self._chain_taken  # == nodes visited across probes
+        n_probes = self._n_probes
+
+        ctx.instr(
+            int_alu=(
+                n_probes * (costs.hash_int_alu + costs.probe_int_alu)
+                + total_visits * costs.chain_int_alu
+                + self._inserts * costs.insert_int_alu
+                + self._rehash_elems * costs.rehash_int_alu_per_elem
+                + costs.ctor_int_alu
+                + size * costs.dtor_int_alu_per_node
+                + self._iterated * 2
+            ),
+            float_alu=self._hits * costs.hit_float_alu,
+            load=(
+                n_probes  # bucket head per probe
+                + total_visits * costs.chain_loads
+                + self._hits * costs.hit_load
+                + self._rehash_elems * costs.rehash_load_per_elem
+                + size * costs.dtor_load_per_node
+                + self._iterated * 2
+            ),
+            store=(
+                self._hits * costs.hit_store
+                + self._inserts * costs.insert_store
+                + self._rehash_elems * costs.rehash_store_per_elem
+                + self._ctor_buckets * costs.ctor_store_per_bucket
+            ),
+            branch=(
+                self._chain_events
+                + self._keycmp_events
+                + self._inserts  # load-factor check
+                + self._iterated + 1  # iteration loop back-edges
+            ),
+        )
+        # pointer chasing serializes: each chain-node load depends on the
+        # previous node's next-pointer; each probe's head load depends on
+        # the freshly computed bucket index
+        self.counters.dep_stall_cycles += (
+            total_visits * costs.dep_stall_per_visit
+            + n_probes * costs.dep_stall_per_probe
+        )
+
+        if not ctx.detailed:
+            # branch-outcome expectations
+            ctx.branch_agg(
+                BranchSite.HASH_CHAIN, self._chain_events, self._chain_taken
+            )
+            ctx.branch_agg(
+                BranchSite.HASH_KEYCMP, self._keycmp_events, self._keycmp_taken
+            )
+            ctx.branch_agg(BranchSite.HASH_LOADFACTOR, self._inserts, self._rehashes)
+            ctx.branch_agg(
+                BranchSite.LOOP_BACK, self._iterated + 1, self._iterated
+            )
+            # memory expectations: bucket array is a reused arena (small,
+            # hot); chain nodes are spread by the allocator
+            bucket_footprint = self._buckets * costs.bucket_bytes
+            node_footprint = min(
+                max(size, 1) * costs.node_bytes * costs.heap_spread,
+                costs.heap_arena_bytes,
+            )
+            bucket_accesses = n_probes + self._rehash_elems
+            node_accesses = (
+                total_visits * costs.chain_loads
+                + self._hits * (costs.hit_load + costs.hit_store)
+                + self._inserts * costs.insert_store
+                + self._rehash_elems
+                + size * costs.dtor_load_per_node
+                + self._iterated * 2
+            )
+            ctx.mem_agg(bucket_accesses, bucket_footprint)
+            ctx.mem_agg(node_accesses, node_footprint)
+
+        self._reset_tallies()

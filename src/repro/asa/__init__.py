@@ -1,0 +1,20 @@
+"""Functional model of the ASA accelerator (Chao et al., ACM TACO 2022).
+
+ASA is a per-core hash-accumulation accelerator: a content-addressable
+memory (CAM) keyed by a hashed tag, with single-instruction
+lookup-and-accumulate semantics, LRU eviction into an overflow FIFO, and a
+``gather`` operation that streams the CAM contents back to memory.  The
+paper generalizes its interface beyond SpGEMM; this package implements that
+generalized interface:
+
+* :class:`repro.asa.cam.CAM` — ``accumulate`` / ``gather`` with the three
+  outcomes of Section III-A (new entry, accumulate into existing entry,
+  LRU-evict into the overflow queue);
+* :func:`repro.asa.merge.sort_and_merge` — the software post-pass of
+  Section III-C that combines CAM contents with overflowed pairs.
+"""
+
+from repro.asa.cam import CAM, CAMStats
+from repro.asa.merge import sort_and_merge, MergeStats
+
+__all__ = ["CAM", "CAMStats", "sort_and_merge", "MergeStats"]

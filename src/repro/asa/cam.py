@@ -1,0 +1,141 @@
+"""Content-addressable memory with LRU eviction and an overflow queue.
+
+This is the functional heart of the ASA accelerator.  Semantics follow
+Section III-A of the paper exactly — a call to ``accumulate(hash(k), k, v)``
+has three possible outcomes:
+
+1. **hit** — ``k`` is present: ``v`` is added to the stored partial sum;
+2. **insert** — ``k`` absent and a free entry exists: a new entry
+   ``(k, v)`` is created;
+3. **evict** — ``k`` absent and the CAM is full: the least-recently-used
+   entry is pushed to the overflow FIFO (a memory-backed queue buffer) and
+   the new entry takes its place.
+
+An evicted key that is accumulated again later re-enters the CAM with a
+fresh partial sum; ``sort_and_merge`` reconciles the duplicates, so the
+final key→value map is exact regardless of capacity.
+
+The pure-Python implementation uses a ``dict`` (insertion-ordered) as the
+LRU structure: hits re-insert the key to move it to the back; the LRU
+victim is the first key.  All statistics needed by the cost model are
+tallied in :class:`CAMStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CAM", "CAMStats"]
+
+
+@dataclass
+class CAMStats:
+    """Event counts for one CAM lifetime (reset per gather)."""
+
+    accumulates: int = 0
+    hits: int = 0
+    inserts: int = 0
+    evictions: int = 0
+    gathers: int = 0
+    gathered_entries: int = 0
+
+    def reset(self) -> None:
+        self.accumulates = 0
+        self.hits = 0
+        self.inserts = 0
+        self.evictions = 0
+        self.gathers = 0
+        self.gathered_entries = 0
+
+
+class CAM:
+    """Fixed-capacity key→value accumulator with LRU overflow.
+
+    Parameters
+    ----------
+    capacity:
+        Number of CAM entries (e.g. 512 for the paper's 8 KB CAM at
+        16 bytes/entry).
+    """
+
+    #: supported eviction policies (LRU is the paper's; FIFO and random are
+    #: provided for the ablation bench)
+    POLICIES = ("lru", "fifo", "random")
+
+    def __init__(self, capacity: int, policy: str = "lru", seed: int = 0):
+        if capacity <= 0:
+            raise ValueError(f"CAM capacity must be positive, got {capacity}")
+        if policy not in self.POLICIES:
+            raise ValueError(f"policy must be one of {self.POLICIES}, got {policy!r}")
+        self.capacity = capacity
+        self.policy = policy
+        self._entries: dict[int, float] = {}
+        self._overflow: list[tuple[int, float]] = []
+        self.stats = CAMStats()
+        import random as _random
+
+        self._rng = _random.Random(seed)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def overflow_count(self) -> int:
+        return len(self._overflow)
+
+    def accumulate(self, key: int, value: float) -> str:
+        """Accumulate ``value`` under ``key``; returns the outcome kind.
+
+        Returns one of ``"hit"``, ``"insert"``, ``"evict"`` (Section
+        III-A's three cases).  The hardware takes ``hash(k)`` as a separate
+        operand purely to index the CAM; the functional result is
+        independent of the hash, so the model keys directly on ``k``.
+        """
+        self.stats.accumulates += 1
+        entries = self._entries
+        if key in entries:
+            if self.policy == "lru":
+                # LRU touch: re-insert to move to the MRU end
+                entries[key] = entries.pop(key) + value
+            else:
+                entries[key] += value
+            self.stats.hits += 1
+            return "hit"
+        if len(entries) >= self.capacity:
+            if self.policy == "random":
+                victim_key = self._rng.choice(list(entries))
+            else:
+                # lru and fifo both evict the front of the ordered dict;
+                # they differ in whether hits refresh recency above
+                victim_key = next(iter(entries))
+            self._overflow.append((victim_key, entries.pop(victim_key)))
+            self.stats.evictions += 1
+            entries[key] = value
+            self.stats.inserts += 1
+            return "evict"
+        entries[key] = value
+        self.stats.inserts += 1
+        return "insert"
+
+    def gather(self) -> tuple[list[tuple[int, float]], list[tuple[int, float]]]:
+        """Drain the CAM: ``(nonoverflowed_pairs, overflowed_pairs)``.
+
+        Mirrors the paper's ``gather_CAM(tid, nonoverflowed, overflowed)``
+        — after the call the CAM and the overflow queue are empty.
+        """
+        non_overflowed = list(self._entries.items())
+        overflowed = list(self._overflow)
+        self._entries.clear()
+        self._overflow.clear()
+        self.stats.gathers += 1
+        self.stats.gathered_entries += len(non_overflowed) + len(overflowed)
+        return non_overflowed, overflowed
+
+    def peek(self) -> dict[int, float]:
+        """Non-destructive view of current CAM contents (for tests)."""
+        return dict(self._entries)
+
+    def reset(self) -> None:
+        self._entries.clear()
+        self._overflow.clear()
+        self.stats.reset()

@@ -1,0 +1,61 @@
+"""Software ``sort_and_merge`` post-pass (Section III-C of the paper).
+
+When the CAM overflowed during a vertex's accumulation, the gathered
+``nonoverflowed_pairs`` may share keys with ``overflowed_pairs``.  The
+paper's Algorithm 2 (lines 10–12) appends the overflow to the CAM contents,
+sorts by key, and merges equal keys.  This module implements that and
+reports the statistics the cost model charges for it (the paper reports
+this overhead as 9.86 % of ASA time for soc-Pokec and 13.31 % for Orkut).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["sort_and_merge", "MergeStats"]
+
+
+@dataclass
+class MergeStats:
+    """Work accounting for one sort_and_merge invocation."""
+
+    elements: int = 0
+    #: comparison count estimate for the sort: n * log2(n)
+    comparisons: float = 0.0
+    merged_duplicates: int = 0
+
+    def add(self, other: "MergeStats") -> "MergeStats":
+        self.elements += other.elements
+        self.comparisons += other.comparisons
+        self.merged_duplicates += other.merged_duplicates
+        return self
+
+
+def sort_and_merge(
+    nonoverflowed_pairs: list[tuple[int, float]],
+    overflowed_pairs: list[tuple[int, float]],
+) -> tuple[list[tuple[int, float]], MergeStats]:
+    """Combine CAM output with the overflow queue into exact sums.
+
+    Returns ``(merged_pairs, stats)`` where ``merged_pairs`` is sorted by
+    key and contains each key exactly once with its full accumulated value.
+    """
+    combined = nonoverflowed_pairs + overflowed_pairs
+    n = len(combined)
+    stats = MergeStats(elements=n)
+    if n == 0:
+        return [], stats
+    stats.comparisons = n * max(1.0, math.log2(n))
+    combined.sort(key=lambda kv: kv[0])
+    merged: list[tuple[int, float]] = []
+    last_key: int | None = None
+    for k, v in combined:
+        if k == last_key:
+            prev_k, prev_v = merged[-1]
+            merged[-1] = (prev_k, prev_v + v)
+            stats.merged_duplicates += 1
+        else:
+            merged.append((k, v))
+            last_key = k
+    return merged, stats

@@ -1,0 +1,150 @@
+"""Accumulation-trace recording and CAM replay.
+
+Design-space exploration (how big a CAM? which eviction policy?) does not
+need the full Infomap run each time: the *key stream* each vertex feeds to
+``accumulate`` is independent of the accumulator.  This module records
+that stream once and replays it against any CAM configuration in
+milliseconds — the methodology hardware papers use for cache studies.
+
+Usage::
+
+    trace = record_trace(graph)                    # one plain-backend run
+    stats = replay_trace(trace, capacity=512)      # any number of configs
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.accum.plain import PlainDictAccumulator
+from repro.asa.cam import CAM
+from repro.graph.csr import CSRGraph
+
+__all__ = ["AccumulationTrace", "TraceRecordingAccumulator", "record_trace",
+           "replay_trace", "ReplayStats"]
+
+
+@dataclass
+class AccumulationTrace:
+    """The key streams of every begin()..items() phase of a run.
+
+    ``phases[i]`` is the sequence of keys accumulated in phase ``i``
+    (values are irrelevant to CAM occupancy studies).
+    """
+
+    phases: list[np.ndarray] = field(default_factory=list)
+
+    @property
+    def num_phases(self) -> int:
+        return len(self.phases)
+
+    @property
+    def total_ops(self) -> int:
+        return int(sum(len(p) for p in self.phases))
+
+    def distinct_keys_per_phase(self) -> np.ndarray:
+        return np.array([len(np.unique(p)) for p in self.phases])
+
+
+class TraceRecordingAccumulator(PlainDictAccumulator):
+    """A plain accumulator that also logs the key stream per phase."""
+
+    name = "trace"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.trace = AccumulationTrace()
+        self._current: list[int] = []
+
+    def begin(self, expected_keys: int = 0) -> None:
+        super().begin(expected_keys)
+        self._current = []
+
+    def accumulate(self, key: int, value: float) -> None:
+        super().accumulate(key, value)
+        self._current.append(key)
+
+    def items(self) -> list[tuple[int, float]]:
+        self.trace.phases.append(np.asarray(self._current, dtype=np.int64))
+        self._current = []
+        return super().items()
+
+
+def record_trace(graph: CSRGraph, **infomap_kwargs) -> AccumulationTrace:
+    """Run Infomap once with a recording backend; return the trace."""
+    from repro.core.findbest import find_best_pass
+
+    recorder = TraceRecordingAccumulator()
+    # replicate the engine's multilevel loop with the recording backend
+    from repro.core.flow import FlowNetwork
+    from repro.core.partition import Partition
+    from repro.core.supernode import convert_to_supernodes
+    from repro.sim.context import HardwareContext
+    from repro.sim.counters import KernelStats
+    from repro.sim.machine import baseline_machine
+
+    ctx = HardwareContext(baseline_machine())
+    stats = KernelStats()
+    net = FlowNetwork.from_graph(graph, tau=infomap_kwargs.get("tau", 0.15))
+    max_levels = infomap_kwargs.get("max_levels", 20)
+    max_passes = infomap_kwargs.get("max_passes_per_level", 10)
+    from repro.core.infomap import _active_set
+
+    for _level in range(max_levels):
+        partition = Partition(net)
+        active = None
+        for _p in range(max_passes):
+            moves, moved = find_best_pass(
+                partition, recorder, ctx, stats, order=active
+            )
+            if moves == 0:
+                break
+            active = _active_set(net, moved)
+        dense, k = partition.dense_assignment()
+        if k == net.num_vertices:
+            break
+        net = convert_to_supernodes(net, dense, k)
+    return recorder.trace
+
+
+@dataclass
+class ReplayStats:
+    """CAM behaviour over a full trace."""
+
+    capacity: int
+    policy: str
+    accumulates: int = 0
+    hits: int = 0
+    evictions: int = 0
+    overflowed_phases: int = 0
+    gathered_entries: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accumulates if self.accumulates else 0.0
+
+    @property
+    def eviction_rate(self) -> float:
+        return self.evictions / self.accumulates if self.accumulates else 0.0
+
+
+def replay_trace(
+    trace: AccumulationTrace, capacity: int, policy: str = "lru"
+) -> ReplayStats:
+    """Replay a recorded trace against a CAM configuration."""
+    cam = CAM(capacity, policy=policy)
+    out = ReplayStats(capacity=capacity, policy=policy)
+    for phase in trace.phases:
+        for key in phase.tolist():
+            cam.accumulate(int(key), 1.0)
+        non, over = cam.gather()
+        out.gathered_entries += len(non) + len(over)
+        if over:
+            out.overflowed_phases += 1
+    s = cam.stats
+    out.accumulates = s.accumulates
+    out.hits = s.hits
+    out.evictions = s.evictions
+    return out

@@ -1,0 +1,13 @@
+"""Comparison baselines.
+
+The paper motivates Infomap by its quality advantage over modularity-based
+algorithms on the LFR benchmark (Section I, citing Lancichinetti & Fortunato
+2009 and Aldecoa & Marín 2013).  To regenerate that comparison we implement
+the canonical modularity-based method — Louvain (Blondel et al. 2008,
+reference [9] of the paper) — and the modularity objective itself.
+"""
+
+from repro.baselines.modularity import modularity
+from repro.baselines.louvain import louvain
+
+__all__ = ["modularity", "louvain"]

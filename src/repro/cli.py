@@ -1,0 +1,215 @@
+"""Command-line interface.
+
+Usage (after install)::
+
+    python -m repro datasets                    # Table I inventory
+    python -m repro run --dataset amazon --backend asa
+    python -m repro run --edge-list my.txt --backend softhash --cores 4
+    python -m repro experiment fig6 table5 fig8 ...
+    python -m repro quality --mu 0.1 0.3 0.5
+    python -m repro calibrate
+    python -m repro export --out results --names table1_datasets fig6_speedups
+
+Every command prints ASCII tables; exit code 0 on success.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.infomap import run_infomap
+from repro.core.multicore import run_infomap_multicore
+from repro.graph.datasets import TABLE1_ORDER, load_dataset
+from repro.graph.io import read_edge_list
+from repro.util.tables import Table, format_pct, format_si
+
+__all__ = ["main", "build_parser"]
+
+#: experiment-name -> harness function (lazy import to keep --help fast)
+EXPERIMENTS = (
+    "table1", "table2", "table3", "table4", "table5",
+    "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+    "fig11", "overflow", "lfr",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="ASA-accelerated Infomap reproduction toolkit",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the Table I surrogate datasets")
+
+    runp = sub.add_parser("run", help="run Infomap on a dataset or edge list")
+    src = runp.add_mutually_exclusive_group(required=True)
+    src.add_argument("--dataset", choices=TABLE1_ORDER)
+    src.add_argument("--edge-list", metavar="PATH")
+    runp.add_argument(
+        "--backend", default="plain",
+        choices=("plain", "softhash", "robinhood", "asa"),
+    )
+    runp.add_argument("--cores", type=int, default=1)
+    runp.add_argument("--directed", action="store_true")
+    runp.add_argument("--tau", type=float, default=0.15)
+    runp.add_argument(
+        "--report", action="store_true",
+        help="print the full per-kernel hardware report",
+    )
+
+    exp = sub.add_parser("experiment", help="regenerate paper tables/figures")
+    exp.add_argument("names", nargs="+", choices=EXPERIMENTS)
+
+    q = sub.add_parser("quality", help="LFR quality sweep (Infomap vs Louvain)")
+    q.add_argument("--mu", type=float, nargs="+", default=[0.1, 0.3, 0.5])
+    q.add_argument("--n", type=int, default=1000)
+    q.add_argument("--seed", type=int, default=7)
+
+    sub.add_parser("calibrate", help="paper-targets-vs-measured shape report")
+
+    exp_out = sub.add_parser(
+        "export", help="run experiments and write JSON+CSV artifacts"
+    )
+    exp_out.add_argument("--out", default="results", metavar="DIR")
+    exp_out.add_argument("--names", nargs="*", default=None,
+                         help="experiment subset (default: all exportable)")
+    return p
+
+
+def _cmd_datasets() -> int:
+    from repro.harness.experiments import table1_datasets
+
+    _, table = table1_datasets()
+    table.print()
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.dataset:
+        graph = load_dataset(args.dataset)
+    else:
+        graph, _ = read_edge_list(args.edge_list, directed=args.directed)
+    print(f"Graph: {graph.name} ({graph.num_vertices} vertices, "
+          f"{graph.num_edges} edges)")
+    if args.cores == 1:
+        r = run_infomap(graph, backend=args.backend, tau=args.tau)
+        print(r.summary())
+        stats = r.stats
+        cm = r.cycle_model()
+    else:
+        r = run_infomap_multicore(
+            graph, num_cores=args.cores, backend=args.backend, tau=args.tau
+        )
+        print(f"{r.num_modules} modules, L={r.codelength:.4f} bits, "
+              f"{r.levels} levels on {r.num_cores} simulated cores")
+        stats = r.per_core_stats[0]
+        for ks in r.per_core_stats[1:]:
+            stats = _merge_stats(stats, ks)
+        cm = r.cycle_model()
+
+    if args.backend != "plain":
+        t = Table("Hardware accounting", ["Metric", "Value"])
+        total = stats.total
+        fb = stats.findbest
+        t.add_row(["Instructions (total)", format_si(total.instructions)])
+        t.add_row(["Instructions (FindBest)", format_si(fb.instructions)])
+        t.add_row(["Branch mispredicts", format_si(fb.branch_mispredict)])
+        t.add_row(["CPI (FindBest)", f"{cm.cycles(fb).cpi:.3f}"])
+        t.add_row(["Hash-op time", f"{cm.cycles(stats.findbest_hash_total).seconds*1e3:.3f} ms"])
+        t.add_row(["Total time (simulated)", f"{cm.cycles(total).seconds*1e3:.3f} ms"])
+        t.print()
+
+    sizes = np.bincount(r.modules)
+    sizes = np.sort(sizes[sizes > 0])[::-1]
+    print(f"Module sizes: largest {sizes[:5].tolist()}, median "
+          f"{int(np.median(sizes))}, total {len(sizes)}")
+
+    if getattr(args, "report", False) and args.backend != "plain":
+        from repro.sim.report import hardware_report
+
+        machine = r.machine if hasattr(r, "machine") else None
+        print()
+        print(hardware_report(stats, machine, label=graph.name))
+    return 0
+
+
+def _merge_stats(a, b):
+    from repro.sim.counters import KernelStats
+
+    out = KernelStats()
+    out.add(a)
+    out.add(b)
+    return out
+
+
+def _cmd_experiment(names: Sequence[str]) -> int:
+    from repro.harness import experiments as E
+
+    dispatch = {
+        "table1": lambda: E.table1_datasets(),
+        "table2": lambda: E.table2_machines(),
+        "table3": lambda: E.table3_validation(cores=1),
+        "table4": lambda: E.table3_validation(cores=2, iterations=5),
+        "table5": lambda: E.table5_hash_time(),
+        "fig2": lambda: E.fig2_kernel_breakdown(),
+        "fig4": lambda: E.fig4_degree_distribution(),
+        "fig5": lambda: E.fig5_cam_coverage(),
+        "fig6": lambda: E.fig6_speedups(),
+        "fig7": lambda: E.fig7_multicore_breakdown(),
+        "fig8": lambda: E.fig8_arch_metrics(),
+        "fig9": lambda: E.fig9_percore_instructions(),
+        "fig10": lambda: E.fig10_percore_mispredictions(),
+        "fig11": lambda: E.fig11_percore_cpi(),
+        "overflow": lambda: E.overflow_share(),
+        "lfr": lambda: E.lfr_quality(),
+    }
+    for name in names:
+        _, table = dispatch[name]()
+        table.print()
+    return 0
+
+
+def _cmd_quality(args: argparse.Namespace) -> int:
+    from repro.harness.experiments import lfr_quality
+
+    _, table = lfr_quality(mus=tuple(args.mu), n=args.n, seed=args.seed)
+    table.print()
+    return 0
+
+
+def _cmd_calibrate() -> int:
+    from repro.harness.calibrate import main as calibrate_main
+
+    calibrate_main([])
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args.names)
+    if args.command == "quality":
+        return _cmd_quality(args)
+    if args.command == "calibrate":
+        return _cmd_calibrate()
+    if args.command == "export":
+        from repro.harness.export import export_all
+
+        written = export_all(args.out, names=args.names)
+        for p_ in written:
+            print(p_)
+        return 0
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""The paper's primary application: multilevel Infomap community detection.
+
+Mirrors the four HyPC-Map kernels (Section II-C):
+
+* **PageRank** — :mod:`repro.core.flow` (ergodic visit rates and link
+  flows, with teleportation);
+* **FindBestCommunity** — :mod:`repro.core.findbest` (Algorithm 1/2, the
+  hash-accumulation kernel, pluggable accumulator backend);
+* **Convert2SuperNode** — :mod:`repro.core.supernode` (coarsening with
+  super-edge weight aggregation);
+* **UpdateMembers** — :mod:`repro.core.update` (membership propagation).
+
+Engines:
+
+* :func:`repro.core.infomap.run_infomap` — sequential instrumented engine
+  (one simulated core, full hardware accounting);
+* :func:`repro.core.vectorized.run_infomap_vectorized` — numpy batch
+  engine for large graphs (no hardware accounting);
+* :func:`repro.core.multicore.run_infomap_multicore` — the HyPC-Map-style
+  simulated multicore engine behind Figs 7/9/10/11.
+"""
+
+from repro.core.flow import FlowNetwork, pagerank
+from repro.core.mapequation import MapEquation
+from repro.core.partition import Partition
+from repro.core.infomap import run_infomap, InfomapResult, IterationRecord
+from repro.core.vectorized import run_infomap_vectorized
+from repro.core.multicore import run_infomap_multicore, MulticoreResult
+from repro.core.hierarchy import run_infomap_hierarchical, HierarchicalResult, HModule
+from repro.core.distributed import run_infomap_distributed, DistributedResult, NetworkModel
+from repro.core.dynamic import DynamicCommunities, RefreshResult
+
+__all__ = [
+    "FlowNetwork",
+    "pagerank",
+    "MapEquation",
+    "Partition",
+    "run_infomap",
+    "InfomapResult",
+    "IterationRecord",
+    "run_infomap_vectorized",
+    "run_infomap_multicore",
+    "MulticoreResult",
+    "run_infomap_hierarchical",
+    "HierarchicalResult",
+    "HModule",
+    "run_infomap_distributed",
+    "DistributedResult",
+    "NetworkModel",
+    "DynamicCommunities",
+    "RefreshResult",
+]

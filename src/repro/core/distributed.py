@@ -1,0 +1,354 @@
+"""Simulated distributed-memory Infomap (the HyPC-Map hybrid model).
+
+HyPC-Map [Faysal et al., HPEC 2021] combines shared-memory threads with
+MPI ranks; the distributed side partitions vertices across ranks, runs
+local move passes against possibly-stale remote module information, and
+exchanges membership updates each superstep.  This module simulates that
+execution: every rank owns a contiguous vertex block, sees *ghost* copies
+of remote modules refreshed only at superstep boundaries, and pays for
+communication through a standard latency–bandwidth (α–β) network model.
+
+What this adds over :mod:`repro.core.multicore`: staleness (ghost module
+info lags by one superstep, like BSP), explicit message accounting
+(bytes/messages per superstep — the quantities a distributed-systems
+evaluation reports), and a communication-aware simulated runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.accum.plain import PlainDictAccumulator
+from repro.core.flow import FlowNetwork
+from repro.core.mapequation import MapEquation
+from repro.core.supernode import convert_to_supernodes
+from repro.graph.csr import CSRGraph
+from repro.util.entropy import plogp_array
+from repro.util.validation import check_positive
+
+__all__ = ["run_infomap_distributed", "DistributedResult", "NetworkModel"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """α–β communication cost model.
+
+    ``message_cost = latency_s + bytes / bandwidth_Bps``, messages between
+    distinct rank pairs in one superstep proceed in parallel; a rank's
+    superstep communication time is the sum over its peers (sequential
+    injection), and the superstep's time is the max over ranks.
+    """
+
+    latency_s: float = 2e-6
+    bandwidth_Bps: float = 10e9
+    #: bytes per (vertex id, module id) update record
+    record_bytes: int = 12
+
+    def transfer_seconds(self, n_bytes: float) -> float:
+        return self.latency_s + n_bytes / self.bandwidth_Bps
+
+
+@dataclass
+class SuperstepRecord:
+    """Accounting for one BSP superstep."""
+
+    superstep: int
+    level: int
+    moves: int
+    codelength: float
+    messages: int
+    bytes_sent: int
+    compute_seconds: float
+    comm_seconds: float
+
+
+@dataclass
+class DistributedResult:
+    """Outcome of a simulated distributed run."""
+
+    modules: np.ndarray
+    num_modules: int
+    codelength: float
+    levels: int
+    num_ranks: int
+    supersteps: list[SuperstepRecord] = field(default_factory=list)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(s.messages for s in self.supersteps)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(s.bytes_sent for s in self.supersteps)
+
+    @property
+    def comm_seconds(self) -> float:
+        return sum(s.comm_seconds for s in self.supersteps)
+
+    @property
+    def compute_seconds(self) -> float:
+        return sum(s.compute_seconds for s in self.supersteps)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.comm_seconds + self.compute_seconds
+
+    def summary(self) -> str:
+        return (
+            f"DistributedResult({self.num_ranks} ranks: {self.num_modules} "
+            f"modules, L={self.codelength:.4f}, "
+            f"{len(self.supersteps)} supersteps, "
+            f"{self.total_messages} msgs / {self.total_bytes} B)"
+        )
+
+
+def _rank_blocks(n: int, arcs_per_vertex: np.ndarray, ranks: int) -> list[np.ndarray]:
+    cum = np.cumsum(arcs_per_vertex)
+    total = cum[-1] if len(cum) else 0
+    bounds = [0]
+    for r in range(1, ranks):
+        bounds.append(int(np.searchsorted(cum, total * r / ranks)))
+    bounds.append(n)
+    return [
+        np.arange(bounds[r], max(bounds[r], bounds[r + 1]), dtype=np.int64)
+        for r in range(ranks)
+    ]
+
+
+def _local_pass(
+    net: FlowNetwork,
+    block: np.ndarray,
+    ghost_module: np.ndarray,
+    local_module: np.ndarray,
+    module_enter: np.ndarray,
+    module_exit: np.ndarray,
+    module_flow: np.ndarray,
+    sum_enter: float,
+) -> list[tuple[int, int]]:
+    """One rank's local move pass against a stale module view.
+
+    ``ghost_module`` is the superstep-start snapshot used for *remote*
+    vertices; ``local_module`` carries the rank's own fresh updates, and
+    the module-statistics arrays (rank-local copies) are updated as the
+    rank moves its own vertices — exactly the "locally fresh, remotely
+    stale" consistency distributed Infomap implementations run with.
+    Conflicting cross-rank moves are reconciled by the caller's global
+    verification.  Returns the (vertex, new_module) updates.
+    """
+    from repro.util.entropy import plogp
+
+    acc = PlainDictAccumulator()
+    updates: list[tuple[int, int]] = []
+    own = np.zeros(net.num_vertices, dtype=bool)
+    own[block] = True
+
+    for v in block.tolist():
+        idx, flows = net.out_arcs(v)
+        acc.begin(len(idx))
+        for t, f in zip(idx.tolist(), flows.tolist()):
+            if t == v:
+                continue
+            m = local_module[t] if own[t] else ghost_module[t]
+            acc.accumulate(int(m), f)
+        out_to = dict(acc.items())
+        acc.finish()
+        cur = int(local_module[v])
+        o_old = out_to.get(cur, 0.0)
+        p_n = float(net.node_flow[v])
+        out_n = float(net.node_out[v])
+        in_n = float(net.node_in[v])
+
+        best_dl, best_m = 0.0, cur
+        best_state = None
+        for m, o_new in out_to.items():
+            if m == cur:
+                continue
+            exit_old = module_exit[cur] - (out_n - o_old) + o_old
+            enter_old = module_enter[cur] - (in_n - o_old) + o_old
+            exit_new = module_exit[m] + (out_n - o_new) - o_new
+            enter_new = module_enter[m] + (in_n - o_new) - o_new
+            flow_old = module_flow[cur] - p_n
+            flow_new = module_flow[m] + p_n
+            s_new = sum_enter + enter_old + enter_new - module_enter[cur] - module_enter[m]
+            dl = (
+                plogp(max(s_new, 0.0)) - plogp(sum_enter)
+                - (plogp(max(enter_old, 0.0)) + plogp(max(enter_new, 0.0))
+                   - plogp(module_enter[cur]) - plogp(module_enter[m]))
+                - (plogp(max(exit_old, 0.0)) + plogp(max(exit_new, 0.0))
+                   - plogp(module_exit[cur]) - plogp(module_exit[m]))
+                + (plogp(max(exit_old + flow_old, 0.0))
+                   + plogp(max(exit_new + flow_new, 0.0))
+                   - plogp(module_exit[cur] + module_flow[cur])
+                   - plogp(module_exit[m] + module_flow[m]))
+            )
+            if dl < best_dl - 1e-12:
+                best_dl, best_m = dl, m
+                best_state = (
+                    exit_old, enter_old, flow_old,
+                    exit_new, enter_new, flow_new, s_new,
+                )
+        if best_m != cur and best_state is not None:
+            (
+                exit_old, enter_old, flow_old,
+                exit_new, enter_new, flow_new, s_new,
+            ) = best_state
+            # rank-local stats refresh (remote contributions stay stale)
+            module_exit[cur] = max(exit_old, 0.0)
+            module_enter[cur] = max(enter_old, 0.0)
+            module_flow[cur] = max(flow_old, 0.0)
+            module_exit[best_m] = exit_new
+            module_enter[best_m] = enter_new
+            module_flow[best_m] = flow_new
+            sum_enter = max(s_new, 0.0)
+            local_module[v] = best_m
+            updates.append((v, int(best_m)))
+    return updates
+
+
+def _global_state(
+    net: FlowNetwork, module: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, float, float]:
+    n = net.num_vertices
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(net.indptr))
+    cross = module[src] != module[net.indices]
+    exit_ = np.bincount(module[src[cross]], weights=net.arc_flow[cross], minlength=n)
+    enter = np.bincount(
+        module[net.indices[cross]], weights=net.arc_flow[cross], minlength=n
+    )
+    flow = np.bincount(module, weights=net.node_flow, minlength=n)
+    length = MapEquation.codelength(enter, exit_, flow, net.node_flow)
+    return enter, exit_, flow, float(enter.sum()), length
+
+
+def run_infomap_distributed(
+    graph: CSRGraph,
+    num_ranks: int = 4,
+    tau: float = 0.15,
+    max_levels: int = 20,
+    max_supersteps_per_level: int = 12,
+    compute_rate_ops_per_s: float = 5e7,
+    network: NetworkModel | None = None,
+) -> DistributedResult:
+    """Simulate BSP distributed Infomap over ``num_ranks`` ranks.
+
+    Per superstep: every rank sweeps its own vertices against the
+    superstep-start snapshot of remote memberships, then broadcasts its
+    membership updates (one message per peer rank); module statistics are
+    reconsolidated globally (allreduce folded into the same exchange).
+    A superstep that makes the global codelength worse (conflicting
+    concurrent moves) is rolled back with a halved acceptance, mirroring
+    the damping used by distributed implementations.
+    """
+    check_positive("num_ranks", num_ranks)
+    network = network or NetworkModel()
+    net = FlowNetwork.from_graph(graph, tau=tau)
+
+    n0 = graph.num_vertices
+    mapping = np.arange(n0, dtype=np.int64)
+    rng = np.random.default_rng(0)
+    supersteps: list[SuperstepRecord] = []
+    levels = 0
+    step_no = 0
+    length = MapEquation.one_level_codelength(net.node_flow)
+    node_flow_log0 = -length
+    flat_length = length
+
+    for level in range(max_levels):
+        levels = level + 1
+        n = net.num_vertices
+        module = np.arange(n, dtype=np.int64)
+        blocks = _rank_blocks(n, np.diff(net.indptr), num_ranks)
+        node_flow_log_level = float(plogp_array(net.node_flow).sum())
+        enter, exit_, flow, sum_enter, length = _global_state(net, module)
+        flat_length = length + node_flow_log_level - node_flow_log0
+
+        for _step in range(max_supersteps_per_level):
+            ghost = module.copy()
+            local = module.copy()
+            all_updates: list[tuple[int, int]] = []
+            per_rank_updates: list[int] = []
+            for block in blocks:
+                # each rank works on its own copy of the module statistics
+                ups = _local_pass(
+                    net, block, ghost, local,
+                    enter.copy(), exit_.copy(), flow.copy(), sum_enter,
+                )
+                all_updates.extend(ups)
+                per_rank_updates.append(len(ups))
+            if not all_updates:
+                break
+
+            # conflict resolution: accept, verify, back off if worse
+            accepted = np.ones(len(all_updates), dtype=bool)
+            applied = False
+            for _backoff in range(6):
+                trial = module.copy()
+                for (v, m), a in zip(all_updates, accepted):
+                    if a:
+                        trial[v] = m
+                e2, x2, f2, s2, l2 = _global_state(net, trial)
+                if l2 < length - 1e-12:
+                    module, enter, exit_, flow, sum_enter, length = (
+                        trial, e2, x2, f2, s2, l2
+                    )
+                    flat_length = length + node_flow_log_level - node_flow_log0
+                    applied = True
+                    break
+                accepted &= rng.random(len(all_updates)) < 0.5
+                if not accepted.any():
+                    break
+
+            # communication accounting: each rank broadcasts its updates
+            # to the other ranks (module stats consolidation piggybacks)
+            msgs = 0
+            max_rank_comm = 0.0
+            for upd_count in per_rank_updates:
+                if num_ranks == 1:
+                    break
+                payload = upd_count * network.record_bytes
+                rank_comm = sum(
+                    network.transfer_seconds(payload)
+                    for _ in range(num_ranks - 1)
+                )
+                msgs += (num_ranks - 1) if upd_count else 0
+                max_rank_comm = max(max_rank_comm, rank_comm)
+            ops = sum(
+                int(net.indptr[b[-1] + 1] - net.indptr[b[0]]) if len(b) else 0
+                for b in blocks
+            )
+            compute_s = (ops / max(num_ranks, 1)) / compute_rate_ops_per_s
+            step_no += 1
+            supersteps.append(
+                SuperstepRecord(
+                    superstep=step_no,
+                    level=level,
+                    moves=int(sum(accepted)) if applied else 0,
+                    codelength=flat_length,
+                    messages=msgs,
+                    bytes_sent=sum(per_rank_updates) * network.record_bytes
+                    * max(0, num_ranks - 1),
+                    compute_seconds=compute_s,
+                    comm_seconds=max_rank_comm,
+                )
+            )
+            if not applied:
+                break
+
+        uniq, dense = np.unique(module, return_inverse=True)
+        k = len(uniq)
+        if k == n:
+            break
+        mapping = dense.astype(np.int64)[mapping]
+        net = convert_to_supernodes(net, dense.astype(np.int64), k)
+
+    uniq, final = np.unique(mapping, return_inverse=True)
+    return DistributedResult(
+        modules=final.astype(np.int64),
+        num_modules=len(uniq),
+        codelength=flat_length,
+        levels=levels,
+        num_ranks=num_ranks,
+        supersteps=supersteps,
+    )

@@ -1,0 +1,202 @@
+"""The FindBestCommunity kernel (Algorithms 1 and 2 of the paper).
+
+One pass greedily sweeps every vertex (or supernode): accumulate the flow
+to/from each neighbouring module through the pluggable
+:class:`~repro.accum.base.Accumulator` backend, evaluate the map-equation
+delta per candidate module, and apply the best improving move.
+
+The backend is the *only* difference between the paper's Baseline
+(`SoftwareHashAccumulator`, Algorithm 1) and ASA (`ASAAccumulator`,
+Algorithm 2) configurations — kernel control flow, candidate evaluation,
+and move application are shared, so measured differences are attributable
+to hash accumulation alone, as in the paper.
+
+Hardware accounting (fast mode bulk / detailed mode per event) charges:
+
+* hash accumulation, gather, and overflow merging — inside the backend,
+  to ``stats.findbest_hash`` / ``stats.findbest_overflow``;
+* link iteration, ``node.modId`` gathers, and ``calc`` evaluations — here,
+  to ``stats.findbest_other``;
+* move application — to ``stats.update_members`` (the UpdateMembers
+  kernel).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accum.base import Accumulator
+from repro.core.partition import Partition
+from repro.sim.branch import BranchSite
+from repro.sim.context import HardwareContext
+from repro.sim.counters import KernelStats
+
+__all__ = ["find_best_pass"]
+
+#: moves must improve the codelength by at least this much (matches the
+#: reference implementation's minimum-improvement guard)
+MIN_IMPROVEMENT = 1e-12
+
+
+def find_best_pass(
+    partition: Partition,
+    accumulator: Accumulator,
+    ctx: HardwareContext,
+    stats: KernelStats,
+    order: np.ndarray | None = None,
+) -> tuple[int, list[int]]:
+    """Run one greedy sweep; returns ``(num_moves, moved_vertices)``.
+
+    Parameters
+    ----------
+    partition:
+        Current module state (mutated in place).
+    accumulator:
+        Backend used for the per-vertex flow accumulation.  For directed
+        networks it is reused sequentially for the out- and in-flow maps,
+        mirroring Algorithm 2's single per-core CAM.
+    order:
+        Vertex visit order (defaults to natural order — deterministic).
+        Passing the previous pass's active set implements HyPC-Map's
+        worklist optimization (only vertices whose neighbourhood changed
+        are revisited), which is what makes successive iterations of
+        Tables III/IV progressively cheaper.
+    """
+    net = partition.net
+    n = net.num_vertices
+    if order is None:
+        order = np.arange(n, dtype=np.int64)
+
+    kc = ctx.machine.kernel
+    module = partition.module
+    detailed = ctx.detailed
+    layout = ctx.layout
+    moves = 0
+    moved: list[int] = []
+
+    for v in order.tolist():
+        cur = int(module[v])
+
+        # ---- outgoing flow accumulation (Alg 1 ln 4-13 / Alg 2 ln 5-12)
+        out_idx, out_flow = net.out_arcs(v)
+        deg_out = len(out_idx)
+        neigh_mods = module[out_idx]
+        ctx.use(stats.findbest_hash)
+        accumulator.begin(deg_out)
+        acc_accumulate = accumulator.accumulate
+        for t, m, f in zip(out_idx.tolist(), neigh_mods.tolist(), out_flow.tolist()):
+            if t == v:
+                continue
+            acc_accumulate(m, f)
+        pairs_out = accumulator.items()
+        accumulator.finish()
+
+        if net.directed:
+            # ---- incoming flow accumulation (Alg 1 ln 14 / Alg 2 ln 13)
+            in_idx, in_flow = net.in_arcs(v)
+            deg_in = len(in_idx)
+            in_mods = module[in_idx]
+            ctx.use(stats.findbest_hash)
+            accumulator.begin(deg_in)
+            acc_accumulate = accumulator.accumulate
+            for t, m, f in zip(in_idx.tolist(), in_mods.tolist(), in_flow.tolist()):
+                if t == v:
+                    continue
+                acc_accumulate(m, f)
+            pairs_in_list = accumulator.items()
+            accumulator.finish()
+            in_from = dict(pairs_in_list)
+            deg_total = deg_out + deg_in
+        else:
+            in_from = None
+            deg_total = deg_out
+
+        out_to = dict(pairs_out)
+
+        # ---- candidate evaluation (Alg 1 ln 15-25 / Alg 2 ln 14)
+        if in_from is None:
+            candidates = out_to
+            in_map = out_to
+        else:
+            candidates = out_to if len(out_to) >= len(in_from) else in_from
+            if out_to.keys() != in_from.keys():
+                candidates = set(out_to) | set(in_from)
+            in_map = in_from
+
+        o_old = out_to.get(cur, 0.0)
+        i_old = in_map.get(cur, 0.0)
+        best_dl = 0.0
+        best_m = cur
+        n_cand = 0
+        n_improved = 0
+        delta_move = partition.delta_move
+        for m in candidates:
+            if m == cur:
+                continue
+            n_cand += 1
+            dl = delta_move(
+                v, m, o_old, i_old, out_to.get(m, 0.0), in_map.get(m, 0.0)
+            )
+            if dl < best_dl - MIN_IMPROVEMENT:
+                best_dl = dl
+                best_m = m
+                n_improved += 1
+
+        # ---- kernel (non-hash) hardware accounting, bulk per vertex ----
+        ctx.use(stats.findbest_other)
+        ctx.instr(
+            int_alu=deg_total * kc.findbest_link_int_alu
+            + kc.findbest_vertex_int_alu
+            + n_cand * kc.calc_int_alu,
+            float_alu=n_cand * kc.calc_float_alu,
+            load=deg_total * kc.findbest_link_load
+            + kc.findbest_vertex_load
+            + n_cand * kc.calc_load,
+            store=kc.findbest_vertex_store,
+            branch=deg_total + n_cand * (1 + kc.calc_branch) + 1,
+        )
+        # data-dependent branches inside calc() (both backends execute these)
+        ctx.branch_agg(
+            BranchSite.CALC_INNER,
+            n_cand * kc.calc_branch,
+            n_cand * kc.calc_branch * kc.calc_branch_taken,
+        )
+        if detailed:
+            # node.modId random gathers through the real cache hierarchy
+            for t in out_idx.tolist():
+                ctx.mem_event(layout.node_addr(t))
+            # loop back-edges are near-perfectly predicted; use the
+            # aggregate path even in detailed mode
+            ctx.branch_agg(BranchSite.LOOP_BACK, deg_total + 1, deg_total)
+            # improvement branch through the real predictor
+            for i in range(n_cand):
+                ctx.branch_event(BranchSite.CALC_IMPROVE, i < n_improved)
+        else:
+            ctx.branch_agg(BranchSite.LOOP_BACK, deg_total + 1, deg_total)
+            ctx.branch_agg(BranchSite.CALC_IMPROVE, n_cand, n_improved)
+            # modId gathers are random accesses over the node record array;
+            # adjacency reads stream
+            ctx.mem_agg(deg_total, footprint_bytes=n * layout.node_bytes)
+            ctx.mem_agg(deg_total * 2, footprint_bytes=0, streaming=True)
+
+        # ---- apply the best move (UpdateMembers kernel) ------------------
+        if best_m != cur and best_dl < -MIN_IMPROVEMENT:
+            partition.apply_move(
+                v,
+                best_m,
+                o_old,
+                i_old,
+                out_to.get(best_m, 0.0),
+                in_map.get(best_m, 0.0),
+            )
+            moves += 1
+            moved.append(v)
+            ctx.use(stats.update_members)
+            ctx.instr(int_alu=kc.update_int_alu, load=kc.update_load,
+                      store=kc.update_store)
+            if detailed:
+                ctx.mem_event(layout.node_addr(v))
+            else:
+                ctx.mem_agg(1, footprint_bytes=n * layout.node_bytes)
+
+    return moves, moved

@@ -1,0 +1,182 @@
+"""PageRank kernel and flow networks.
+
+The map equation is defined over *flows*: the ergodic visit rate of each
+vertex and the stationary flow along each arc.  This module computes both:
+
+* undirected graphs — the stationary distribution is proportional to
+  vertex strength, so flows are exact (no iteration needed):
+  ``flow(u->v) = w_uv / W`` with ``W`` the total arc weight;
+* directed graphs — PageRank by power iteration with teleportation
+  probability ``tau`` (the paper's Section II-C "ergodic vertex visit
+  probability … taking teleportation into account"), then *unrecorded*
+  teleportation link flows ``flow(u->v) = p_u (1-tau) w_uv / s_u`` (the
+  Infomap default: teleportation steps are used to make the chain ergodic
+  but are not encoded).
+
+:class:`FlowNetwork` is also the representation the multilevel scheme
+coarsens: at supernode levels, arc weights *are* flows and node flows are
+module flows, so the same FindBestCommunity kernel runs unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.util.validation import check_probability
+
+__all__ = ["pagerank", "FlowNetwork"]
+
+
+def pagerank(
+    graph: CSRGraph,
+    tau: float = 0.15,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+) -> tuple[np.ndarray, int]:
+    """Power-iteration PageRank with uniform teleportation.
+
+    Returns ``(p, iterations)`` with ``p`` summing to 1.  Dangling-vertex
+    mass is redistributed uniformly each step (standard correction).
+    """
+    check_probability("tau", tau)
+    n = graph.num_vertices
+    if n == 0:
+        return np.zeros(0), 0
+    s = graph.out_strength()
+    dangling = s <= 0
+    inv_s = np.zeros(n)
+    inv_s[~dangling] = 1.0 / s[~dangling]
+
+    src, dst, w = graph.edge_array()
+    p = np.full(n, 1.0 / n)
+    it = 0
+    for it in range(1, max_iter + 1):
+        contrib = p * inv_s
+        spread = np.bincount(dst, weights=w * contrib[src], minlength=n)
+        dangling_mass = float(p[dangling].sum())
+        p_new = (1.0 - tau) * (spread + dangling_mass / n) + tau / n
+        if float(np.abs(p_new - p).sum()) < tol:
+            p = p_new
+            break
+        p = p_new
+    return p / p.sum(), it
+
+
+@dataclass
+class FlowNetwork:
+    """A graph annotated with stationary flows.
+
+    Attributes
+    ----------
+    indptr, indices, arc_flow:
+        Out-adjacency CSR whose values are arc flows (probability mass per
+        step along each arc).
+    t_indptr, t_indices, t_arc_flow:
+        In-adjacency (transpose).  For undirected networks these alias the
+        forward arrays.
+    node_flow:
+        Ergodic visit rate per vertex.
+    node_out, node_in:
+        Total out / in arc flow per vertex *excluding self-loops* — the
+        vertex's contribution to its module's exit / enter flow.
+    directed:
+        Whether in-links must be accumulated separately in
+        FindBestCommunity (Algorithm 1 lines 14).
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    arc_flow: np.ndarray
+    t_indptr: np.ndarray
+    t_indices: np.ndarray
+    t_arc_flow: np.ndarray
+    node_flow: np.ndarray
+    directed: bool
+    node_out: np.ndarray = field(default=None)  # type: ignore[assignment]
+    node_in: np.ndarray = field(default=None)  # type: ignore[assignment]
+    pagerank_iterations: int = 0
+
+    def __post_init__(self) -> None:
+        if self.node_out is None:
+            self.node_out = self._strength_excl_loops(
+                self.indptr, self.indices, self.arc_flow
+            )
+        if self.node_in is None:
+            if self.directed:
+                self.node_in = self._strength_excl_loops(
+                    self.t_indptr, self.t_indices, self.t_arc_flow
+                )
+            else:
+                self.node_in = self.node_out
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def num_arcs(self) -> int:
+        return len(self.indices)
+
+    @staticmethod
+    def _strength_excl_loops(
+        indptr: np.ndarray, indices: np.ndarray, flow: np.ndarray
+    ) -> np.ndarray:
+        n = len(indptr) - 1
+        rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+        mask = rows != indices
+        return np.bincount(rows[mask], weights=flow[mask], minlength=n)
+
+    def out_arcs(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        lo, hi = self.indptr[v], self.indptr[v + 1]
+        return self.indices[lo:hi], self.arc_flow[lo:hi]
+
+    def in_arcs(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        lo, hi = self.t_indptr[v], self.t_indptr[v + 1]
+        return self.t_indices[lo:hi], self.t_arc_flow[lo:hi]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(
+        cls, graph: CSRGraph, tau: float = 0.15, tol: float = 1e-12
+    ) -> "FlowNetwork":
+        """Build the level-0 flow network (the PageRank kernel)."""
+        n = graph.num_vertices
+        if graph.directed:
+            p, iters = pagerank(graph, tau=tau, tol=tol)
+            s = graph.out_strength()
+            src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr))
+            with np.errstate(divide="ignore", invalid="ignore"):
+                per_weight = np.where(s > 0, (1.0 - tau) * p / np.maximum(s, 1e-300), 0.0)
+            arc_flow = graph.weights * per_weight[src]
+            t_order = np.argsort(graph.indices, kind="stable")
+            t_arc_flow = arc_flow[t_order]
+            return cls(
+                indptr=graph.indptr,
+                indices=graph.indices,
+                arc_flow=arc_flow,
+                t_indptr=graph.t_indptr,
+                t_indices=graph.t_indices,
+                t_arc_flow=t_arc_flow,
+                node_flow=p,
+                directed=True,
+                pagerank_iterations=iters,
+            )
+        total = graph.total_weight
+        if total <= 0:
+            raise ValueError("graph has no arcs; flows undefined")
+        arc_flow = graph.weights / total
+        node_flow = graph.out_strength() / total
+        return cls(
+            indptr=graph.indptr,
+            indices=graph.indices,
+            arc_flow=arc_flow,
+            t_indptr=graph.indptr,
+            t_indices=graph.indices,
+            t_arc_flow=arc_flow,
+            node_flow=node_flow,
+            directed=False,
+            pagerank_iterations=0,
+        )

@@ -1,0 +1,288 @@
+"""Sequential instrumented Infomap engine.
+
+Runs the full multilevel schedule on one simulated core:
+
+1. **PageRank** — build the level-0 flow network;
+2. repeat per level:
+   a. **FindBestCommunity** passes until no vertex moves (or the pass cap);
+   b. **UpdateMembers** — fold the level assignment into the per-vertex map;
+   c. **Convert2SuperNode** — coarsen and continue on the supernode graph;
+3. stop when a level produces no merges.
+
+All hardware events land in a :class:`~repro.sim.counters.KernelStats`,
+from which :class:`InfomapResult` derives the per-kernel timing breakdown
+(Fig 2), architectural metrics (Fig 8), and per-iteration runtimes
+(Tables III/IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.accum.factory import make_accumulator
+from repro.core.findbest import find_best_pass
+from repro.core.flow import FlowNetwork
+from repro.core.partition import Partition
+from repro.core.supernode import convert_to_supernodes
+from repro.core.update import update_members
+from repro.graph.csr import CSRGraph
+from repro.sim.branch import BranchSite
+from repro.sim.context import HardwareContext
+from repro.sim.costmodel import CycleBreakdown, CycleModel
+from repro.sim.counters import Counters, KernelStats
+from repro.sim.machine import MachineConfig, asa_machine, baseline_machine
+from repro.util.rng import make_rng
+
+__all__ = ["run_infomap", "InfomapResult", "IterationRecord"]
+
+#: HyPC-Map runs its PageRank kernel by power iteration regardless of
+#: directedness (Section II-C).  For undirected networks our flow model is
+#: exact (no iteration needed functionally), but the kernel's hardware cost
+#: is charged as if the power method ran its typical iteration count, so
+#: the Fig 2a kernel breakdown keeps the right proportions.
+UNDIRECTED_PAGERANK_COST_ITERS = 30
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One FindBestCommunity pass: what Tables III/IV time per iteration."""
+
+    iteration: int
+    level: int
+    pass_in_level: int
+    nodes: int
+    moves: int
+    codelength: float
+    seconds: float
+
+
+@dataclass
+class InfomapResult:
+    """Outcome of one instrumented Infomap run."""
+
+    modules: np.ndarray
+    num_modules: int
+    codelength: float
+    one_level_codelength: float
+    levels: int
+    iterations: list[IterationRecord]
+    stats: KernelStats
+    machine: MachineConfig
+    backend: str
+    #: vertices whose ASA accumulation overflowed the CAM (0 for softhash)
+    overflowed_vertices: int = 0
+    pagerank_iterations: int = 0
+
+    # ------------------------------------------------------------------
+    def cycle_model(self) -> CycleModel:
+        return CycleModel(self.machine)
+
+    def breakdown(self, counters: Counters) -> CycleBreakdown:
+        return self.cycle_model().cycles(counters)
+
+    def kernel_seconds(self) -> dict[str, float]:
+        """Per-kernel simulated seconds (the Fig 2a bars)."""
+        cm = self.cycle_model()
+        return {
+            name: cm.cycles(c).seconds for name, c in self.stats.components().items()
+        }
+
+    @property
+    def total_seconds(self) -> float:
+        return self.breakdown(self.stats.total).seconds
+
+    @property
+    def findbest_seconds(self) -> float:
+        return self.breakdown(self.stats.findbest).seconds
+
+    @property
+    def hash_seconds(self) -> float:
+        """Time in hash operations incl. overflow handling (Table V)."""
+        return self.breakdown(self.stats.findbest_hash_total).seconds
+
+    @property
+    def overflow_seconds(self) -> float:
+        return self.breakdown(self.stats.findbest_overflow).seconds
+
+    @property
+    def effective_codelength_bits(self) -> float:
+        return self.codelength
+
+    def summary(self) -> str:
+        return (
+            f"InfomapResult({self.backend}: {self.num_modules} modules, "
+            f"L={self.codelength:.4f} bits, {self.levels} levels, "
+            f"{len(self.iterations)} passes, {self.total_seconds:.3f} sim-s)"
+        )
+
+
+def run_infomap(
+    graph: CSRGraph,
+    backend: str = "plain",
+    machine: MachineConfig | None = None,
+    ctx: HardwareContext | None = None,
+    tau: float = 0.15,
+    max_levels: int = 20,
+    max_passes_per_level: int = 10,
+    shuffle_seed: int | None = None,
+    worklist: bool = True,
+    accumulator_kwargs: dict | None = None,
+) -> InfomapResult:
+    """Run multilevel Infomap on ``graph`` with the chosen backend.
+
+    Parameters
+    ----------
+    backend:
+        ``"plain"`` (uninstrumented dict), ``"softhash"`` (the paper's
+        Baseline), or ``"asa"``.
+    machine:
+        Machine configuration; defaults to the Table II Baseline machine
+        (ASA-augmented when ``backend == "asa"``).
+    ctx:
+        Externally owned core context (the multicore engine passes one per
+        core); created internally by default.
+    shuffle_seed:
+        When given, vertices are visited in a seeded random order per pass
+        instead of natural order.
+    worklist:
+        HyPC-Map's active-set optimization: after the first pass, only
+        vertices adjacent to a move are revisited.  Successive iterations
+        get progressively cheaper (the decaying per-iteration runtimes of
+        Tables III/IV).  Disable to sweep every vertex every pass.
+    """
+    if machine is None:
+        machine = asa_machine() if backend == "asa" else baseline_machine()
+    if ctx is None:
+        ctx = HardwareContext(machine)
+
+    stats = KernelStats()
+    net = FlowNetwork.from_graph(graph, tau=tau)
+    pagerank_iters = net.pagerank_iterations
+    _charge_pagerank(ctx, stats, net)
+
+    accumulator = make_accumulator(
+        backend,
+        ctx,
+        stats.findbest_hash,
+        stats.findbest_overflow,
+        **(accumulator_kwargs or {}),
+    )
+
+    cm = CycleModel(machine)
+    n0 = graph.num_vertices
+    mapping = np.arange(n0, dtype=np.int64)
+    rng = make_rng(shuffle_seed) if shuffle_seed is not None else None
+
+    iterations: list[IterationRecord] = []
+    levels = 0
+    iteration_no = 0
+    from repro.core.mapequation import MapEquation
+
+    partition = Partition(net)
+    one_level = MapEquation.one_level_codelength(net.node_flow)
+    # Σ plogp(p_α) over original vertices: converts supernode-level
+    # codelengths back to true flat-partition codelengths
+    node_flow_log0 = -one_level
+
+    for level in range(max_levels):
+        levels = level + 1
+        partition = Partition(net)
+        active: np.ndarray | None = None  # None = all vertices (first pass)
+        for pass_idx in range(max_passes_per_level):
+            order = active
+            if order is None and rng is not None:
+                order = rng.permutation(net.num_vertices).astype(np.int64)
+            elif order is not None and rng is not None:
+                order = rng.permutation(order)
+            before = cm.cycles(stats.findbest).seconds
+            moves, moved = find_best_pass(partition, accumulator, ctx, stats, order)
+            after = cm.cycles(stats.findbest).seconds
+            iteration_no += 1
+            iterations.append(
+                IterationRecord(
+                    iteration=iteration_no,
+                    level=level,
+                    pass_in_level=pass_idx,
+                    nodes=net.num_vertices if order is None else len(order),
+                    moves=moves,
+                    codelength=partition.flat_codelength(node_flow_log0),
+                    seconds=after - before,
+                )
+            )
+            if moves == 0:
+                break
+            if worklist:
+                active = _active_set(net, moved)
+            else:
+                active = None
+
+        dense, k = partition.dense_assignment()
+        if k == net.num_vertices:
+            break  # nothing merged: converged
+        mapping = update_members(mapping, dense, ctx, stats)
+        net = convert_to_supernodes(net, dense, k, ctx, stats)
+
+    final_modules, num_modules = _densify(mapping, partition)
+    overflowed = getattr(accumulator, "overflowed_vertices", 0)
+
+    return InfomapResult(
+        modules=final_modules,
+        num_modules=num_modules,
+        codelength=partition.flat_codelength(node_flow_log0),
+        one_level_codelength=one_level,
+        levels=levels,
+        iterations=iterations,
+        stats=stats,
+        machine=machine,
+        backend=backend,
+        overflowed_vertices=overflowed,
+        pagerank_iterations=pagerank_iters,
+    )
+
+
+def _active_set(net: FlowNetwork, moved: list[int]) -> np.ndarray:
+    """Vertices to revisit next pass: movers plus their neighbourhoods."""
+    if not moved:
+        return np.empty(0, dtype=np.int64)
+    moved_arr = np.asarray(moved, dtype=np.int64)
+    parts = [moved_arr]
+    for v in moved:
+        lo, hi = net.indptr[v], net.indptr[v + 1]
+        parts.append(net.indices[lo:hi])
+        if net.directed:
+            tlo, thi = net.t_indptr[v], net.t_indptr[v + 1]
+            parts.append(net.t_indices[tlo:thi])
+    return np.unique(np.concatenate(parts))
+
+
+def _densify(
+    mapping: np.ndarray, partition: Partition
+) -> tuple[np.ndarray, int]:
+    """Compose the final level's assignment and densify labels."""
+    level_dense, _k = partition.dense_assignment()
+    final = level_dense[mapping]
+    uniq, dense = np.unique(final, return_inverse=True)
+    return dense.astype(np.int64), len(uniq)
+
+
+def _charge_pagerank(
+    ctx: HardwareContext, stats: KernelStats, net: FlowNetwork
+) -> None:
+    """Bulk hardware accounting for the PageRank kernel."""
+    kc = ctx.machine.kernel
+    iters = net.pagerank_iterations or UNDIRECTED_PAGERANK_COST_ITERS
+    arcs = net.num_arcs
+    n = net.num_vertices
+    ctx.use(stats.pagerank)
+    ctx.instr(
+        int_alu=iters * (arcs * kc.pagerank_int_alu + n),
+        float_alu=iters * (arcs * kc.pagerank_float_alu + n * 2),
+        load=iters * arcs * kc.pagerank_load,
+        store=iters * n * kc.pagerank_store_per_vertex,
+        branch=iters * arcs,
+    )
+    ctx.branch_agg(BranchSite.LOOP_BACK, iters * arcs, iters * arcs - 1)
+    ctx.mem_agg(iters * arcs * kc.pagerank_load, footprint_bytes=0, streaming=True)
+    ctx.mem_agg(iters * n, footprint_bytes=n * 8)

@@ -1,0 +1,292 @@
+"""Simulated multicore (HyPC-Map-style) Infomap engine.
+
+HyPC-Map partitions vertices across OpenMP threads; each thread greedily
+moves its own vertices while reading the shared (relaxed-consistency)
+module assignment, with a barrier per pass.  This engine reproduces that
+execution model on ``P`` simulated cores:
+
+* vertices are partitioned into ``P`` contiguous blocks balanced by arc
+  count (HyPC-Map's static edge-balanced distribution);
+* within a pass, cores process their blocks in interleaved chunks so the
+  relaxed sharing of module state matches a concurrent schedule while
+  staying deterministic;
+* each core owns a :class:`~repro.sim.context.HardwareContext` (private
+  L1/L2, shared L3 in detailed mode) and — for the ASA backend — its own
+  CAM ("each thread has its own core-local CAM", Section III-A);
+* the pass's parallel time is the *maximum* over cores of the cycles that
+  core spent, plus a barrier cost; per-core metrics (Figs 9–11) come from
+  the per-core counters.
+
+PageRank, Convert2SuperNode, and UpdateMembers are parallelized in
+HyPC-Map as well; their (bulk-counted) work is split evenly across cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.accum.factory import make_accumulator
+from repro.core.findbest import find_best_pass
+from repro.core.flow import FlowNetwork
+from repro.core.infomap import IterationRecord, _charge_pagerank
+from repro.core.mapequation import MapEquation
+from repro.core.partition import Partition
+from repro.core.supernode import convert_to_supernodes
+from repro.core.update import update_members
+from repro.graph.csr import CSRGraph
+from repro.sim.cache import SetAssociativeCache
+from repro.sim.context import HardwareContext
+from repro.sim.costmodel import CycleModel
+from repro.sim.counters import Counters, KernelStats
+from repro.sim.machine import MachineConfig, asa_machine, baseline_machine
+
+__all__ = ["run_infomap_multicore", "MulticoreResult"]
+
+
+@dataclass
+class MulticoreResult:
+    """Outcome of a simulated ``P``-core run."""
+
+    modules: np.ndarray
+    num_modules: int
+    codelength: float
+    levels: int
+    iterations: list[IterationRecord]
+    per_core_stats: list[KernelStats]
+    machine: MachineConfig
+    backend: str
+    num_cores: int
+    #: simulated parallel seconds per pass (max over cores + barrier)
+    pass_seconds: list[float] = field(default_factory=list)
+    overflowed_vertices: int = 0
+
+    def cycle_model(self) -> CycleModel:
+        return CycleModel(self.machine)
+
+    # ------------------------------------------------------------------
+    def parallel_kernel_seconds(self) -> dict[str, float]:
+        """Per-kernel parallel time: max over cores (the Fig 7 bars)."""
+        cm = self.cycle_model()
+        out: dict[str, float] = {}
+        for name in self.per_core_stats[0].components():
+            out[name] = max(
+                cm.cycles(ks.components()[name]).seconds for ks in self.per_core_stats
+            )
+        return out
+
+    @property
+    def parallel_seconds(self) -> float:
+        cm = self.cycle_model()
+        per_core = [cm.cycles(ks.total).seconds for ks in self.per_core_stats]
+        barrier = self.machine.barrier_cycles / self.machine.freq_hz
+        return max(per_core) + barrier * max(1, len(self.iterations))
+
+    @property
+    def hash_seconds_parallel(self) -> float:
+        """Parallel hash-operation time (max over cores)."""
+        cm = self.cycle_model()
+        return max(
+            cm.cycles(ks.findbest_hash_total).seconds for ks in self.per_core_stats
+        )
+
+    def avg_per_core(self, metric: str, kernel: str = "findbest") -> float:
+        """Average per-core value of a metric over the FindBestCommunity kernel.
+
+        ``metric``: ``"instructions"``, ``"branch_mispredict"``, or
+        ``"cpi"`` — the per-core quantities of Figs 9, 10 and 11.
+        """
+        cm = self.cycle_model()
+        vals = []
+        for ks in self.per_core_stats:
+            c = ks.findbest if kernel == "findbest" else ks.total
+            if metric == "instructions":
+                vals.append(c.instructions)
+            elif metric == "branch_mispredict":
+                vals.append(c.branch_mispredict)
+            elif metric == "cpi":
+                vals.append(cm.cycles(c).cpi)
+            else:
+                raise ValueError(f"unknown metric {metric!r}")
+        return float(np.mean(vals))
+
+
+def _edge_balanced_blocks(
+    net: FlowNetwork, num_cores: int
+) -> list[np.ndarray]:
+    """Split vertices into contiguous blocks with ~equal arc counts."""
+    arcs = np.diff(net.indptr)
+    cum = np.cumsum(arcs)
+    total = cum[-1] if len(cum) else 0
+    bounds = [0]
+    for p in range(1, num_cores):
+        target = total * p / num_cores
+        bounds.append(int(np.searchsorted(cum, target)))
+    bounds.append(net.num_vertices)
+    blocks = []
+    for p in range(num_cores):
+        lo, hi = bounds[p], max(bounds[p], bounds[p + 1])
+        blocks.append(np.arange(lo, hi, dtype=np.int64))
+    return blocks
+
+
+def _distribute(stats_list: list[KernelStats], temp: KernelStats) -> None:
+    """Add an even share of ``temp``'s counters to every core's stats."""
+    p = len(stats_list)
+    for name, c in temp.components().items():
+        share = c.scaled(1.0 / p)
+        for ks in stats_list:
+            ks.components()[name].add(share)
+
+
+def run_infomap_multicore(
+    graph: CSRGraph,
+    num_cores: int = 2,
+    backend: str = "softhash",
+    machine: MachineConfig | None = None,
+    tau: float = 0.15,
+    max_levels: int = 20,
+    max_passes_per_level: int = 10,
+    chunk: int = 64,
+) -> MulticoreResult:
+    """Run Infomap on ``num_cores`` simulated cores.
+
+    ``chunk`` is the interleaving granularity: cores take turns processing
+    ``chunk`` vertices of their block, emulating a concurrent schedule
+    deterministically.
+    """
+    if num_cores < 1:
+        raise ValueError("num_cores must be >= 1")
+    if machine is None:
+        machine = asa_machine() if backend == "asa" else baseline_machine()
+
+    shared_l3 = (
+        SetAssociativeCache(machine.l3) if machine.fidelity == "detailed" else None
+    )
+    ctxs = [
+        HardwareContext(machine, core_id=p, shared_l3=shared_l3)
+        for p in range(num_cores)
+    ]
+    stats_list = [KernelStats() for _ in range(num_cores)]
+
+    net = FlowNetwork.from_graph(graph, tau=tau)
+
+    # parallel PageRank: each core does 1/P of the work
+    temp_ctx = HardwareContext(machine, core_id=num_cores)
+    temp_stats = KernelStats()
+    _charge_pagerank(temp_ctx, temp_stats, net)
+    _distribute(stats_list, temp_stats)
+
+    accumulators = [
+        make_accumulator(
+            backend, ctxs[p], stats_list[p].findbest_hash,
+            stats_list[p].findbest_overflow,
+        )
+        for p in range(num_cores)
+    ]
+
+    cm = CycleModel(machine)
+    n0 = graph.num_vertices
+    mapping = np.arange(n0, dtype=np.int64)
+    node_flow_log0 = -MapEquation.one_level_codelength(net.node_flow)
+    iterations: list[IterationRecord] = []
+    pass_seconds: list[float] = []
+    levels = 0
+    iteration_no = 0
+    partition = Partition(net)
+
+    for level in range(max_levels):
+        levels = level + 1
+        partition = Partition(net)
+        blocks = _edge_balanced_blocks(net, num_cores)
+        active_sets: list[np.ndarray | None] = [None] * num_cores
+        for pass_idx in range(max_passes_per_level):
+            before = [cm.cycles(s.findbest).seconds for s in stats_list]
+            moves = 0
+            all_moved: list[int] = []
+            # interleaved chunks: deterministic emulation of concurrency
+            core_orders = [
+                blocks[p] if active_sets[p] is None else active_sets[p]
+                for p in range(num_cores)
+            ]
+            offsets = [0] * num_cores
+            running = True
+            while running:
+                running = False
+                for p in range(num_cores):
+                    block = core_orders[p]
+                    lo = offsets[p]
+                    if lo >= len(block):
+                        continue
+                    hi = min(lo + chunk, len(block))
+                    offsets[p] = hi
+                    running = True
+                    m, moved = find_best_pass(
+                        partition,
+                        accumulators[p],
+                        ctxs[p],
+                        stats_list[p],
+                        order=block[lo:hi],
+                    )
+                    moves += m
+                    all_moved.extend(moved)
+            after = [cm.cycles(s.findbest).seconds for s in stats_list]
+            core_secs = [a - b for a, b in zip(after, before)]
+            barrier_s = machine.barrier_cycles / machine.freq_hz
+            pass_s = max(core_secs) + barrier_s
+            pass_seconds.append(pass_s)
+            iteration_no += 1
+            iterations.append(
+                IterationRecord(
+                    iteration=iteration_no,
+                    level=level,
+                    pass_in_level=pass_idx,
+                    nodes=net.num_vertices,
+                    moves=moves,
+                    codelength=partition.flat_codelength(node_flow_log0),
+                    seconds=pass_s,
+                )
+            )
+            if moves == 0:
+                break
+            # worklist: each core revisits its block's share of the active set
+            from repro.core.infomap import _active_set
+
+            active = _active_set(net, all_moved)
+            for p in range(num_cores):
+                block = blocks[p]
+                if len(block):
+                    lo, hi = block[0], block[-1]
+                    active_sets[p] = active[(active >= lo) & (active <= hi)]
+                else:
+                    active_sets[p] = np.empty(0, dtype=np.int64)
+
+        dense, k = partition.dense_assignment()
+        if k == net.num_vertices:
+            break
+        temp_stats = KernelStats()
+        mapping = update_members(mapping, dense, temp_ctx, temp_stats)
+        net = convert_to_supernodes(net, dense, k, temp_ctx, temp_stats)
+        _distribute(stats_list, temp_stats)
+
+    level_dense, _ = partition.dense_assignment()
+    final = level_dense[mapping]
+    uniq, final_dense = np.unique(final, return_inverse=True)
+    overflowed = sum(
+        getattr(acc, "overflowed_vertices", 0) for acc in accumulators
+    )
+
+    return MulticoreResult(
+        modules=final_dense.astype(np.int64),
+        num_modules=len(uniq),
+        codelength=partition.flat_codelength(node_flow_log0),
+        levels=levels,
+        iterations=iterations,
+        per_core_stats=stats_list,
+        machine=machine,
+        backend=backend,
+        num_cores=num_cores,
+        pass_seconds=pass_seconds,
+        overflowed_vertices=overflowed,
+    )

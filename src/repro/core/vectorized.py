@@ -1,0 +1,272 @@
+"""Batch-synchronous vectorized Infomap engine (no hardware accounting).
+
+Pure-numpy engine for running Infomap at scales where the instrumented
+per-operation engine would be too slow (quality studies, the LFR sweep,
+examples on 100k+ edge graphs).
+
+Each round evaluates the best move of *every* vertex against the current
+partition simultaneously (vectorized over all (vertex, candidate-module)
+pairs) and applies all improving moves at once — the batch-synchronous
+relaxation that parallel Infomap implementations (GossipMap, HyPC-Map) use
+across workers.  Because simultaneous moves can conflict, the engine
+recomputes the true codelength after applying and backs off (random halving
+of the move set) if the batch made things worse; this guarantees monotone
+codelength improvement and hence termination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.flow import FlowNetwork
+from repro.core.mapequation import MapEquation
+from repro.core.supernode import convert_to_supernodes
+from repro.graph.csr import CSRGraph
+from repro.util.entropy import plogp_array, plogp
+from repro.util.rng import make_rng
+
+__all__ = ["run_infomap_vectorized", "VectorizedResult"]
+
+
+@dataclass
+class VectorizedResult:
+    """Outcome of a vectorized Infomap run."""
+
+    modules: np.ndarray
+    num_modules: int
+    codelength: float
+    one_level_codelength: float
+    levels: int
+    rounds: int
+
+    def summary(self) -> str:
+        return (
+            f"VectorizedResult({self.num_modules} modules, "
+            f"L={self.codelength:.4f} bits, {self.levels} levels, "
+            f"{self.rounds} rounds)"
+        )
+
+
+def _module_state(
+    net: FlowNetwork, module: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Recompute (enter, exit, flow) per module from scratch, vectorized."""
+    n = net.num_vertices
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(net.indptr))
+    dst = net.indices
+    cross = module[src] != module[dst]
+    exit_flow = np.bincount(
+        module[src[cross]], weights=net.arc_flow[cross], minlength=k
+    )
+    enter_flow = np.bincount(
+        module[dst[cross]], weights=net.arc_flow[cross], minlength=k
+    )
+    flow = np.bincount(module, weights=net.node_flow, minlength=k)
+    return enter_flow, exit_flow, flow
+
+
+def _best_moves(
+    net: FlowNetwork,
+    module: np.ndarray,
+    enter: np.ndarray,
+    exit_: np.ndarray,
+    flow: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized best-move search for every vertex.
+
+    Returns ``(vertices, targets, deltas)`` for vertices with an improving
+    candidate.
+    """
+    n = net.num_vertices
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(net.indptr))
+    dst = net.indices
+    nonloop = src != dst
+    src_nl, dst_nl, f_nl = src[nonloop], dst[nonloop], net.arc_flow[nonloop]
+
+    # out-flow aggregation per (vertex, neighbour-module)
+    key = src_nl * np.int64(n) + module[dst_nl]
+    uk, inv = np.unique(key, return_inverse=True)
+    out_to = np.bincount(inv, weights=f_nl)
+    pv = (uk // n).astype(np.int64)
+    pm = (uk % n).astype(np.int64)
+
+    if net.directed:
+        t_src = np.repeat(np.arange(n, dtype=np.int64), np.diff(net.t_indptr))
+        t_dst = net.t_indices
+        t_nonloop = t_src != t_dst
+        ts, td, tf = t_src[t_nonloop], t_dst[t_nonloop], net.t_arc_flow[t_nonloop]
+        t_key = ts * np.int64(n) + module[td]
+        # align in-flow sums onto the union of out keys and in keys
+        all_keys = np.union1d(uk, np.unique(t_key))
+        out_aligned = np.zeros(len(all_keys))
+        out_aligned[np.searchsorted(all_keys, uk)] = out_to
+        tk_u, tk_inv = np.unique(t_key, return_inverse=True)
+        in_sum = np.bincount(tk_inv, weights=tf)
+        in_aligned = np.zeros(len(all_keys))
+        in_aligned[np.searchsorted(all_keys, tk_u)] = in_sum
+        uk = all_keys
+        out_to = out_aligned
+        in_from = in_aligned
+        pv = (uk // n).astype(np.int64)
+        pm = (uk % n).astype(np.int64)
+    else:
+        in_from = out_to
+
+    cur = module[pv]
+    # per-vertex flow to its current module (gathered from the pair list)
+    out_to_cur = np.zeros(n)
+    in_from_cur = np.zeros(n)
+    own = pm == cur
+    out_to_cur[pv[own]] = out_to[own]
+    in_from_cur[pv[own]] = in_from[own]
+
+    cand = ~own
+    if not np.any(cand):
+        return (np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0))
+    cv, cm = pv[cand], pm[cand]
+    c_out, c_in = out_to[cand], in_from[cand]
+
+    p_n = net.node_flow[cv]
+    out_n = net.node_out[cv]
+    in_n = net.node_in[cv]
+    old = module[cv]
+
+    exit_old_new = exit_[old] - (out_n - out_to_cur[cv]) + in_from_cur[cv]
+    enter_old_new = enter[old] - (in_n - in_from_cur[cv]) + out_to_cur[cv]
+    exit_new_new = exit_[cm] + (out_n - c_out) - c_in
+    enter_new_new = enter[cm] + (in_n - c_in) - c_out
+    flow_old_new = flow[old] - p_n
+    flow_new_new = flow[cm] + p_n
+
+    np.clip(exit_old_new, 0.0, None, out=exit_old_new)
+    np.clip(enter_old_new, 0.0, None, out=enter_old_new)
+    np.clip(flow_old_new, 0.0, None, out=flow_old_new)
+
+    sum_enter = float(enter.sum())
+    sum_enter_new = sum_enter + enter_old_new + enter_new_new - enter[old] - enter[cm]
+    np.clip(sum_enter_new, 0.0, None, out=sum_enter_new)
+
+    dl = (
+        plogp_array(sum_enter_new)
+        - plogp(sum_enter)
+        - (
+            plogp_array(enter_old_new)
+            + plogp_array(enter_new_new)
+            - plogp_array(enter[old])
+            - plogp_array(enter[cm])
+        )
+        - (
+            plogp_array(exit_old_new)
+            + plogp_array(exit_new_new)
+            - plogp_array(exit_[old])
+            - plogp_array(exit_[cm])
+        )
+        + (
+            plogp_array(exit_old_new + flow_old_new)
+            + plogp_array(exit_new_new + flow_new_new)
+            - plogp_array(exit_[old] + flow[old])
+            - plogp_array(exit_[cm] + flow[cm])
+        )
+    )
+
+    # segmented argmin per vertex
+    order = np.lexsort((dl, cv))
+    cv_sorted = cv[order]
+    first = np.ones(len(cv_sorted), dtype=bool)
+    first[1:] = cv_sorted[1:] != cv_sorted[:-1]
+    idx = order[first]
+    verts, targets, deltas = cv[idx], cm[idx], dl[idx]
+    improving = deltas < -1e-12
+    return verts[improving], targets[improving], deltas[improving]
+
+
+def _one_level(
+    net: FlowNetwork,
+    max_rounds: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, int, float, int]:
+    """Batch-synchronous local-move rounds at one level.
+
+    Returns ``(module, num_modules, codelength, rounds)``.
+    """
+    n = net.num_vertices
+    module = np.arange(n, dtype=np.int64)
+    enter, exit_, flow = _module_state(net, module, n)
+    length = MapEquation.codelength(enter, exit_, flow, net.node_flow)
+
+    rounds = 0
+    for _ in range(max_rounds):
+        rounds += 1
+        verts, targets, _deltas = _best_moves(net, module, enter, exit_, flow)
+        if len(verts) == 0:
+            break
+        accepted = np.ones(len(verts), dtype=bool)
+        improved = False
+        for _backoff in range(6):
+            trial = module.copy()
+            trial[verts[accepted]] = targets[accepted]
+            e2, x2, f2 = _module_state(net, trial, n)
+            l2 = MapEquation.codelength(e2, x2, f2, net.node_flow)
+            if l2 < length - 1e-12:
+                module, enter, exit_, flow, length = trial, e2, x2, f2, l2
+                improved = True
+                break
+            # conflicting simultaneous moves: keep a random half and retry
+            keep = rng.random(len(verts)) < 0.5
+            accepted &= keep
+            if not np.any(accepted):
+                break
+        if not improved:
+            break
+    uniq, dense = np.unique(module, return_inverse=True)
+    return dense.astype(np.int64), len(uniq), length, rounds
+
+
+def run_infomap_vectorized(
+    graph: CSRGraph,
+    tau: float = 0.15,
+    max_levels: int = 20,
+    max_rounds_per_level: int = 30,
+    seed: int = 0,
+) -> VectorizedResult:
+    """Run the batch-synchronous multilevel Infomap.
+
+    Functionally equivalent objective to :func:`repro.core.infomap.run_infomap`
+    (both minimize the same map equation); move schedules differ, so the
+    found partitions can differ slightly — tests check codelengths agree
+    within a few percent on structured graphs.
+    """
+    rng = make_rng(seed)
+    net = FlowNetwork.from_graph(graph, tau=tau)
+    one_level = MapEquation.one_level_codelength(net.node_flow)
+    # level-0 node-visit term: converts supernode-level codelengths to
+    # true flat-partition codelengths
+    node_flow_log0 = -one_level
+    n0 = graph.num_vertices
+    mapping = np.arange(n0, dtype=np.int64)
+
+    total_rounds = 0
+    levels = 0
+    length = one_level
+    for level in range(max_levels):
+        levels = level + 1
+        node_flow_log_level = float(plogp_array(net.node_flow).sum())
+        dense, k, level_length, rounds = _one_level(net, max_rounds_per_level, rng)
+        length = level_length + node_flow_log_level - node_flow_log0
+        total_rounds += rounds
+        if k == net.num_vertices:
+            break
+        mapping = dense[mapping]
+        net = convert_to_supernodes(net, dense, k)
+
+    uniq, final = np.unique(mapping, return_inverse=True)
+    return VectorizedResult(
+        modules=final.astype(np.int64),
+        num_modules=len(uniq),
+        codelength=length,
+        one_level_codelength=one_level,
+        levels=levels,
+        rounds=total_rounds,
+    )

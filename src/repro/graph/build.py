@@ -1,0 +1,131 @@
+"""Constructors that turn edge lists into :class:`~repro.graph.csr.CSRGraph`.
+
+Duplicate edges are merged by summing weights (the same convention
+Convert2SuperNode uses for super-edges).  For undirected input each edge
+{u, v} is materialized as the two arcs u->v and v->u.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["from_edges", "from_edge_array", "coalesce_arcs"]
+
+
+def from_edges(
+    edges: Iterable[tuple[int, int] | tuple[int, int, float]],
+    num_vertices: int | None = None,
+    directed: bool = False,
+    name: str = "graph",
+) -> CSRGraph:
+    """Build a graph from an iterable of ``(u, v)`` or ``(u, v, w)`` tuples.
+
+    Parameters
+    ----------
+    edges:
+        Edge tuples.  Missing weights default to 1.0.
+    num_vertices:
+        Vertex-count override; defaults to ``max id + 1``.
+    directed:
+        Whether edges are directed arcs.
+    """
+    src_l: list[int] = []
+    dst_l: list[int] = []
+    w_l: list[float] = []
+    for e in edges:
+        if len(e) == 2:
+            u, v = e  # type: ignore[misc]
+            w = 1.0
+        else:
+            u, v, w = e  # type: ignore[misc]
+        src_l.append(int(u))
+        dst_l.append(int(v))
+        w_l.append(float(w))
+    src = np.asarray(src_l, dtype=np.int64)
+    dst = np.asarray(dst_l, dtype=np.int64)
+    w = np.asarray(w_l, dtype=np.float64)
+    return from_edge_array(src, dst, w, num_vertices, directed, name)
+
+
+def from_edge_array(
+    src: np.ndarray,
+    dst: np.ndarray,
+    weights: np.ndarray | None = None,
+    num_vertices: int | None = None,
+    directed: bool = False,
+    name: str = "graph",
+    input_is_arcs: bool = False,
+) -> CSRGraph:
+    """Build a graph from parallel ``src``/``dst``/``weights`` arrays.
+
+    Parameters
+    ----------
+    input_is_arcs:
+        When True for an undirected graph, the arrays already contain both
+        arc directions (e.g. output of :meth:`CSRGraph.edge_array`) and
+        will not be mirrored again.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    if weights is None:
+        weights = np.ones(len(src), dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if not (len(src) == len(dst) == len(weights)):
+        raise ValueError("src, dst, weights must have equal length")
+    if num_vertices is None:
+        num_vertices = int(max(src.max(initial=-1), dst.max(initial=-1)) + 1)
+    if len(src) and (src.min() < 0 or dst.min() < 0):
+        raise ValueError("vertex ids must be non-negative")
+    if len(src) and max(src.max(), dst.max()) >= num_vertices:
+        raise ValueError("vertex id exceeds num_vertices")
+
+    if not directed and not input_is_arcs:
+        # mirror every non-loop edge so both arc directions are stored
+        loop = src == dst
+        mirrored_src = np.concatenate([src, dst[~loop]])
+        mirrored_dst = np.concatenate([dst, src[~loop]])
+        weights = np.concatenate([weights, weights[~loop]])
+        src, dst = mirrored_src, mirrored_dst
+
+    src, dst, weights = coalesce_arcs(src, dst, weights, num_vertices)
+
+    counts = np.bincount(src, minlength=num_vertices)
+    indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    order = np.argsort(src, kind="stable")
+    return CSRGraph(
+        indptr=indptr,
+        indices=dst[order],
+        weights=weights[order],
+        directed=directed,
+        name=name,
+    )
+
+
+def coalesce_arcs(
+    src: np.ndarray, dst: np.ndarray, weights: np.ndarray, num_vertices: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Merge duplicate arcs by summing their weights.
+
+    Returns arrays sorted by ``(src, dst)``.
+    """
+    if len(src) == 0:
+        return src, dst, weights
+    key = src * np.int64(num_vertices) + dst
+    order = np.argsort(key, kind="stable")
+    key_sorted = key[order]
+    uniq_mask = np.empty(len(key_sorted), dtype=bool)
+    uniq_mask[0] = True
+    np.not_equal(key_sorted[1:], key_sorted[:-1], out=uniq_mask[1:])
+    group_ids = np.cumsum(uniq_mask) - 1
+    merged_w = np.bincount(group_ids, weights=weights[order])
+    uniq_keys = key_sorted[uniq_mask]
+    return (
+        (uniq_keys // num_vertices).astype(np.int64),
+        (uniq_keys % num_vertices).astype(np.int64),
+        merged_w.astype(np.float64),
+    )

@@ -1,0 +1,203 @@
+"""Surrogate datasets mirroring Table I of the paper.
+
+The paper evaluates on six SNAP networks (Amazon, DBLP, YouTube, soc-Pokec,
+LiveJournal, Orkut; 0.33 M–4.0 M vertices, 0.93 M–117 M edges).  Those files
+cannot be downloaded in this environment, so each network gets a
+deterministic synthetic surrogate that preserves the properties the
+evaluation depends on:
+
+* **power-law degree distribution** (Fig 4) with the tail truncated at the
+  structural cut-off, so the CAM-coverage CDF (Fig 5) has the paper's
+  shape: >82 % of vertices fit a 1 KB CAM, >99 % fit 8 KB;
+* **average degree ordering** across networks (Amazon ≈ 5.5 … Orkut ≈ 17 at
+  surrogate scale vs 76 natively) — the knob that drives per-vertex hash
+  accumulation volume and hence the ASA speedup spread of Fig 6;
+* **community structure** (LFR-style mixing) so the multilevel Infomap
+  schedule — several vertex-level passes, then supernode levels — matches
+  the paper's iteration structure (Tables III/IV count those iterations);
+* **relative size ordering** of both vertex and edge counts from Table I.
+
+Surrogates are scaled down ~50×ish per network (recorded in
+``DatasetSpec.scale_note``) because the simulator executes every hash
+operation functionally in Python.  Shapes, ratios and percentages are the
+reproduction targets; absolute seconds are not (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.lfr import LFRParams, lfr_graph
+
+__all__ = [
+    "DatasetSpec",
+    "DATASETS",
+    "load_dataset",
+    "load_directed_dataset",
+    "dataset_names",
+]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Recipe for one surrogate network.
+
+    Attributes
+    ----------
+    name:
+        Dataset key, matching the paper's Table I row.
+    paper_vertices, paper_edges:
+        The original SNAP network's size, for reporting alongside the
+        surrogate's.
+    n:
+        Surrogate vertex count.
+    avg_degree:
+        Surrogate target mean degree.
+    max_degree:
+        Degree cap (controls the CAM-overflow tail).
+    mixing:
+        LFR mixing parameter used to give the surrogate community
+        structure.
+    seed:
+        Generator seed (fixed -> deterministic tables).
+    scale_note:
+        Human-readable record of the down-scaling.
+    """
+
+    name: str
+    paper_vertices: int
+    paper_edges: int
+    n: int
+    avg_degree: float
+    max_degree: int
+    mixing: float = 0.25
+    min_community: int = 0  # 0 -> auto
+    seed: int = 0
+    scale_note: str = ""
+
+    def auto_min_community(self) -> int:
+        if self.min_community:
+            return self.min_community
+        return max(20, int(self.avg_degree * 3))
+
+
+def _spec(
+    name: str,
+    pv: int,
+    pe: int,
+    n: int,
+    avg: float,
+    dmax: int,
+    mixing: float,
+    seed: int,
+) -> DatasetSpec:
+    return DatasetSpec(
+        name=name,
+        paper_vertices=pv,
+        paper_edges=pe,
+        n=n,
+        avg_degree=avg,
+        max_degree=dmax,
+        mixing=mixing,
+        seed=seed,
+        scale_note=f"~{pv // n}x fewer vertices than SNAP {name}",
+    )
+
+
+#: The Table I inventory.  Orderings (by |V| and by |E|) match the paper.
+DATASETS: dict[str, DatasetSpec] = {
+    "amazon": _spec("amazon", 334_863, 925_872, 6_000, 5.5, 180, 0.22, 11),
+    "dblp": _spec("dblp", 317_080, 1_049_866, 5_700, 6.6, 200, 0.22, 12),
+    "youtube": _spec("youtube", 1_134_890, 2_987_624, 12_000, 5.3, 400, 0.28, 13),
+    "soc-pokec": _spec("soc-pokec", 1_632_803, 30_622_564, 13_500, 13.0, 650, 0.30, 14),
+    "livejournal": _spec(
+        "livejournal", 3_997_962, 34_681_189, 16_500, 11.4, 600, 0.28, 15
+    ),
+    "orkut": _spec("orkut", 3_072_441, 117_185_083, 15_000, 17.0, 1500, 0.32, 16),
+}
+
+#: Order in which the paper's tables list the networks.
+TABLE1_ORDER = ["amazon", "dblp", "youtube", "soc-pokec", "livejournal", "orkut"]
+
+
+def dataset_names() -> list[str]:
+    """Table I row order."""
+    return list(TABLE1_ORDER)
+
+
+@lru_cache(maxsize=None)
+def load_dataset(name: str) -> CSRGraph:
+    """Build (and memoize) the surrogate network for ``name``.
+
+    Raises
+    ------
+    KeyError
+        For unknown dataset names; the message lists valid keys.
+    """
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; valid names: {sorted(DATASETS)}"
+        ) from None
+    max_comm = max(spec.max_degree + 2, spec.n // 8)
+    params = LFRParams(
+        n=spec.n,
+        mu=spec.mixing,
+        tau_degree=2.3,
+        tau_size=1.5,
+        avg_degree=spec.avg_degree,
+        max_degree=spec.max_degree,
+        min_community=spec.auto_min_community(),
+        max_community=max_comm,
+        seed=spec.seed,
+    )
+    g, _labels = lfr_graph(params)
+    return CSRGraph(
+        indptr=g.indptr,
+        indices=g.indices,
+        weights=g.weights,
+        directed=False,
+        name=spec.name,
+    )
+
+
+@lru_cache(maxsize=None)
+def load_directed_dataset(
+    name: str, reciprocity: float = 0.4
+) -> CSRGraph:
+    """Directed variant of a surrogate (soc-Pokec is directed in SNAP).
+
+    Algorithm 1 of the paper maintains *two* hash tables per vertex —
+    outgoing and incoming flow — which only matters on directed networks.
+    This builder orients the undirected surrogate the way follow-graphs
+    look: a fraction ``reciprocity`` of edges keep both directions (mutual
+    follows), the rest keep one uniformly random direction.
+    """
+    base = load_dataset(name)
+    src, dst, w = base.edge_array()
+    keep = src < dst  # one record per undirected edge
+    src, dst, w = src[keep], dst[keep], w[keep]
+    rng = np.random.default_rng(DATASETS[name].seed + 1000)
+    mutual = rng.random(len(src)) < reciprocity
+    flip = rng.random(len(src)) < 0.5
+
+    fwd_src = np.where(flip & ~mutual, dst, src)
+    fwd_dst = np.where(flip & ~mutual, src, dst)
+    extra_src = dst[mutual]
+    extra_dst = src[mutual]
+
+    from repro.graph.build import from_edge_array
+
+    return from_edge_array(
+        np.concatenate([fwd_src, extra_src]),
+        np.concatenate([fwd_dst, extra_dst]),
+        np.concatenate([w, w[mutual]]),
+        num_vertices=base.num_vertices,
+        directed=True,
+        name=f"{name}-directed",
+    )

@@ -1,0 +1,273 @@
+"""Synthetic graph generators.
+
+These stand in for the SNAP datasets of Table I.  The phenomena the paper's
+evaluation rests on are all properties of the *degree distribution shape*:
+
+* power-law tails (Fig 4) so that small CAMs cover almost all vertices
+  (Fig 5),
+* average degree driving hash-accumulation volume per vertex (Fig 6
+  ordering of speedups),
+* community structure so that Infomap converges through the same
+  multi-level schedule HyPC-Map reports.
+
+``chung_lu`` reproduces an arbitrary expected-degree sequence, ``rmat`` the
+Kronecker-style skew of web/social graphs, ``planted_partition`` gives
+ground-truth communities for quality metrics, and ``ring_of_cliques`` is the
+classic worked example where community structure is unambiguous.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.build import from_edge_array
+from repro.graph.csr import CSRGraph
+from repro.util.rng import make_rng
+from repro.util.validation import check_positive, check_probability
+
+__all__ = [
+    "powerlaw_degree_sequence",
+    "chung_lu",
+    "rmat",
+    "barabasi_albert",
+    "planted_partition",
+    "ring_of_cliques",
+]
+
+
+def powerlaw_degree_sequence(
+    n: int,
+    alpha: float = 2.5,
+    min_degree: int = 1,
+    max_degree: int | None = None,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Sample ``n`` degrees from a discrete power law ``P(k) ~ k^-alpha``.
+
+    Parameters
+    ----------
+    alpha:
+        Tail exponent; social networks typically have 2 < alpha < 3.
+    min_degree, max_degree:
+        Truncation bounds.  ``max_degree`` defaults to ``sqrt(n) * 10``
+        (the structural cut-off keeps Chung-Lu edge probabilities < 1).
+    """
+    check_positive("n", n)
+    check_positive("alpha", alpha - 1.0)  # need alpha > 1 for a proper tail
+    rng = make_rng(seed)
+    if max_degree is None:
+        max_degree = max(min_degree + 1, int(10 * np.sqrt(n)))
+    ks = np.arange(min_degree, max_degree + 1, dtype=np.float64)
+    pmf = ks ** (-alpha)
+    pmf /= pmf.sum()
+    return rng.choice(
+        np.arange(min_degree, max_degree + 1), size=n, p=pmf
+    ).astype(np.int64)
+
+
+def chung_lu(
+    degrees: np.ndarray,
+    seed: int | np.random.Generator | None = 0,
+    name: str = "chung-lu",
+) -> CSRGraph:
+    """Chung-Lu random graph with the given *expected* degree sequence.
+
+    Uses the efficient "edge skipping" construction: the expected number of
+    edges is ``S/2`` with ``S = sum(degrees)``; endpoints of each edge are
+    sampled proportionally to degree.  This yields a graph whose expected
+    degrees match ``degrees`` up to the usual Chung-Lu approximation and
+    runs in O(E) — suitable for million-edge surrogates.
+    """
+    degrees = np.asarray(degrees, dtype=np.float64)
+    if np.any(degrees < 0):
+        raise ValueError("degrees must be non-negative")
+    rng = make_rng(seed)
+    n = len(degrees)
+    total = degrees.sum()
+    if total <= 0:
+        return from_edge_array(
+            np.empty(0, np.int64), np.empty(0, np.int64),
+            num_vertices=n, name=name,
+        )
+    m = int(round(total / 2.0))
+    p = degrees / total
+    src = rng.choice(n, size=m, p=p).astype(np.int64)
+    dst = rng.choice(n, size=m, p=p).astype(np.int64)
+    keep = src != dst  # drop self-loops
+    return from_edge_array(
+        src[keep], dst[keep], num_vertices=n, directed=False, name=name
+    )
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 16,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int | np.random.Generator | None = 0,
+    name: str = "rmat",
+    directed: bool = False,
+) -> CSRGraph:
+    """R-MAT / Kronecker generator (Graph500 parameters by default).
+
+    Produces ``edge_factor * 2**scale`` edges over ``2**scale`` vertices
+    with the heavy-tailed, community-ish structure of web graphs.  The
+    recursive quadrant choice is vectorized over all edges at once, one
+    level per iteration (``scale`` iterations total).
+    """
+    check_probability("a", a)
+    check_probability("b", b)
+    check_probability("c", c)
+    if a + b + c >= 1.0:
+        raise ValueError("require a + b + c < 1 (d = 1-a-b-c > 0)")
+    rng = make_rng(seed)
+    n = 1 << scale
+    m = edge_factor * n
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    ab = a + b
+    abc = a + b + c
+    for level in range(scale):
+        r = rng.random(m)
+        right = r >= ab  # quadrant c or d -> src bit set? (row major: c/d lower half)
+        bottom = ((r >= a) & (r < ab)) | (r >= abc)  # quadrants b and d -> dst bit
+        src |= right.astype(np.int64) << level
+        dst |= bottom.astype(np.int64) << level
+    keep = src != dst
+    return from_edge_array(
+        src[keep], dst[keep], num_vertices=n, directed=directed, name=name
+    )
+
+
+def barabasi_albert(
+    n: int,
+    m_attach: int = 3,
+    seed: int | np.random.Generator | None = 0,
+    name: str = "barabasi-albert",
+) -> CSRGraph:
+    """Barabási–Albert preferential attachment (power-law exponent 3).
+
+    Vectorized per-step using the repeated-endpoint trick: each new vertex
+    attaches to ``m_attach`` targets drawn uniformly from the list of all
+    previous edge endpoints (which is equivalent to degree-proportional
+    sampling).
+    """
+    check_positive("n", n)
+    check_positive("m_attach", m_attach)
+    if n <= m_attach:
+        raise ValueError("n must exceed m_attach")
+    rng = make_rng(seed)
+    # endpoint pool implements preferential attachment
+    pool: list[int] = []
+    src_l: list[int] = []
+    dst_l: list[int] = []
+    # seed clique over the first m_attach+1 vertices
+    for u in range(m_attach + 1):
+        for v in range(u + 1, m_attach + 1):
+            src_l.append(u)
+            dst_l.append(v)
+            pool.extend((u, v))
+    for u in range(m_attach + 1, n):
+        targets: set[int] = set()
+        while len(targets) < m_attach:
+            targets.add(int(pool[rng.integers(len(pool))]))
+        for v in targets:
+            src_l.append(u)
+            dst_l.append(v)
+            pool.extend((u, v))
+    return from_edge_array(
+        np.asarray(src_l, np.int64),
+        np.asarray(dst_l, np.int64),
+        num_vertices=n,
+        directed=False,
+        name=name,
+    )
+
+
+def planted_partition(
+    num_communities: int,
+    community_size: int,
+    p_in: float,
+    p_out: float,
+    seed: int | np.random.Generator | None = 0,
+    name: str = "planted",
+) -> tuple[CSRGraph, np.ndarray]:
+    """Planted-partition (symmetric SBM) graph with ground-truth labels.
+
+    Returns ``(graph, labels)`` where ``labels[v]`` is the planted
+    community of vertex ``v``.  Sampling is vectorized by drawing binomial
+    edge counts per block pair and then sampling endpoints uniformly.
+    """
+    check_positive("num_communities", num_communities)
+    check_positive("community_size", community_size)
+    check_probability("p_in", p_in)
+    check_probability("p_out", p_out)
+    rng = make_rng(seed)
+    k, s = num_communities, community_size
+    n = k * s
+    labels = np.repeat(np.arange(k, dtype=np.int64), s)
+    srcs: list[np.ndarray] = []
+    dsts: list[np.ndarray] = []
+    for i in range(k):
+        # intra-community edges
+        pairs = s * (s - 1) // 2
+        cnt = rng.binomial(pairs, p_in)
+        if cnt:
+            u = rng.integers(0, s, size=cnt) + i * s
+            v = rng.integers(0, s, size=cnt) + i * s
+            keep = u != v
+            srcs.append(u[keep])
+            dsts.append(v[keep])
+        for j in range(i + 1, k):
+            cnt = rng.binomial(s * s, p_out)
+            if cnt:
+                u = rng.integers(0, s, size=cnt) + i * s
+                v = rng.integers(0, s, size=cnt) + j * s
+                srcs.append(u)
+                dsts.append(v)
+    if srcs:
+        src = np.concatenate(srcs)
+        dst = np.concatenate(dsts)
+    else:
+        src = np.empty(0, np.int64)
+        dst = np.empty(0, np.int64)
+    g = from_edge_array(src, dst, num_vertices=n, directed=False, name=name)
+    return g, labels
+
+
+def ring_of_cliques(
+    num_cliques: int,
+    clique_size: int,
+    name: str = "ring-of-cliques",
+) -> tuple[CSRGraph, np.ndarray]:
+    """Deterministic ring of cliques: the canonical community-structure graph.
+
+    Each clique is internally complete; consecutive cliques are joined by a
+    single bridge edge.  Returns ``(graph, labels)``.
+    """
+    check_positive("num_cliques", num_cliques)
+    if clique_size < 2:
+        raise ValueError("clique_size must be >= 2")
+    src_l: list[int] = []
+    dst_l: list[int] = []
+    n = num_cliques * clique_size
+    for c in range(num_cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                src_l.append(base + i)
+                dst_l.append(base + j)
+        nxt = ((c + 1) % num_cliques) * clique_size
+        if num_cliques > 1 and not (num_cliques == 2 and c == 1):
+            src_l.append(base)
+            dst_l.append(nxt)
+    labels = np.repeat(np.arange(num_cliques, dtype=np.int64), clique_size)
+    g = from_edge_array(
+        np.asarray(src_l, np.int64),
+        np.asarray(dst_l, np.int64),
+        num_vertices=n,
+        directed=False,
+        name=name,
+    )
+    return g, labels

@@ -1,0 +1,87 @@
+"""NetworkX interoperability.
+
+NetworkX is the lingua franca of Python graph analysis; downstream users
+will want to cluster graphs they already hold as ``nx.Graph`` objects and
+visualize results (the paper's Fig 1 uses Gephi the same way).  networkx
+is an *optional* dependency — these helpers import it lazily.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.graph.build import from_edge_array
+from repro.graph.csr import CSRGraph
+
+if TYPE_CHECKING:  # pragma: no cover
+    import networkx as nx
+
+__all__ = ["from_networkx", "to_networkx"]
+
+
+def _require_networkx():
+    try:
+        import networkx
+    except ImportError as exc:  # pragma: no cover
+        raise ImportError(
+            "networkx is required for interop helpers; install the 'test' "
+            "extra or `pip install networkx`"
+        ) from exc
+    return networkx
+
+
+def from_networkx(
+    graph: "nx.Graph | nx.DiGraph", weight: str | None = "weight"
+) -> tuple[CSRGraph, list[Any]]:
+    """Convert a networkx (Di)Graph to :class:`CSRGraph`.
+
+    Returns ``(csr_graph, node_order)``: ``node_order[i]`` is the networkx
+    node object mapped to dense id ``i``.  Edge weights are read from the
+    ``weight`` attribute (default 1.0 when absent or when ``weight`` is
+    None).  Multi(di)graphs collapse parallel edges by summing weights.
+    """
+    nx = _require_networkx()
+    directed = graph.is_directed()
+    nodes = list(graph.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    m = graph.number_of_edges()
+    src = np.empty(m, dtype=np.int64)
+    dst = np.empty(m, dtype=np.int64)
+    w = np.empty(m, dtype=np.float64)
+    for pos, (u, v, data) in enumerate(graph.edges(data=True)):
+        src[pos] = index[u]
+        dst[pos] = index[v]
+        w[pos] = float(data.get(weight, 1.0)) if weight else 1.0
+    g = from_edge_array(
+        src, dst, w,
+        num_vertices=len(nodes),
+        directed=directed,
+        name=getattr(graph, "name", "") or "networkx",
+    )
+    return g, nodes
+
+
+def to_networkx(
+    graph: CSRGraph, modules: np.ndarray | None = None
+) -> "nx.Graph | nx.DiGraph":
+    """Convert a :class:`CSRGraph` to networkx, optionally annotating
+    each node with its ``module`` attribute (ready for Gephi-style
+    coloring, as in the paper's Fig 1)."""
+    nx = _require_networkx()
+    out = nx.DiGraph() if graph.directed else nx.Graph()
+    out.add_nodes_from(range(graph.num_vertices))
+    src, dst, w = graph.edge_array()
+    if not graph.directed:
+        keep = src <= dst
+        src, dst, w = src[keep], dst[keep], w[keep]
+    out.add_weighted_edges_from(
+        zip(src.tolist(), dst.tolist(), w.tolist())
+    )
+    if modules is not None:
+        if len(modules) != graph.num_vertices:
+            raise ValueError("modules length must equal vertex count")
+        for v, m in enumerate(np.asarray(modules).tolist()):
+            out.nodes[v]["module"] = int(m)
+    return out

@@ -1,0 +1,99 @@
+"""Edge-list I/O in the SNAP text format the paper's datasets ship in.
+
+SNAP edge lists are whitespace-separated ``src dst`` (optionally ``weight``)
+lines with ``#`` comments.  Vertex ids in SNAP files are arbitrary
+non-negative integers, so :func:`read_edge_list` densifies them to
+``0..n-1`` and returns the id mapping.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.build import from_edge_array
+from repro.graph.csr import CSRGraph
+
+__all__ = ["read_edge_list", "write_edge_list"]
+
+
+def read_edge_list(
+    path: str | Path | io.TextIOBase,
+    directed: bool = False,
+    name: str | None = None,
+    relabel: bool = True,
+) -> tuple[CSRGraph, np.ndarray]:
+    """Parse a SNAP-style edge list.
+
+    Parameters
+    ----------
+    path:
+        File path or an open text stream.
+    directed:
+        Interpret lines as directed arcs.
+    relabel:
+        Densify arbitrary vertex ids to ``0..n-1``.
+
+    Returns
+    -------
+    (graph, original_ids):
+        ``original_ids[i]`` is the id in the file for dense vertex ``i``
+        (identity array when ``relabel=False``).
+    """
+    if isinstance(path, (str, Path)):
+        text = Path(path).read_text()
+        if name is None:
+            name = Path(path).stem
+    else:
+        text = path.read()
+        if name is None:
+            name = "stream"
+
+    srcs: list[int] = []
+    dsts: list[int] = []
+    ws: list[float] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith(("#", "%")):
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise ValueError(f"line {lineno}: expected 'src dst [weight]', got {line!r}")
+        srcs.append(int(parts[0]))
+        dsts.append(int(parts[1]))
+        ws.append(float(parts[2]) if len(parts) >= 3 else 1.0)
+
+    src = np.asarray(srcs, dtype=np.int64)
+    dst = np.asarray(dsts, dtype=np.int64)
+    w = np.asarray(ws, dtype=np.float64)
+
+    if relabel:
+        original_ids, inverse = np.unique(np.concatenate([src, dst]), return_inverse=True)
+        src = inverse[: len(src)].astype(np.int64)
+        dst = inverse[len(src):].astype(np.int64)
+        n = len(original_ids)
+    else:
+        n = int(max(src.max(initial=-1), dst.max(initial=-1)) + 1) if len(src) else 0
+        original_ids = np.arange(n, dtype=np.int64)
+
+    g = from_edge_array(src, dst, w, num_vertices=n, directed=directed, name=name)
+    return g, original_ids
+
+
+def write_edge_list(graph: CSRGraph, path: str | Path, weights: bool = True) -> None:
+    """Write a graph as a SNAP-style edge list.
+
+    Undirected graphs emit each edge once (``u <= v``).
+    """
+    src, dst, w = graph.edge_array()
+    if not graph.directed:
+        keep = src <= dst
+        src, dst, w = src[keep], dst[keep], w[keep]
+    lines = [f"# {graph.name}: {graph.num_vertices} vertices"]
+    if weights:
+        lines += [f"{u} {v} {x:g}" for u, v, x in zip(src, dst, w)]
+    else:
+        lines += [f"{u} {v}" for u, v in zip(src, dst)]
+    Path(path).write_text("\n".join(lines) + "\n")

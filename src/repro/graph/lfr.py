@@ -1,0 +1,239 @@
+"""LFR benchmark graphs (Lancichinetti–Fortunato–Radicchi, 2008).
+
+The paper motivates Infomap by its LFR-benchmark quality advantage over
+modularity-based algorithms, so the reproduction includes an LFR generator
+to regenerate that comparison (``benchmarks/bench_lfr_quality.py``).
+
+The construction follows the published recipe:
+
+1. sample vertex degrees from a power law with exponent ``tau_degree``;
+2. sample community sizes from a power law with exponent ``tau_size`` until
+   they cover all vertices;
+3. split each vertex's degree into an internal part ``(1 - mu) * k`` and an
+   external part ``mu * k``;
+4. assign vertices to communities that can host their internal degree;
+5. wire internal stubs within each community and external stubs across
+   communities with a configuration-model pairing (self-loops, duplicate
+   edges, and intra-community "external" pairs are rejected with retries;
+   a handful of unresolvable stubs is dropped, as in the reference
+   implementation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.build import from_edge_array
+from repro.graph.csr import CSRGraph
+from repro.util.rng import make_rng
+from repro.util.validation import check_positive, check_probability
+
+__all__ = ["LFRParams", "lfr_graph"]
+
+
+@dataclass(frozen=True)
+class LFRParams:
+    """Parameters of the LFR benchmark.
+
+    Attributes
+    ----------
+    n:
+        Number of vertices.
+    mu:
+        Mixing parameter — the fraction of each vertex's links that leave
+        its community.  Small ``mu`` means strong communities.
+    tau_degree, tau_size:
+        Power-law exponents for degrees and community sizes (the paper's
+        benchmark defaults are 2 and 1).
+    avg_degree, max_degree:
+        Target mean and cap for vertex degrees.
+    min_community, max_community:
+        Bounds on community sizes.
+    """
+
+    n: int = 1000
+    mu: float = 0.3
+    tau_degree: float = 2.0
+    tau_size: float = 1.5
+    avg_degree: float = 15.0
+    max_degree: int = 50
+    min_community: int = 20
+    max_community: int = 100
+    seed: int = 0
+
+    def validate(self) -> None:
+        check_positive("n", self.n)
+        check_probability("mu", self.mu)
+        check_positive("avg_degree", self.avg_degree)
+        if self.min_community > self.max_community:
+            raise ValueError("min_community must be <= max_community")
+        if self.max_degree >= self.max_community:
+            # a vertex's internal degree must fit inside its community
+            raise ValueError("max_degree must be < max_community")
+
+
+def _powerlaw_ints(
+    rng: np.random.Generator, lo: int, hi: int, alpha: float, size: int
+) -> np.ndarray:
+    ks = np.arange(lo, hi + 1, dtype=np.float64)
+    pmf = ks ** (-alpha)
+    pmf /= pmf.sum()
+    return rng.choice(np.arange(lo, hi + 1), size=size, p=pmf).astype(np.int64)
+
+
+def _sample_degrees(params: LFRParams, rng: np.random.Generator) -> np.ndarray:
+    """Sample degrees, then shift the distribution to hit ``avg_degree``."""
+    lo = max(1, int(round(params.avg_degree / 4)))
+    deg = _powerlaw_ints(rng, lo, params.max_degree, params.tau_degree, params.n)
+    # rescale towards the requested mean while respecting bounds
+    current = deg.mean()
+    if current > 0:
+        deg = np.clip(
+            np.round(deg * (params.avg_degree / current)).astype(np.int64),
+            1,
+            params.max_degree,
+        )
+    if deg.sum() % 2 == 1:
+        deg[int(rng.integers(params.n))] += 1
+    return deg
+
+
+def _sample_community_sizes(params: LFRParams, rng: np.random.Generator) -> np.ndarray:
+    sizes: list[int] = []
+    remaining = params.n
+    while remaining > 0:
+        s = int(
+            _powerlaw_ints(
+                rng, params.min_community, params.max_community, params.tau_size, 1
+            )[0]
+        )
+        if s > remaining:
+            s = remaining
+            if s < params.min_community and sizes:
+                # fold the tail into the last community
+                sizes[-1] += s
+                remaining = 0
+                break
+        sizes.append(s)
+        remaining -= s
+    return np.asarray(sizes, dtype=np.int64)
+
+
+def _pair_stubs(
+    rng: np.random.Generator,
+    stubs: np.ndarray,
+    forbidden_same: np.ndarray | None,
+    max_retries: int = 30,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pair a stub list into edges, rejecting self-loops/duplicates.
+
+    ``forbidden_same`` (optional vertex->group array) additionally rejects
+    pairs whose endpoints share a group (used to keep "external" stubs
+    between communities).  Unresolvable leftovers are dropped.
+    """
+    stubs = stubs.copy()
+    edges: set[tuple[int, int]] = set()
+    for _ in range(max_retries):
+        if len(stubs) < 2:
+            break
+        rng.shuffle(stubs)
+        if len(stubs) % 2 == 1:
+            stubs = stubs[:-1]
+        u = stubs[0::2]
+        v = stubs[1::2]
+        bad = u == v
+        if forbidden_same is not None:
+            bad |= forbidden_same[u] == forbidden_same[v]
+        leftover: list[int] = []
+        for uu, vv, b in zip(u.tolist(), v.tolist(), bad.tolist()):
+            if b:
+                leftover.extend((uu, vv))
+                continue
+            key = (uu, vv) if uu < vv else (vv, uu)
+            if key in edges:
+                leftover.extend((uu, vv))
+            else:
+                edges.add(key)
+        stubs = np.asarray(leftover, dtype=np.int64)
+    if not edges:
+        return np.empty(0, np.int64), np.empty(0, np.int64)
+    arr = np.asarray(sorted(edges), dtype=np.int64)
+    return arr[:, 0], arr[:, 1]
+
+
+def lfr_graph(params: LFRParams) -> tuple[CSRGraph, np.ndarray]:
+    """Generate an LFR benchmark graph.
+
+    Returns
+    -------
+    (graph, labels):
+        The undirected benchmark graph and the planted community label of
+        each vertex.
+    """
+    params.validate()
+    rng = make_rng(params.seed)
+
+    degrees = _sample_degrees(params, rng)
+    internal = np.round((1.0 - params.mu) * degrees).astype(np.int64)
+    internal = np.minimum(internal, degrees)
+    external = degrees - internal
+
+    sizes = _sample_community_sizes(params, rng)
+    num_comm = len(sizes)
+
+    # --- assignment: vertices with large internal degree go to big
+    # communities first (greedy bin packing) -------------------------------
+    labels = -np.ones(params.n, dtype=np.int64)
+    capacity = sizes.copy()
+    order = np.argsort(-internal, kind="stable")
+    comm_by_size = np.argsort(-sizes, kind="stable")
+    for v in order:
+        placed = False
+        for c in comm_by_size:
+            # internal degree must be < community size to be realizable
+            if capacity[c] > 0 and internal[v] < sizes[c]:
+                labels[v] = c
+                capacity[c] -= 1
+                placed = True
+                break
+        if not placed:
+            # fall back: clamp the internal degree into the largest
+            # community that still has room
+            for c in comm_by_size:
+                if capacity[c] > 0:
+                    labels[v] = c
+                    internal[v] = min(internal[v], sizes[c] - 1)
+                    external[v] = degrees[v] - internal[v]
+                    capacity[c] -= 1
+                    placed = True
+                    break
+        if not placed:  # pragma: no cover - sizes sum to n by construction
+            raise RuntimeError("LFR community assignment overflowed")
+
+    # --- internal wiring per community ------------------------------------
+    srcs: list[np.ndarray] = []
+    dsts: list[np.ndarray] = []
+    for c in range(num_comm):
+        members = np.flatnonzero(labels == c)
+        stubs = np.repeat(members, internal[members])
+        u, v = _pair_stubs(rng, stubs, forbidden_same=None)
+        if len(u):
+            srcs.append(u)
+            dsts.append(v)
+
+    # --- external wiring across communities --------------------------------
+    ext_stubs = np.repeat(np.arange(params.n, dtype=np.int64), external)
+    u, v = _pair_stubs(rng, ext_stubs, forbidden_same=labels)
+    if len(u):
+        srcs.append(u)
+        dsts.append(v)
+
+    src = np.concatenate(srcs) if srcs else np.empty(0, np.int64)
+    dst = np.concatenate(dsts) if dsts else np.empty(0, np.int64)
+    g = from_edge_array(
+        src, dst, num_vertices=params.n, directed=False,
+        name=f"lfr-n{params.n}-mu{params.mu:g}",
+    )
+    return g, labels

@@ -1,0 +1,86 @@
+"""Graph statistics backing Figures 4 and 5 of the paper.
+
+* :func:`degree_histogram` / :func:`degree_cdf` — the power-law plots of
+  Fig 4;
+* :func:`cam_coverage` — the fraction of vertices whose neighbour list fits
+  in a CAM of a given byte capacity (Fig 5: 1 KB covers > 82 %, 8 KB covers
+  > 99 % of vertices);
+* :func:`powerlaw_alpha_mle` — the standard Clauset-style MLE for the tail
+  exponent, used by tests to confirm the surrogates are scale-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "degree_histogram",
+    "degree_cdf",
+    "cam_coverage",
+    "powerlaw_alpha_mle",
+    "gini_coefficient",
+]
+
+#: Bytes per CAM entry: 8-byte key (module id) + 8-byte float value,
+#: matching the paper's Section IV-A accounting (8 KB -> 512 entries).
+CAM_ENTRY_BYTES = 16
+
+
+def degree_histogram(graph: CSRGraph) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(degree_values, vertex_counts)`` for non-empty bins.
+
+    Degrees are out-degrees of the stored arcs, which for undirected graphs
+    equals the usual vertex degree.
+    """
+    deg = graph.out_degree()
+    counts = np.bincount(deg)
+    ks = np.flatnonzero(counts)
+    return ks.astype(np.int64), counts[ks].astype(np.int64)
+
+
+def degree_cdf(graph: CSRGraph) -> tuple[np.ndarray, np.ndarray]:
+    """Cumulative fraction of vertices with degree <= k, for each present k."""
+    ks, cnts = degree_histogram(graph)
+    cum = np.cumsum(cnts) / cnts.sum()
+    return ks, cum
+
+
+def cam_coverage(graph: CSRGraph, cam_bytes: int, entry_bytes: int = CAM_ENTRY_BYTES) -> float:
+    """Fraction of vertices whose neighbour list fits a CAM of ``cam_bytes``.
+
+    A vertex needs at most ``degree`` CAM entries during FindBestCommunity
+    (one per distinct neighbouring module; distinct modules <= neighbours),
+    so coverage at capacity ``C = cam_bytes / entry_bytes`` is
+    ``P(degree <= C)`` — exactly the quantity Fig 5 plots.
+    """
+    if cam_bytes <= 0:
+        raise ValueError("cam_bytes must be positive")
+    capacity = cam_bytes // entry_bytes
+    deg = graph.out_degree()
+    return float(np.count_nonzero(deg <= capacity) / max(1, graph.num_vertices))
+
+
+def powerlaw_alpha_mle(graph: CSRGraph, k_min: int = 2) -> float:
+    """Continuous-approximation MLE of the power-law tail exponent.
+
+    ``alpha = 1 + n / sum(ln(k_i / (k_min - 0.5)))`` over degrees
+    ``k_i >= k_min`` (Clauset, Shalizi & Newman 2009, eq. 3.1-ish with the
+    discrete half-shift correction).
+    """
+    deg = graph.out_degree()
+    tail = deg[deg >= k_min].astype(np.float64)
+    if len(tail) == 0:
+        raise ValueError(f"no vertices with degree >= {k_min}")
+    return float(1.0 + len(tail) / np.log(tail / (k_min - 0.5)).sum())
+
+
+def gini_coefficient(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative array (degree inequality measure)."""
+    v = np.sort(np.asarray(values, dtype=np.float64))
+    if len(v) == 0 or v.sum() == 0:
+        return 0.0
+    n = len(v)
+    cum = np.cumsum(v)
+    return float((n + 1 - 2 * (cum / cum[-1]).sum()) / n)

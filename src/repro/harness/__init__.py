@@ -1,0 +1,45 @@
+"""Benchmark harness: one runner per table/figure of the paper.
+
+Every experiment in the paper's evaluation section has a function here
+that produces both structured data (for assertions in tests/benches) and a
+printable ASCII table matching the paper's rows/series.  The ``benchmarks/``
+directory wraps these in pytest-benchmark entries.
+"""
+
+from repro.harness.experiments import (
+    run_cached,
+    table1_datasets,
+    table2_machines,
+    table3_validation,
+    fig2_kernel_breakdown,
+    fig4_degree_distribution,
+    fig5_cam_coverage,
+    table5_hash_time,
+    fig6_speedups,
+    fig7_multicore_breakdown,
+    fig8_arch_metrics,
+    fig9_percore_instructions,
+    fig10_percore_mispredictions,
+    fig11_percore_cpi,
+    overflow_share,
+    lfr_quality,
+)
+
+__all__ = [
+    "run_cached",
+    "table1_datasets",
+    "table2_machines",
+    "table3_validation",
+    "fig2_kernel_breakdown",
+    "fig4_degree_distribution",
+    "fig5_cam_coverage",
+    "table5_hash_time",
+    "fig6_speedups",
+    "fig7_multicore_breakdown",
+    "fig8_arch_metrics",
+    "fig9_percore_instructions",
+    "fig10_percore_mispredictions",
+    "fig11_percore_cpi",
+    "overflow_share",
+    "lfr_quality",
+]

@@ -1,0 +1,76 @@
+"""Calibration / shape-check report.
+
+Prints every headline metric of the paper next to the reproduction's
+measured value so drift is visible at a glance.  Run as::
+
+    python -m repro.harness.calibrate [dataset ...]
+
+The cost constants in :mod:`repro.sim.machine` were tuned against this
+report once; it now serves as a regression check (the assertions in
+``tests/test_paper_claims.py`` encode the acceptable bands).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.infomap import run_infomap
+from repro.graph.datasets import TABLE1_ORDER, load_dataset
+from repro.util.tables import Table, format_pct
+
+__all__ = ["shape_report", "main"]
+
+#: paper targets per metric, for side-by-side display
+PAPER_TARGETS = {
+    "findbest_share": "70-90%",
+    "hash_share": "50-65%",
+    "hash_speedup": "3.28x-5.56x",
+    "instr_reduction": "12-24%",
+    "mispredict_reduction": "40-59%",
+    "cpi_reduction": "18-21%",
+    "overflow_share": "<=13.3%",
+}
+
+
+def shape_report(names: list[str]) -> Table:
+    """Compute the full shape comparison for the given datasets."""
+    t = Table(
+        "Calibration: paper targets vs measured shapes",
+        ["Network", "FB/total", "hash/FB", "speedup", "dInstr", "dMiss",
+         "dCPI", "ovfl"],
+    )
+    for name in names:
+        g = load_dataset(name)
+        rb = run_infomap(g, backend="softhash")
+        ra = run_infomap(g, backend="asa")
+        cmb, cma = rb.cycle_model(), ra.cycle_model()
+        fb_b = cmb.cycles(rb.stats.findbest)
+        fb_a = cma.cycles(ra.stats.findbest)
+        tot_b = cmb.cycles(rb.stats.total)
+        dmiss = 1 - ra.stats.findbest.branch_mispredict / max(
+            rb.stats.findbest.branch_mispredict, 1e-12
+        )
+        t.add_row(
+            [
+                name,
+                format_pct(fb_b.seconds / tot_b.seconds),
+                format_pct(rb.hash_seconds / fb_b.seconds),
+                f"{rb.hash_seconds / ra.hash_seconds:.2f}x",
+                format_pct(1 - fb_a.instructions / fb_b.instructions),
+                format_pct(dmiss),
+                format_pct(1 - fb_a.cpi / fb_b.cpi),
+                format_pct(ra.overflow_seconds / max(ra.hash_seconds, 1e-12)),
+            ]
+        )
+    return t
+
+
+def main(argv: list[str] | None = None) -> None:
+    names = argv if argv is not None else sys.argv[1:]
+    names = list(names) or list(TABLE1_ORDER)
+    print("Paper targets:", PAPER_TARGETS)
+    shape_report(names).print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Partition-quality metrics for the LFR benchmark comparison.
+
+Normalized mutual information is the metric the LFR benchmark papers (and
+the comparative studies the paper cites for Infomap's quality advantage)
+report; adjusted Rand index and pairwise F1 are included as secondary
+checks.
+"""
+
+from repro.quality.nmi import normalized_mutual_information, mutual_information
+from repro.quality.ari import adjusted_rand_index
+from repro.quality.f1 import pairwise_f1
+from repro.quality.partition_stats import (
+    PartitionStats,
+    partition_stats,
+    conductance,
+    coverage,
+)
+
+__all__ = [
+    "normalized_mutual_information",
+    "mutual_information",
+    "adjusted_rand_index",
+    "pairwise_f1",
+    "PartitionStats",
+    "partition_stats",
+    "conductance",
+    "coverage",
+]

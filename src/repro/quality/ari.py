@@ -1,0 +1,31 @@
+"""Adjusted Rand index (Hubert & Arabie 1985)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quality.nmi import _contingency
+
+__all__ = ["adjusted_rand_index"]
+
+
+def _comb2(x: np.ndarray) -> np.ndarray:
+    return x * (x - 1) / 2.0
+
+
+def adjusted_rand_index(a: np.ndarray, b: np.ndarray) -> float:
+    """ARI between two partitions: 1 for identical, ~0 for independent.
+
+    Can be negative for partitions that agree less than chance.
+    """
+    t = _contingency(a, b).astype(np.float64)
+    n = t.sum()
+    sum_cells = _comb2(t).sum()
+    sum_rows = _comb2(t.sum(axis=1)).sum()
+    sum_cols = _comb2(t.sum(axis=0)).sum()
+    total = _comb2(np.asarray([n]))[0]
+    expected = sum_rows * sum_cols / total if total > 0 else 0.0
+    max_index = 0.5 * (sum_rows + sum_cols)
+    if max_index == expected:
+        return 1.0
+    return float((sum_cells - expected) / (max_index - expected))

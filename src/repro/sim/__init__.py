@@ -1,0 +1,60 @@
+"""ZSim-substitute microarchitecture cost model.
+
+The paper evaluates ASA inside ZSim (a Pin-based out-of-order core
+simulator).  This package provides the equivalent measurement machinery for
+the Python reproduction:
+
+* :mod:`repro.sim.counters` — per-kernel instruction/branch/memory counters
+  (the quantities Figs 8–11 plot);
+* :mod:`repro.sim.branch` — two-bit and gshare branch predictors fed the
+  *actual* data-dependent outcomes of hash probing, plus a statistical
+  predictor for the fast mode;
+* :mod:`repro.sim.cache` — a set-associative L1/L2/L3 hierarchy with the
+  Table II geometries, plus a statistical working-set model;
+* :mod:`repro.sim.machine` — machine configurations (Native vs Baseline of
+  Table II, and the ASA-augmented machine) and all instruction-cost
+  constants in one tunable place;
+* :mod:`repro.sim.costmodel` — the cycle model that turns counters into
+  cycles, CPI, and seconds at the configured clock.
+"""
+
+from repro.sim.counters import Counters, KernelStats
+from repro.sim.branch import (
+    BranchSite,
+    TwoBitPredictor,
+    GSharePredictor,
+    StatisticalBranchModel,
+)
+from repro.sim.cache import CacheConfig, SetAssociativeCache, CacheHierarchy, StatisticalCacheModel
+from repro.sim.machine import (
+    MachineConfig,
+    SoftHashCosts,
+    ASACosts,
+    KernelCosts,
+    native_machine,
+    baseline_machine,
+    asa_machine,
+)
+from repro.sim.costmodel import CycleModel, CycleBreakdown
+
+__all__ = [
+    "Counters",
+    "KernelStats",
+    "BranchSite",
+    "TwoBitPredictor",
+    "GSharePredictor",
+    "StatisticalBranchModel",
+    "CacheConfig",
+    "SetAssociativeCache",
+    "CacheHierarchy",
+    "StatisticalCacheModel",
+    "MachineConfig",
+    "SoftHashCosts",
+    "ASACosts",
+    "KernelCosts",
+    "native_machine",
+    "baseline_machine",
+    "asa_machine",
+    "CycleModel",
+    "CycleBreakdown",
+]

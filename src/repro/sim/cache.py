@@ -1,0 +1,185 @@
+"""Cache-hierarchy models (Table II geometries).
+
+Two fidelity levels:
+
+* :class:`SetAssociativeCache` / :class:`CacheHierarchy` — a real LRU
+  set-associative model.  Addresses come from
+  :mod:`repro.sim.memlayout`'s model of the software hash table's bucket
+  arrays and chain nodes, so the pointer-chasing locality the paper blames
+  (Section IV-C: "irregular memory access patterns … difficult for
+  hardware prefetchers") is produced mechanistically.
+* :class:`StatisticalCacheModel` — a working-set expectation model for the
+  fast mode: each access carries a *footprint class* (how many bytes the
+  access pattern touches with uniform probability), and the hit
+  probability per level is ``min(1, capacity / footprint)`` cascaded down
+  the hierarchy.  A ``streaming`` class models sequential scans with one
+  miss per cache line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CacheConfig",
+    "SetAssociativeCache",
+    "CacheHierarchy",
+    "StatisticalCacheModel",
+    "AccessResult",
+]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    size_bytes: int
+    associativity: int
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.associativity <= 0 or self.line_bytes <= 0:
+            raise ValueError("cache geometry must be positive")
+        if self.size_bytes % (self.associativity * self.line_bytes) != 0:
+            raise ValueError(
+                "size must be divisible by associativity * line size "
+                f"(got {self.size_bytes}/{self.associativity}/{self.line_bytes})"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.associativity * self.line_bytes)
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache over 64-bit line addresses.
+
+    Each set is a small python list ordered most-recent-first; with
+    associativities of 4–16 a linear scan beats fancier structures.
+    """
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.num_sets = config.num_sets
+        self.line_shift = config.line_bytes.bit_length() - 1
+        self.sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> bool:
+        """Touch ``addr``; returns True on hit.  Misses install the line."""
+        line = addr >> self.line_shift
+        s = self.sets[line % self.num_sets]
+        try:
+            idx = s.index(line)
+        except ValueError:
+            self.misses += 1
+            s.insert(0, line)
+            if len(s) > self.config.associativity:
+                s.pop()
+            return False
+        if idx:
+            s.pop(idx)
+            s.insert(0, line)
+        self.hits += 1
+        return True
+
+    def reset(self) -> None:
+        self.sets = [[] for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+
+@dataclass
+class AccessResult:
+    """Which level satisfied an access: 1, 2, 3, or 4 (= DRAM)."""
+
+    level: int
+
+
+class CacheHierarchy:
+    """Inclusive three-level hierarchy; shared L3 is modelled by passing the
+    same L3 instance to every per-core hierarchy."""
+
+    def __init__(
+        self,
+        l1: CacheConfig,
+        l2: CacheConfig,
+        l3_cache: "SetAssociativeCache | None" = None,
+        l3: CacheConfig | None = None,
+    ):
+        self.l1 = SetAssociativeCache(l1)
+        self.l2 = SetAssociativeCache(l2)
+        if l3_cache is not None:
+            self.l3 = l3_cache
+        elif l3 is not None:
+            self.l3 = SetAssociativeCache(l3)
+        else:
+            raise ValueError("provide l3 config or shared l3_cache")
+
+    def access(self, addr: int) -> int:
+        """Returns the level (1–4) that satisfied the access."""
+        if self.l1.access(addr):
+            return 1
+        if self.l2.access(addr):
+            return 2
+        if self.l3.access(addr):
+            return 3
+        return 4
+
+    def reset(self) -> None:
+        self.l1.reset()
+        self.l2.reset()
+        self.l3.reset()
+
+
+#: Footprint classes for the statistical model.  ``None`` bytes means
+#: resident/hot (always L1 after warmup).
+@dataclass
+class StatisticalCacheModel:
+    """Expected hit-level accounting for the fast fidelity mode.
+
+    ``add(n, footprint_bytes, streaming_fraction)`` records ``n`` accesses
+    uniformly spread over ``footprint_bytes`` of memory.  The expected
+    fraction of accesses satisfied at each level is computed with the
+    standard working-set approximation ``P(hit at level i) =
+    min(1, size_i / footprint)`` applied top-down.  Streaming accesses
+    (sequential scans) instead miss once per line.
+    """
+
+    l1_bytes: int
+    l2_bytes: int
+    l3_bytes: int
+    line_bytes: int = 64
+    l1_frac: float = 0.0
+    l2_frac: float = 0.0
+    l3_frac: float = 0.0
+    mem_frac: float = 0.0
+
+    def add(self, n: float, footprint_bytes: float, streaming: bool = False) -> tuple[float, float, float, float]:
+        """Record ``n`` accesses; returns the (l1, l2, l3, mem) split."""
+        if n <= 0:
+            return (0.0, 0.0, 0.0, 0.0)
+        if streaming:
+            miss = n * (8.0 / self.line_bytes)  # 8-byte elements, one miss/line
+            l1 = n - miss
+            l2 = 0.0
+            l3 = miss  # streams usually prefetch into L2/L3; charge L3 latency
+            mem = 0.0
+        else:
+            f = max(footprint_bytes, 1.0)
+            p1 = min(1.0, self.l1_bytes / f)
+            p2 = min(1.0, self.l2_bytes / f)
+            p3 = min(1.0, self.l3_bytes / f)
+            l1 = n * p1
+            l2 = n * max(0.0, p2 - p1)
+            l3 = n * max(0.0, p3 - p2)
+            mem = n * max(0.0, 1.0 - p3)
+        self.l1_frac += l1
+        self.l2_frac += l2
+        self.l3_frac += l3
+        self.mem_frac += mem
+        return (l1, l2, l3, mem)
+
+    def reset(self) -> None:
+        self.l1_frac = self.l2_frac = self.l3_frac = self.mem_frac = 0.0

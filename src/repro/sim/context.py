@@ -1,0 +1,171 @@
+"""Per-core hardware context: the glue between kernels and the cost model.
+
+A :class:`HardwareContext` owns one simulated core's branch predictor,
+cache hierarchy (optionally sharing an L3 with sibling cores), memory
+layout, and the :class:`~repro.sim.counters.Counters` object events are
+currently attributed to (kernels switch attribution with :meth:`use`).
+
+Two fidelity modes share this interface:
+
+* ``detailed`` — :meth:`branch_event` drives a real gshare predictor and
+  :meth:`mem_event` a real LRU cache hierarchy, per event;
+* ``fast`` — :meth:`branch_agg` and :meth:`mem_agg` apply closed-form
+  expectations to aggregate counts (see :mod:`repro.sim.branch` and
+  :mod:`repro.sim.cache`).
+
+Instruction *counts* are always recorded via the bulk helpers
+(:meth:`instr`), identically in both modes; the modes differ only in how
+mispredicts and cache-hit levels are estimated.
+"""
+
+from __future__ import annotations
+
+from repro.sim.branch import GSharePredictor, TwoBitPredictor, twobit_steady_state_misrate, BranchSite
+from repro.sim.cache import CacheHierarchy, SetAssociativeCache, StatisticalCacheModel
+from repro.sim.counters import Counters
+from repro.sim.machine import MachineConfig
+from repro.sim.memlayout import MemoryLayout
+
+__all__ = ["HardwareContext"]
+
+
+class HardwareContext:
+    """One simulated core's measurement state."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        core_id: int = 0,
+        shared_l3: "SetAssociativeCache | None" = None,
+    ):
+        self.machine = machine
+        self.core_id = core_id
+        self.detailed = machine.fidelity == "detailed"
+        self.layout = MemoryLayout(core_id=core_id)
+        self.c = Counters()  # active attribution target
+        if self.detailed:
+            self.predictor = (
+                TwoBitPredictor() if machine.predictor == "twobit"
+                else GSharePredictor()
+            )
+            self.caches = CacheHierarchy(
+                machine.l1d, machine.l2, l3_cache=shared_l3, l3=machine.l3
+            )
+        else:
+            self.predictor = None
+            self.caches = None
+        # the statistical cache also serves as the aggregate fallback for
+        # streaming accesses in detailed mode
+        self.statcache = StatisticalCacheModel(
+            l1_bytes=machine.l1d.size_bytes,
+            l2_bytes=machine.l2.size_bytes,
+            l3_bytes=machine.l3.size_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    # Attribution
+    # ------------------------------------------------------------------
+    def use(self, counters: Counters) -> None:
+        """Attribute subsequent events to ``counters``."""
+        self.c = counters
+
+    # ------------------------------------------------------------------
+    # Instruction counting (mode-independent)
+    # ------------------------------------------------------------------
+    def instr(
+        self,
+        int_alu: float = 0.0,
+        float_alu: float = 0.0,
+        load: float = 0.0,
+        store: float = 0.0,
+        branch: float = 0.0,
+        asa: float = 0.0,
+    ) -> None:
+        """Bulk-add instruction counts to the active counters."""
+        c = self.c
+        c.int_alu += int_alu
+        c.float_alu += float_alu
+        c.load += load
+        c.store += store
+        c.branch += branch
+        c.asa += asa
+
+    def asa_busy(self, cycles: float) -> None:
+        self.c.asa_busy_cycles += cycles
+
+    # ------------------------------------------------------------------
+    # Detailed mode events
+    # ------------------------------------------------------------------
+    def branch_event(self, site: int, taken: bool) -> None:
+        """Feed one real branch outcome through the predictor.
+
+        Only updates mispredict counts; the branch *instruction* itself
+        must be counted via :meth:`instr` (branch=...).
+        """
+        if self.predictor.record(site, taken):
+            self.c.branch_mispredict += 1
+
+    def mem_event(self, addr: int) -> None:
+        """Classify one real memory access through the cache hierarchy."""
+        level = self.caches.access(addr)
+        c = self.c
+        if level == 1:
+            c.l1_hit += 1
+        elif level == 2:
+            c.l2_hit += 1
+        elif level == 3:
+            c.l3_hit += 1
+        else:
+            c.mem_access += 1
+
+    # ------------------------------------------------------------------
+    # Fast mode aggregates
+    # ------------------------------------------------------------------
+    def branch_agg(self, site: int, n: float, taken: float) -> None:
+        """Aggregate ``n`` outcomes of ``site``, ``taken`` of them taken."""
+        if n <= 0:
+            return
+        if site == BranchSite.LOOP_BACK:
+            rate = 0.01
+        else:
+            rate = twobit_steady_state_misrate(taken / n)
+        self.c.branch_mispredict += n * rate
+
+    def mem_agg(self, n: float, footprint_bytes: float, streaming: bool = False) -> None:
+        """Aggregate ``n`` accesses over a working set of ``footprint_bytes``."""
+        if n <= 0:
+            return
+        l1, l2, l3, mem = self.statcache.add(n, footprint_bytes, streaming)
+        c = self.c
+        c.l1_hit += l1
+        c.l2_hit += l2
+        c.l3_hit += l3
+        c.mem_access += mem
+
+    # ------------------------------------------------------------------
+    # Convenience dispatchers used by kernels that support both modes
+    # ------------------------------------------------------------------
+    def branches(self, site: int, n: float, taken: float, outcomes=None) -> None:
+        """Record ``n`` branch outcomes at ``site``.
+
+        In detailed mode ``outcomes`` (iterable of bools) is consumed when
+        provided; otherwise the aggregate path is used even in detailed
+        mode (appropriate for highly predictable loop branches).
+        """
+        if self.detailed and outcomes is not None:
+            for t in outcomes:
+                self.branch_event(site, t)
+        else:
+            self.branch_agg(site, n, taken)
+
+    def mem(self, n: float, footprint_bytes: float, streaming: bool = False, addrs=None) -> None:
+        """Record ``n`` memory accesses.
+
+        Detailed mode consumes real ``addrs`` when provided; aggregate
+        fallback otherwise.
+        """
+        if self.detailed and addrs is not None:
+            for a in addrs:
+                self.mem_event(a)
+        else:
+            self.mem_agg(n, footprint_bytes, streaming)

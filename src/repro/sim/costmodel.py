@@ -1,0 +1,100 @@
+"""Cycle model: Counters -> cycles / CPI / seconds.
+
+The model follows the standard decomposition used to explain out-of-order
+performance (and the one the paper's analysis is phrased in):
+
+``cycles = issue + branch_stalls + memory_stalls + accelerator_busy``
+
+* **issue** — total instructions divided by the sustained issue width;
+* **branch stalls** — mispredicts × pipeline refill penalty (the paper's
+  Section IV-C: "the CPU core must flush all partially executed
+  instructions … and restart");
+* **memory stalls** — each access beyond L1 exposes a configurable
+  fraction of its latency (OoO windows hide part of L2/L3 latency but
+  little of DRAM);
+* **accelerator busy** — ASA occupancy the core must wait on (CAM port,
+  eviction drain, gather streaming).
+
+CPI is ``cycles / instructions``; seconds are ``cycles / freq``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.counters import Counters
+from repro.sim.machine import MachineConfig
+
+__all__ = ["CycleBreakdown", "CycleModel"]
+
+
+@dataclass(frozen=True)
+class CycleBreakdown:
+    """Cycle totals per cause, plus derived CPI/seconds."""
+
+    issue: float
+    branch_stall: float
+    memory_stall: float
+    asa_busy: float
+    instructions: float
+    freq_hz: float
+
+    @property
+    def cycles(self) -> float:
+        return self.issue + self.branch_stall + self.memory_stall + self.asa_busy
+
+    @property
+    def cpi(self) -> float:
+        if self.instructions <= 0:
+            return 0.0
+        return self.cycles / self.instructions
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / self.freq_hz
+
+    def __add__(self, other: "CycleBreakdown") -> "CycleBreakdown":
+        if other.freq_hz != self.freq_hz:
+            raise ValueError("cannot add breakdowns across clock domains")
+        return CycleBreakdown(
+            issue=self.issue + other.issue,
+            branch_stall=self.branch_stall + other.branch_stall,
+            memory_stall=self.memory_stall + other.memory_stall,
+            asa_busy=self.asa_busy + other.asa_busy,
+            instructions=self.instructions + other.instructions,
+            freq_hz=self.freq_hz,
+        )
+
+
+class CycleModel:
+    """Turns :class:`~repro.sim.counters.Counters` into cycles."""
+
+    def __init__(self, config: MachineConfig):
+        self.config = config
+
+    def cycles(self, c: Counters) -> CycleBreakdown:
+        cfg = self.config
+        issue = c.instructions / cfg.issue_width
+        branch_stall = c.branch_mispredict * cfg.mispredict_penalty
+        # L1 hits are covered by the pipelined load latency inside `issue`;
+        # deeper levels expose part of their latency as stall.
+        memory_stall = (
+            c.l2_hit * cfg.l2_latency * cfg.stall_exposure_l2
+            + c.l3_hit * cfg.l3_latency * cfg.stall_exposure_l3
+            + c.mem_access * cfg.mem_latency * cfg.stall_exposure_mem
+            + c.dep_stall_cycles
+        )
+        return CycleBreakdown(
+            issue=issue,
+            branch_stall=branch_stall,
+            memory_stall=memory_stall,
+            asa_busy=c.asa_busy_cycles,
+            instructions=c.instructions,
+            freq_hz=cfg.freq_hz,
+        )
+
+    def seconds(self, c: Counters) -> float:
+        return self.cycles(c).seconds
+
+    def cpi(self, c: Counters) -> float:
+        return self.cycles(c).cpi

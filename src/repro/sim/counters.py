@@ -1,0 +1,158 @@
+"""Hardware event counters.
+
+:class:`Counters` is the unit of accounting everywhere in the simulator:
+accumulator backends and kernels emit instruction/branch/memory events into
+a ``Counters`` instance, and :class:`repro.sim.costmodel.CycleModel` turns a
+``Counters`` into cycles / CPI / seconds.
+
+Counter fields deliberately mirror what ZSim reports in the paper's plots:
+total instructions (Fig 8a), mispredicted branches (Fig 8b), and the inputs
+needed for CPI (Fig 8c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+__all__ = ["Counters", "KernelStats"]
+
+
+@dataclass
+class Counters:
+    """Additive hardware event counts.
+
+    Instruction classes
+    -------------------
+    ``int_alu``; ``float_alu`` (includes the log2 evaluations of the map
+    equation); ``load``/``store`` (each also counted as a memory access);
+    ``branch`` (conditional branches; mispredicts tracked separately);
+    ``asa`` (ASA ISA-extension instructions — the ``xchg``-encoded
+    accumulate/gather operations of Section II-E).
+
+    Memory-system events
+    --------------------
+    ``l1_hit`` / ``l2_hit`` / ``l3_hit`` / ``mem_access`` classify where
+    each load/store was satisfied.  In fast (statistical) mode these are
+    fractional expectations rather than integer counts — the cycle model
+    does not care.
+
+    ``asa_busy_cycles`` accrues accelerator occupancy (CAM port conflicts,
+    eviction drains) that the core cannot overlap.
+    """
+
+    int_alu: float = 0.0
+    float_alu: float = 0.0
+    load: float = 0.0
+    store: float = 0.0
+    branch: float = 0.0
+    asa: float = 0.0
+
+    branch_mispredict: float = 0.0
+
+    l1_hit: float = 0.0
+    l2_hit: float = 0.0
+    l3_hit: float = 0.0
+    mem_access: float = 0.0
+
+    asa_busy_cycles: float = 0.0
+    #: serialized dependent-load stalls (pointer chasing: each chain-node
+    #: load depends on the previous one, so its latency cannot be hidden)
+    dep_stall_cycles: float = 0.0
+
+    @property
+    def instructions(self) -> float:
+        """Total retired instructions (what Fig 8a counts)."""
+        return (
+            self.int_alu
+            + self.float_alu
+            + self.load
+            + self.store
+            + self.branch
+            + self.asa
+        )
+
+    @property
+    def memory_ops(self) -> float:
+        return self.load + self.store
+
+    def add(self, other: "Counters") -> "Counters":
+        """In-place accumulate ``other`` into self; returns self."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def __add__(self, other: "Counters") -> "Counters":
+        out = Counters()
+        for f in fields(self):
+            setattr(out, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return out
+
+    def scaled(self, factor: float) -> "Counters":
+        """Return a copy with every field multiplied by ``factor``."""
+        out = Counters()
+        for f in fields(self):
+            setattr(out, f.name, getattr(self, f.name) * factor)
+        return out
+
+    def copy(self) -> "Counters":
+        return self.scaled(1.0)
+
+    def as_dict(self) -> dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass
+class KernelStats:
+    """Counters split by kernel and by component, one simulated core.
+
+    The paper's Fig 2 needs the four-kernel breakdown; Fig 2b/7 additionally
+    need ``FindBestCommunity`` split into hash operations versus the rest.
+    """
+
+    pagerank: Counters = field(default_factory=Counters)
+    findbest_hash: Counters = field(default_factory=Counters)
+    #: overflow handling (Alg 2 ln 10–12) — reported separately because the
+    #: paper quantifies it (9.86 % / 13.31 % of ASA time for Pokec / Orkut)
+    findbest_overflow: Counters = field(default_factory=Counters)
+    findbest_other: Counters = field(default_factory=Counters)
+    supernode: Counters = field(default_factory=Counters)
+    update_members: Counters = field(default_factory=Counters)
+
+    @property
+    def findbest_hash_total(self) -> Counters:
+        """All hash-operation work, overflow handling included."""
+        return self.findbest_hash + self.findbest_overflow
+
+    @property
+    def findbest(self) -> Counters:
+        return self.findbest_hash + self.findbest_overflow + self.findbest_other
+
+    @property
+    def total(self) -> Counters:
+        return (
+            self.pagerank
+            + self.findbest_hash
+            + self.findbest_overflow
+            + self.findbest_other
+            + self.supernode
+            + self.update_members
+        )
+
+    def add(self, other: "KernelStats") -> "KernelStats":
+        self.pagerank.add(other.pagerank)
+        self.findbest_hash.add(other.findbest_hash)
+        self.findbest_overflow.add(other.findbest_overflow)
+        self.findbest_other.add(other.findbest_other)
+        self.supernode.add(other.supernode)
+        self.update_members.add(other.update_members)
+        return self
+
+    def components(self) -> dict[str, Counters]:
+        return {
+            "pagerank": self.pagerank,
+            "findbest_hash": self.findbest_hash,
+            "findbest_overflow": self.findbest_overflow,
+            "findbest_other": self.findbest_other,
+            "supernode": self.supernode,
+            "update_members": self.update_members,
+        }

@@ -1,0 +1,238 @@
+"""Machine configurations and instruction-cost constants.
+
+Everything tunable in the cost model lives here, in dataclasses, so the
+ablation benchmarks can vary one knob at a time.  The presets mirror the
+paper's Table II:
+
+===================  =======================  ======================
+Item                 Native                   Baseline (ZSim)
+===================  =======================  ======================
+Processor            8 cores/socket, 2.6 GHz  8 cores/socket, 2.6 GHz
+L1 I/D               32 KB                    32 KB
+L2 (private)         256 KB                   256 KB
+L3 (shared)          20 MB                    16 MB (power-of-two)
+DRAM                 DDR3-1333                DDR3-1333
+===================  =======================  ======================
+
+The instruction-cost constants (:class:`SoftHashCosts`, :class:`ASACosts`,
+:class:`KernelCosts`) encode how many instructions of each class one
+logical operation expands to — the same role ZSim's decoder plays for a
+real binary.  They were calibrated once (see ``repro.harness.calibrate``)
+so the single-core kernel breakdown reproduces Fig 2 (hash ops 50–65 % of
+FindBestCommunity) and then left alone; every reported reduction emerges
+from the structural difference between the two backends, not from
+per-dataset fitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.sim.cache import CacheConfig
+
+__all__ = [
+    "SoftHashCosts",
+    "ASACosts",
+    "KernelCosts",
+    "MachineConfig",
+    "native_machine",
+    "baseline_machine",
+    "asa_machine",
+]
+
+
+@dataclass(frozen=True)
+class SoftHashCosts:
+    """Instruction expansion of one software hash-table operation.
+
+    Models a ``std::unordered_map``-style chained hash table: a bucket
+    array of pointers and per-entry heap nodes ``(key, value, next)``.
+
+    The double-probe idiom of the paper's Algorithm 1 (``count()`` followed
+    by ``operator[]``) is a property of the *kernel*, not of the table, and
+    is modelled in :mod:`repro.accum.softhash`.
+    """
+
+    #: integer ops to hash a key (std::hash<int> is cheap; bucket masking
+    #: and pointer arithmetic included)
+    hash_int_alu: int = 3
+    #: per-probe fixed overhead (index computation, head-pointer load issue)
+    probe_int_alu: int = 1
+    #: loads per chain node visited: node key + next pointer
+    chain_loads: int = 2
+    #: integer ops per chain node (pointer update, compare setup)
+    chain_int_alu: int = 1
+    #: float ops for a value accumulate on hit
+    hit_float_alu: int = 1
+    hit_load: int = 1
+    hit_store: int = 1
+    #: allocation + construction of a new node on insert
+    insert_int_alu: int = 10
+    insert_store: int = 3
+    #: per-element cost of an actual rehash (simulated, not amortized)
+    rehash_int_alu_per_elem: int = 4
+    rehash_load_per_elem: int = 2
+    rehash_store_per_elem: int = 2
+    #: constructing an empty table (bucket array zeroing is vectorized)
+    ctor_int_alu: int = 16
+    ctor_store_per_bucket: float = 0.125
+    #: destroying / clearing: one free per node
+    dtor_int_alu_per_node: int = 5
+    dtor_load_per_node: int = 1
+    #: bytes per chain node (key 8 + value 8 + next 8 + allocator pad 8)
+    node_bytes: int = 32
+    #: bytes per bucket head pointer
+    bucket_bytes: int = 8
+    #: target load factor before rehash (libstdc++ default 1.0)
+    max_load_factor: float = 1.0
+    #: initial bucket count of a fresh table
+    initial_buckets: int = 8
+    #: allocator spread: chain nodes of one table land across this many
+    #: times their own footprint (malloc pools interleave allocations),
+    #: which is what makes probe loads prefetcher-hostile
+    heap_spread: int = 16
+    #: total allocator arena the spread is capped at
+    heap_arena_bytes: int = 4 * 1024 * 1024
+    #: serialized latency per chain-node visit (the next-pointer load
+    #: depends on the previous node; L1 latency minus pipelined overlap)
+    dep_stall_per_visit: float = 3.0
+    #: hash -> bucket-index -> head-pointer dependency chain per probe
+    dep_stall_per_probe: float = 6.0
+
+
+@dataclass(frozen=True)
+class ASACosts:
+    """ASA accelerator parameters (Section III, Chao et al. TACO'22).
+
+    The CAM holds ``cam_entries`` key/value pairs of ``entry_bytes`` each
+    (16 B ⇒ an 8 KB CAM holds 512 entries — the configuration Fig 5 shows
+    covers >99 % of vertices).
+    """
+
+    cam_bytes: int = 8192
+    entry_bytes: int = 16
+    #: CPU-side integer ops to form hash(k) and issue the xchg
+    issue_int_alu: int = 2
+    #: pipelined occupancy of one accumulate (cycles); the CAM lookup and
+    #: FP add happen inside the accelerator
+    accumulate_cycles: float = 2.5
+    #: extra busy cycles when an accumulate evicts an LRU victim to the
+    #: overflow queue
+    evict_cycles: float = 4.0
+    #: per-entry cycles for gather_CAM streaming entries back to memory
+    gather_cycles_per_entry: float = 1.0
+    #: CPU instructions per gathered entry (vector push_back of the pair)
+    gather_int_alu: int = 2
+    gather_store: int = 2
+    #: software sort_and_merge costs (only on overflow): comparison sort
+    sort_int_alu_per_cmp: int = 2
+    #: fraction of sort comparisons that reach an unpredictable branch
+    sort_branch_fraction: float = 0.45
+    merge_int_alu_per_elem: int = 4
+    merge_load_per_elem: int = 2
+    merge_store_per_elem: int = 1
+
+    @property
+    def cam_entries(self) -> int:
+        return self.cam_bytes // self.entry_bytes
+
+
+@dataclass(frozen=True)
+class KernelCosts:
+    """Instruction expansion of the non-hash kernel work.
+
+    ``findbest_link_*``: per adjacency link visited in Algorithm 1's loop
+    (load the link target + weight, load the neighbour's module id, loop
+    bookkeeping).  ``calc_*``: one ``calc(outFlow, inFlow)`` delta-MDL
+    evaluation (Alg 1 ln 20) — a handful of FP ops and two ``log2`` calls.
+    ``pagerank_*``: per arc per power iteration.  ``supernode_*`` and
+    ``update_*``: per arc / per vertex of the coarsening kernels.
+    """
+
+    findbest_link_int_alu: int = 6
+    findbest_link_load: int = 4
+    #: node.modId lookups wander over the whole node array
+    findbest_modid_random: bool = True
+    calc_float_alu: int = 120  # ~10 plogp terms, each a libm log2 (~12 flops)
+    calc_int_alu: int = 12
+    calc_load: int = 6
+    pagerank_float_alu: int = 4
+    pagerank_load: int = 3
+    pagerank_store_per_vertex: int = 1
+    pagerank_int_alu: int = 2
+    supernode_int_alu: int = 14
+    supernode_load: int = 4
+    supernode_store: int = 2
+    update_int_alu: int = 2
+    update_load: int = 1
+    update_store: int = 1
+    #: data-dependent branches inside one calc() evaluation and their
+    #: average taken-rate (flow comparisons, clamping, tie handling)
+    calc_branch: int = 3
+    calc_branch_taken: float = 0.35
+    #: per-vertex fixed overhead in FindBestCommunity (setup, best-tracking)
+    findbest_vertex_int_alu: int = 24
+    findbest_vertex_load: int = 2
+    findbest_vertex_store: int = 2
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """One simulated machine: clock, core model, caches, cost tables."""
+
+    name: str = "baseline"
+    freq_hz: float = 2.6e9
+    #: sustained issue width of the out-of-order core (instructions/cycle)
+    issue_width: float = 4.0
+    #: pipeline refill penalty per mispredicted branch (cycles)
+    mispredict_penalty: float = 16.0
+    #: load-to-use latencies per hit level (cycles)
+    l1_latency: float = 4.0
+    l2_latency: float = 12.0
+    l3_latency: float = 36.0
+    mem_latency: float = 180.0
+    #: fraction of each miss latency the OoO window cannot hide
+    stall_exposure_l2: float = 0.35
+    stall_exposure_l3: float = 0.55
+    stall_exposure_mem: float = 0.75
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(32 * 1024, 8))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(256 * 1024, 8))
+    l3: CacheConfig = field(default_factory=lambda: CacheConfig(16 * 1024 * 1024, 16))
+    cores: int = 16
+    #: per-pass barrier cost in cycles for the multicore model
+    barrier_cycles: float = 2000.0
+    softhash: SoftHashCosts = field(default_factory=SoftHashCosts)
+    asa: ASACosts = field(default_factory=ASACosts)
+    kernel: KernelCosts = field(default_factory=KernelCosts)
+    #: 'fast' (statistical predictor/caches) or 'detailed' (per-event)
+    fidelity: str = "fast"
+    #: branch predictor for detailed mode: 'gshare' or 'twobit'
+    predictor: str = "gshare"
+
+    def with_(self, **kwargs) -> "MachineConfig":
+        """Return a modified copy (dataclasses.replace passthrough)."""
+        return replace(self, **kwargs)
+
+
+def native_machine(fidelity: str = "fast") -> MachineConfig:
+    """Native column of Table II: 20 MB shared L3.
+
+    ZSim cannot model a 20 MB L3 (needs powers of two); the native machine
+    can.  We keep associativity legal by using 20 MB = 20-way × 1 MB ways.
+    """
+    return MachineConfig(
+        name="native",
+        l3=CacheConfig(20 * 1024 * 1024, 20),
+        fidelity=fidelity,
+    )
+
+
+def baseline_machine(fidelity: str = "fast") -> MachineConfig:
+    """Baseline column of Table II: the ZSim-simulated machine, 16 MB L3."""
+    return MachineConfig(name="baseline", fidelity=fidelity)
+
+
+def asa_machine(fidelity: str = "fast", cam_bytes: int = 8192) -> MachineConfig:
+    """Baseline machine augmented with a per-core ASA CAM."""
+    cfg = baseline_machine(fidelity)
+    return cfg.with_(name="asa", asa=replace(cfg.asa, cam_bytes=cam_bytes))

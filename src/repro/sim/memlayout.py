@@ -1,0 +1,93 @@
+"""Address model for the detailed cache simulation.
+
+ZSim sees real addresses from the instrumented binary.  Our functional
+simulator instead synthesizes addresses from a model of how HyPC-Map's data
+structures are laid out:
+
+* the graph's adjacency arrays are scanned sequentially (`ADJ` region);
+* ``node.modId`` lookups index a per-vertex record array essentially at
+  random (`NODE` region) — this is the access the paper calls out as
+  prefetcher-hostile;
+* each per-vertex ``unordered_map`` owns a bucket array (`BUCKET` region,
+  reused arena — hot for small tables) and heap-allocated chain nodes
+  (`HEAP` region, bump-allocated with reuse, so consecutive inserts are
+  nearby but probe order is not allocation order).
+
+Regions are placed 1 TiB apart so they never alias in the tag arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemoryLayout"]
+
+_REGION = 1 << 40
+
+
+@dataclass
+class MemoryLayout:
+    """Synthesizes addresses for one simulated core's data structures."""
+
+    core_id: int = 0
+    #: bytes per adjacency record (target id 8 + weight 8)
+    arc_bytes: int = 16
+    #: bytes per vertex record (modId plus the rest of HyPC-Map's node struct)
+    node_bytes: int = 64
+    #: bytes per hash-table chain node
+    heap_node_bytes: int = 32
+    #: bucket head pointer size
+    bucket_bytes: int = 8
+    #: heap arena size in nodes before the allocator wraps (models reuse)
+    heap_arena_nodes: int = 1 << 16
+    #: allocation stride in slots: consecutive allocations land this many
+    #: slots apart (co-prime with the arena) to model malloc pools
+    #: interleaving different sizes/threads — the pointer-chasing pattern
+    #: the paper calls prefetcher-hostile
+    alloc_stride: int = 97
+
+    def __post_init__(self) -> None:
+        base = (1 + self.core_id) * (_REGION << 4)
+        self._adj_base = base
+        self._node_base = base + _REGION
+        self._bucket_base = base + 2 * _REGION
+        self._heap_base = base + 3 * _REGION
+        self._pagerank_base = base + 4 * _REGION
+        self._heap_seq = 0
+        self._free_list: list[int] = []
+
+    # -- graph ----------------------------------------------------------
+    def adj_addr(self, arc_index: int) -> int:
+        """Address of adjacency record ``arc_index`` (sequential scans)."""
+        return self._adj_base + arc_index * self.arc_bytes
+
+    def node_addr(self, vertex: int) -> int:
+        """Address of the vertex record (``node.modId`` random access)."""
+        return self._node_base + vertex * self.node_bytes
+
+    # -- software hash ----------------------------------------------------
+    def bucket_addr(self, bucket_index: int) -> int:
+        """Bucket head pointer inside the (reused) bucket arena."""
+        return self._bucket_base + bucket_index * self.bucket_bytes
+
+    def alloc_heap_node(self) -> int:
+        """Allocate one chain node.
+
+        Freed slots are reused LIFO (tcmalloc/ptmalloc free lists), so the
+        per-vertex construct/destroy churn of Algorithm 1 runs over a small
+        recycled pool; fresh allocations are strided to model pool
+        interleaving.
+        """
+        if self._free_list:
+            return self._free_list.pop()
+        slot = (self._heap_seq * self.alloc_stride) % self.heap_arena_nodes
+        self._heap_seq += 1
+        return self._heap_base + slot * self.heap_node_bytes
+
+    def free_heap_node(self, addr: int) -> None:
+        """Return a chain node to the allocator's free list."""
+        self._free_list.append(addr)
+
+    # -- pagerank / flow arrays -------------------------------------------
+    def flow_addr(self, vertex: int) -> int:
+        return self._pagerank_base + vertex * 8

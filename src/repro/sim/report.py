@@ -1,0 +1,101 @@
+"""Human-readable hardware reports.
+
+Turns the raw :class:`~repro.sim.counters.KernelStats` of a run into the
+kind of per-kernel / per-cause breakdown a performance engineer reads:
+where the cycles went (issue vs branch stalls vs memory stalls vs
+accelerator occupancy), per kernel, with instruction-mix percentages.
+Used by the CLI's ``report`` output and the examples.
+"""
+
+from __future__ import annotations
+
+from repro.sim.costmodel import CycleModel
+from repro.sim.counters import Counters, KernelStats
+from repro.sim.machine import MachineConfig
+from repro.util.tables import Table, format_pct, format_si
+
+__all__ = ["hardware_report", "cycle_breakdown_table", "instruction_mix_table"]
+
+
+def cycle_breakdown_table(
+    stats: KernelStats, machine: MachineConfig, title: str = "Cycle breakdown"
+) -> Table:
+    """Per-kernel cycles split by cause (issue / branch / memory / ASA)."""
+    cm = CycleModel(machine)
+    t = Table(
+        title,
+        ["Kernel", "Cycles", "Issue", "Branch stall", "Mem stall",
+         "ASA busy", "Seconds"],
+    )
+    for name, c in stats.components().items():
+        br = cm.cycles(c)
+        if br.cycles == 0:
+            continue
+        t.add_row([
+            name,
+            format_si(br.cycles),
+            format_pct(br.issue / br.cycles),
+            format_pct(br.branch_stall / br.cycles),
+            format_pct(br.memory_stall / br.cycles),
+            format_pct(br.asa_busy / br.cycles),
+            f"{br.seconds*1e3:.3f}ms",
+        ])
+    total = cm.cycles(stats.total)
+    if total.cycles > 0:
+        t.add_row([
+            "TOTAL",
+            format_si(total.cycles),
+            format_pct(total.issue / total.cycles),
+            format_pct(total.branch_stall / total.cycles),
+            format_pct(total.memory_stall / total.cycles),
+            format_pct(total.asa_busy / total.cycles),
+            f"{total.seconds*1e3:.3f}ms",
+        ])
+    return t
+
+
+def instruction_mix_table(
+    counters: Counters, title: str = "Instruction mix"
+) -> Table:
+    """Class-by-class instruction composition of one counter set."""
+    t = Table(title, ["Class", "Count", "Share"])
+    total = counters.instructions
+    rows = [
+        ("integer ALU", counters.int_alu),
+        ("floating point", counters.float_alu),
+        ("loads", counters.load),
+        ("stores", counters.store),
+        ("branches", counters.branch),
+        ("ASA ops", counters.asa),
+    ]
+    for name, v in rows:
+        share = v / total if total else 0.0
+        t.add_row([name, format_si(v), format_pct(share)])
+    t.add_row(["total", format_si(total), "100.0%"])
+    return t
+
+
+def hardware_report(
+    stats: KernelStats, machine: MachineConfig, label: str = "run"
+) -> str:
+    """Full multi-table report as one string."""
+    cm = CycleModel(machine)
+    parts = [
+        cycle_breakdown_table(
+            stats, machine, f"Cycle breakdown — {label} ({machine.name})"
+        ).render(),
+        instruction_mix_table(
+            stats.findbest, f"Instruction mix — FindBestCommunity ({label})"
+        ).render(),
+    ]
+    fb = cm.cycles(stats.findbest)
+    hash_total = cm.cycles(stats.findbest_hash_total)
+    summary = Table(f"Headline metrics — {label}", ["Metric", "Value"])
+    summary.add_row(["FindBest CPI", f"{fb.cpi:.3f}"])
+    summary.add_row(["FindBest mispredicts",
+                     format_si(stats.findbest.branch_mispredict)])
+    if fb.seconds > 0:
+        summary.add_row(["Hash share of FindBest",
+                         format_pct(hash_total.seconds / fb.seconds)])
+    parts.append(summary.render())
+    return "\n\n".join(parts)

@@ -1,0 +1,15 @@
+"""Sparse matrix-matrix multiplication on the ASA accumulator interface.
+
+ASA was originally built for SpGEMM (Chao et al., ACM TACO 2022); the
+paper's contribution is *generalizing its interface* so any hash-heavy
+application benefits.  This package closes the loop by implementing
+row-wise Gustavson SpGEMM on exactly the same
+:class:`repro.accum.base.Accumulator` interface the Infomap kernel uses —
+one accumulator (software hash or CAM) per output row — demonstrating that
+the generalized interface indeed serves both workloads.
+"""
+
+from repro.spgemm.matrix import CSRMatrix, random_sparse_matrix
+from repro.spgemm.gustavson import spgemm, SpGEMMResult
+
+__all__ = ["CSRMatrix", "random_sparse_matrix", "spgemm", "SpGEMMResult"]

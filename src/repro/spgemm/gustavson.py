@@ -1,0 +1,135 @@
+"""Row-wise Gustavson SpGEMM over the accumulator interface.
+
+``C = A @ B`` one output row at a time: for each row ``i`` of ``A``, the
+partial products ``A[i,k] * B[k,j]`` are accumulated per output column
+``j`` — a pure hash-accumulation workload, which is why ASA was designed
+for it (Chao et al.) and why the paper's generalized interface carries
+over to Infomap.  Here the *same* accumulator objects (software hash or
+CAM) used by FindBestCommunity compute the product, with the same hardware
+accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accum.factory import make_accumulator
+from repro.sim.context import HardwareContext
+from repro.sim.costmodel import CycleBreakdown, CycleModel
+from repro.sim.counters import Counters, KernelStats
+from repro.sim.machine import MachineConfig, asa_machine, baseline_machine
+from repro.spgemm.matrix import CSRMatrix
+
+__all__ = ["spgemm", "SpGEMMResult"]
+
+
+@dataclass
+class SpGEMMResult:
+    """Product matrix plus hardware accounting."""
+
+    matrix: CSRMatrix
+    stats: KernelStats
+    machine: MachineConfig
+    backend: str
+    #: FLOP count: one multiply-add per partial product
+    flops: int = 0
+
+    def breakdown(self, counters: Counters | None = None) -> CycleBreakdown:
+        c = counters if counters is not None else self.stats.total
+        return CycleModel(self.machine).cycles(c)
+
+    @property
+    def hash_seconds(self) -> float:
+        return self.breakdown(self.stats.findbest_hash_total).seconds
+
+    @property
+    def total_seconds(self) -> float:
+        return self.breakdown(self.stats.total).seconds
+
+
+def spgemm(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    backend: str = "plain",
+    machine: MachineConfig | None = None,
+) -> SpGEMMResult:
+    """Multiply two CSR matrices through an accumulation backend.
+
+    Parameters
+    ----------
+    backend:
+        ``"plain"``, ``"softhash"`` (software-hash SpGEMM baseline), or
+        ``"asa"`` (the accelerator's original workload).
+    """
+    if a.num_cols != b.num_rows:
+        raise ValueError(
+            f"dimension mismatch: {a.shape} @ {b.shape}"
+        )
+    if machine is None:
+        machine = asa_machine() if backend == "asa" else baseline_machine()
+    ctx = HardwareContext(machine)
+    stats = KernelStats()
+    acc = make_accumulator(
+        backend, ctx, stats.findbest_hash, stats.findbest_overflow
+    ) if backend != "plain" else make_accumulator("plain")
+
+    kc = machine.kernel
+    out_indptr = np.zeros(a.num_rows + 1, dtype=np.int64)
+    out_cols: list[np.ndarray] = []
+    out_vals: list[np.ndarray] = []
+    flops = 0
+
+    for i in range(a.num_rows):
+        a_cols, a_vals = a.row(i)
+        # expected distinct output columns ~ sum of B-row lengths
+        acc.begin(len(a_cols))
+        n_products = 0
+        ctx.use(stats.findbest_hash)
+        for k, av in zip(a_cols.tolist(), a_vals.tolist()):
+            b_cols, b_vals = b.row(k)
+            n_products += len(b_cols)
+            accumulate = acc.accumulate
+            for j, bv in zip(b_cols.tolist(), b_vals.tolist()):
+                accumulate(j, av * bv)
+        pairs = acc.items()
+        acc.finish()
+        flops += n_products
+        # non-hash kernel work: streaming loads of A and B rows, the
+        # multiply per partial product
+        ctx.use(stats.findbest_other)
+        ctx.instr(
+            int_alu=n_products * 2 + len(a_cols) * kc.findbest_link_int_alu,
+            float_alu=n_products,
+            load=n_products * 2 + len(a_cols) * 2,
+            branch=n_products + len(a_cols),
+        )
+        ctx.mem_agg(n_products * 2, footprint_bytes=0, streaming=True)
+
+        pairs.sort(key=lambda kv: kv[0])
+        if pairs:
+            cols_arr = np.fromiter((k for k, _ in pairs), dtype=np.int64,
+                                   count=len(pairs))
+            vals_arr = np.fromiter((v for _, v in pairs), dtype=np.float64,
+                                   count=len(pairs))
+            # drop exact zeros produced by cancellation
+            nz = vals_arr != 0.0
+            cols_arr, vals_arr = cols_arr[nz], vals_arr[nz]
+        else:
+            cols_arr = np.empty(0, np.int64)
+            vals_arr = np.empty(0, np.float64)
+        out_cols.append(cols_arr)
+        out_vals.append(vals_arr)
+        out_indptr[i + 1] = out_indptr[i] + len(cols_arr)
+
+    matrix = CSRMatrix(
+        indptr=out_indptr,
+        indices=np.concatenate(out_cols) if out_cols else np.empty(0, np.int64),
+        values=np.concatenate(out_vals) if out_vals else np.empty(0),
+        num_cols=b.num_cols,
+    )
+    return SpGEMMResult(
+        matrix=matrix, stats=stats, machine=machine, backend=backend,
+        flops=flops,
+    )

@@ -1,0 +1,141 @@
+"""Minimal CSR sparse-matrix type for the SpGEMM demonstration.
+
+Kept separate from :class:`repro.graph.csr.CSRGraph` because matrices are
+rectangular and may carry arbitrary-signed values, while graphs require
+positive arc weights and square shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+__all__ = ["CSRMatrix", "random_sparse_matrix"]
+
+
+@dataclass
+class CSRMatrix:
+    """Compressed sparse row matrix.
+
+    Attributes
+    ----------
+    indptr:
+        ``int64[num_rows + 1]`` row pointers.
+    indices:
+        ``int64[nnz]`` column indices (sorted within each row).
+    values:
+        ``float64[nnz]`` entries.
+    num_cols:
+        Column dimension (rows are implied by ``indptr``).
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    values: np.ndarray
+    num_cols: int
+
+    def __post_init__(self) -> None:
+        self.indptr = np.asarray(self.indptr, dtype=np.int64)
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.indptr[0] != 0 or int(self.indptr[-1]) != len(self.indices):
+            raise ValueError("malformed indptr")
+        if len(self.indices) != len(self.values):
+            raise ValueError("indices/values length mismatch")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if len(self.indices) and (
+            self.indices.min() < 0 or self.indices.max() >= self.num_cols
+        ):
+            raise ValueError("column index out of range")
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def nnz(self) -> int:
+        return len(self.indices)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.num_rows, self.num_cols)
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.values[lo:hi]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ValueError("expected a 2-D array")
+        rows, cols = np.nonzero(dense)
+        counts = np.bincount(rows, minlength=dense.shape[0])
+        indptr = np.zeros(dense.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, cols.astype(np.int64), dense[rows, cols],
+                   num_cols=dense.shape[1])
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape)
+        for i in range(self.num_rows):
+            cols, vals = self.row(i)
+            out[i, cols] += vals
+        return out
+
+    @classmethod
+    def from_triplets(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        shape: tuple[int, int],
+    ) -> "CSRMatrix":
+        """Build from COO triplets, summing duplicates."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        vals = np.asarray(vals, dtype=np.float64)
+        nr, nc = shape
+        key = rows * np.int64(nc) + cols
+        uk, inv = np.unique(key, return_inverse=True)
+        summed = np.bincount(inv, weights=vals)
+        r = (uk // nc).astype(np.int64)
+        c = (uk % nc).astype(np.int64)
+        counts = np.bincount(r, minlength=nr)
+        indptr = np.zeros(nr + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, c, summed, num_cols=nc)
+
+
+def random_sparse_matrix(
+    num_rows: int,
+    num_cols: int,
+    density: float = 0.01,
+    seed: int | np.random.Generator | None = 0,
+    powerlaw_rows: bool = False,
+) -> CSRMatrix:
+    """Random sparse matrix; optionally with power-law row lengths.
+
+    Power-law rows mimic the matrices SpGEMM accelerators target (graph
+    adjacency / Kronecker structure), which stresses the CAM overflow path
+    exactly as heavy-degree vertices do in Infomap.
+    """
+    if not 0.0 < density <= 1.0:
+        raise ValueError("density must be in (0, 1]")
+    rng = make_rng(seed)
+    target_nnz = max(1, int(num_rows * num_cols * density))
+    if powerlaw_rows:
+        weights = (1.0 + np.arange(num_rows)) ** -1.2
+        weights /= weights.sum()
+        rows = rng.choice(num_rows, size=target_nnz, p=weights)
+    else:
+        rows = rng.integers(0, num_rows, size=target_nnz)
+    cols = rng.integers(0, num_cols, size=target_nnz)
+    vals = rng.normal(size=target_nnz)
+    vals[vals == 0.0] = 1.0
+    return CSRMatrix.from_triplets(rows, cols, vals, (num_rows, num_cols))

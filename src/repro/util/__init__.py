@@ -1,0 +1,33 @@
+"""Shared utilities: entropy kernels, deterministic RNG, table rendering.
+
+These helpers are deliberately dependency-light; every other subpackage of
+:mod:`repro` builds on them.
+"""
+
+from repro.util.entropy import plogp, plogp_array, entropy, perplexity
+from repro.util.rng import make_rng, spawn_rngs, stable_hash64
+from repro.util.tables import Table, format_si, format_seconds, format_pct
+from repro.util.validation import (
+    check_positive,
+    check_probability,
+    check_in_range,
+    require,
+)
+
+__all__ = [
+    "plogp",
+    "plogp_array",
+    "entropy",
+    "perplexity",
+    "make_rng",
+    "spawn_rngs",
+    "stable_hash64",
+    "Table",
+    "format_si",
+    "format_seconds",
+    "format_pct",
+    "check_positive",
+    "check_probability",
+    "check_in_range",
+    "require",
+]

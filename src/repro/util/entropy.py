@@ -1,0 +1,75 @@
+"""Entropy kernels used by the map equation.
+
+The map equation (Rosvall & Bergstrom, 2008) is expressed entirely in terms
+of ``p * log2(p)`` sums.  These helpers centralize the convention that
+``plogp(0) == 0`` (the information-theoretic limit of ``x log x`` as
+``x -> 0+``), so callers never have to special-case empty modules.
+
+All logarithms are base 2: codelengths are measured in bits.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["plogp", "plogp_array", "entropy", "perplexity"]
+
+_LOG2 = math.log(2.0)
+
+
+def plogp(x: float) -> float:
+    """Return ``x * log2(x)`` with the convention ``plogp(0) == 0``.
+
+    Parameters
+    ----------
+    x:
+        A non-negative probability mass.  Values that are tiny and negative
+        due to floating-point cancellation (> -1e-12) are clamped to zero.
+
+    Raises
+    ------
+    ValueError
+        If ``x`` is meaningfully negative.
+    """
+    if x <= 0.0:
+        if x < -1e-12:
+            raise ValueError(f"plogp expects non-negative input, got {x!r}")
+        return 0.0
+    return x * math.log(x) / _LOG2
+
+
+def plogp_array(x: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`plogp` over a numpy array.
+
+    Zeros (and tiny negative round-off) map to zero without warnings.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if np.any(x < -1e-12):
+        bad = float(x.min())
+        raise ValueError(f"plogp_array expects non-negative input, min={bad!r}")
+    out = np.zeros_like(x)
+    mask = x > 0.0
+    xm = x[mask]
+    out[mask] = xm * np.log2(xm)
+    return out
+
+
+def entropy(p: np.ndarray) -> float:
+    """Shannon entropy (bits) of a distribution.
+
+    ``p`` need not be normalized; it is normalized internally.  An all-zero
+    vector has entropy zero by convention.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    total = float(p.sum())
+    if total <= 0.0:
+        return 0.0
+    q = p / total
+    return float(-plogp_array(q).sum())
+
+
+def perplexity(p: np.ndarray) -> float:
+    """Perplexity ``2**H(p)`` — the effective number of outcomes."""
+    return float(2.0 ** entropy(p))

@@ -1,0 +1,62 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component in the reproduction (graph generators, hash
+functions, multicore interleaving) is seeded through these helpers so that
+all benchmarks print identical tables run-to-run.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["make_rng", "spawn_rngs", "stable_hash64"]
+
+#: Fixed golden-ratio-derived multiplier used by :func:`stable_hash64`
+#: (same constant family as splitmix64 / Fibonacci hashing).
+_SPLITMIX_GAMMA = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` from a seed or pass-through.
+
+    ``None`` maps to the fixed default seed 0 — this library is meant for
+    reproducible experiments, so there is deliberately no entropy source.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        seed = 0
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int, n: int) -> list[np.random.Generator]:
+    """Spawn ``n`` independent child generators from one integer seed.
+
+    Used to give each simulated core its own stream.
+    """
+    ss = np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in ss.spawn(n)]
+
+
+def stable_hash64(key: int, seed: int = 0) -> int:
+    """A deterministic 64-bit mix of an integer key (splitmix64 finalizer).
+
+    Unlike Python's builtin ``hash`` this is stable across processes and
+    runs, which matters because the software-hash cost model's collision
+    behaviour must be reproducible.
+    """
+    z = (key + _SPLITMIX_GAMMA * (seed + 1)) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+def stable_hash64_array(keys: "np.ndarray", seed: int = 0) -> "np.ndarray":
+    """Vectorized :func:`stable_hash64` over a uint64 array."""
+    z = (keys.astype(np.uint64) + np.uint64((_SPLITMIX_GAMMA * (seed + 1)) & _MASK64))
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))

@@ -1,0 +1,94 @@
+"""ASCII table rendering for the benchmark harness.
+
+Every bench prints its table/figure as a plain-text table via
+:class:`Table` so that ``pytest benchmarks/ --benchmark-only`` output can be
+diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["Table", "format_si", "format_seconds", "format_pct"]
+
+_SI_PREFIXES = [
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "K"),
+]
+
+
+def format_si(value: float, digits: int = 2) -> str:
+    """Format a count with an SI suffix (``2.4T``, ``30.6M``, ``925K``)."""
+    v = float(value)
+    sign = "-" if v < 0 else ""
+    v = abs(v)
+    for threshold, suffix in _SI_PREFIXES:
+        if v >= threshold:
+            return f"{sign}{v / threshold:.{digits}f}{suffix}"
+    if v == int(v):
+        return f"{sign}{int(v)}"
+    return f"{sign}{v:.{digits}f}"
+
+
+def format_seconds(seconds: float, digits: int = 3) -> str:
+    """Format a duration in seconds, falling back to ms/us for small values."""
+    s = float(seconds)
+    if s >= 1.0 or s == 0.0:
+        return f"{s:.{digits}f}s"
+    if s >= 1e-3:
+        return f"{s * 1e3:.{digits}f}ms"
+    return f"{s * 1e6:.{digits}f}us"
+
+
+def format_pct(fraction: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string (``0.59 -> '59.0%'``)."""
+    return f"{fraction * 100.0:.{digits}f}%"
+
+
+class Table:
+    """Minimal monospace table with a title, header row, and aligned columns.
+
+    Example
+    -------
+    >>> t = Table("Table V", ["Network", "Baseline (s)", "ASA (s)"])
+    >>> t.add_row(["Amazon", 4.73, 1.44])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = [str(c) for c in columns]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable[Any]) -> None:
+        row = [self._fmt(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    @staticmethod
+    def _fmt(v: Any) -> str:
+        if isinstance(v, float):
+            return f"{v:.4g}"
+        return str(v)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "+".join("-" * (w + 2) for w in widths)
+        lines = [self.title, sep]
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        lines.append(sep)
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print("\n" + self.render() + "\n")

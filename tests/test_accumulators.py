@@ -1,0 +1,202 @@
+"""Backend-equivalence and accounting tests for the accumulators.
+
+The central correctness contract: ``plain``, ``softhash`` and ``asa`` are
+functionally interchangeable — identical key→sum maps for any operation
+stream — and differ only in hardware cost accounting.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accum import BACKENDS, make_accumulator
+from repro.accum.softhash import SoftwareHashAccumulator
+from repro.sim.context import HardwareContext
+from repro.sim.counters import Counters, KernelStats
+from repro.sim.machine import asa_machine, baseline_machine
+
+
+def _instrumented(backend: str, fidelity: str = "fast"):
+    machine = (asa_machine if backend == "asa" else baseline_machine)(fidelity)
+    ctx = HardwareContext(machine)
+    ks = KernelStats()
+    acc = make_accumulator(backend, ctx, ks.findbest_hash, ks.findbest_overflow)
+    return acc, ks, ctx
+
+
+def _drive(acc, ops):
+    """Run one begin/accumulate*/items/finish cycle; return the result map."""
+    acc.begin(len(ops))
+    for k, v in ops:
+        acc.accumulate(k, v)
+    pairs = dict(acc.items())
+    acc.finish()
+    return pairs
+
+
+class TestFactory:
+    def test_backend_names(self):
+        assert set(BACKENDS) == {"plain", "softhash", "robinhood", "asa"}
+
+    def test_plain_needs_no_context(self):
+        acc = make_accumulator("plain")
+        assert _drive(acc, [(1, 2.0)]) == {1: 2.0}
+
+    def test_instrumented_requires_context(self):
+        with pytest.raises(ValueError):
+            make_accumulator("softhash")
+
+    def test_unknown_backend(self):
+        ctx = HardwareContext(baseline_machine())
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_accumulator("cuckoo", ctx, Counters())
+
+
+class TestEquivalenceProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.lists(
+                st.tuples(st.integers(0, 40), st.floats(0.01, 5.0)),
+                min_size=0,
+                max_size=120,
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_all_backends_agree(self, vertex_streams):
+        accs = {}
+        for b in BACKENDS:
+            accs[b] = (
+                make_accumulator(b)
+                if b == "plain"
+                else _instrumented(b)[0]
+            )
+        for ops in vertex_streams:
+            results = {b: _drive(a, ops) for b, a in accs.items()}
+            ref = results["plain"]
+            for b in ("softhash", "asa"):
+                assert set(results[b]) == set(ref), b
+                for k in ref:
+                    assert results[b][k] == pytest.approx(ref[k], rel=1e-12), b
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 60), st.floats(0.01, 5.0)),
+            min_size=0,
+            max_size=150,
+        )
+    )
+    def test_asa_exact_even_when_overflowing(self, ops):
+        """A tiny 8-entry CAM forces the overflow path constantly; results
+        must still be exact."""
+        ctx = HardwareContext(asa_machine(cam_bytes=128))  # 8 entries
+        ks = KernelStats()
+        acc = make_accumulator("asa", ctx, ks.findbest_hash, ks.findbest_overflow)
+        ref = {}
+        for k, v in ops:
+            ref[k] = ref.get(k, 0.0) + v
+        got = _drive(acc, ops)
+        assert set(got) == set(ref)
+        for k in ref:
+            assert got[k] == pytest.approx(ref[k], rel=1e-12)
+
+
+class TestSoftHashModel:
+    def test_rehash_grows_buckets(self):
+        acc, ks, _ = _instrumented("softhash")
+        acc.begin(0)
+        for k in range(100):
+            acc.accumulate(k, 1.0)
+        assert acc._buckets >= 128  # grew from 8 by doubling
+        acc.items()
+        acc.finish()
+
+    def test_double_probe_costs_more_than_single(self):
+        ops = [(k % 7, 1.0) for k in range(200)]
+        costs = {}
+        for dp in (True, False):
+            machine = baseline_machine()
+            ctx = HardwareContext(machine)
+            ks = KernelStats()
+            acc = SoftwareHashAccumulator(ctx, ks.findbest_hash, double_probe=dp)
+            _drive(acc, ops)
+            costs[dp] = ks.findbest_hash.instructions
+        assert costs[True] > costs[False] * 1.2
+
+    def test_instruction_counts_identical_across_fidelity(self):
+        ops = [(k % 13, 0.5) for k in range(300)]
+        instr = {}
+        for fid in ("fast", "detailed"):
+            acc, ks, _ = _instrumented("softhash", fid)
+            _drive(acc, ops)
+            instr[fid] = ks.findbest_hash.instructions
+        assert instr["fast"] == pytest.approx(instr["detailed"])
+
+    def test_fast_and_detailed_mispredicts_same_ballpark(self):
+        ops = [((k * 7919) % 97, 0.5) for k in range(4000)]
+        miss = {}
+        for fid in ("fast", "detailed"):
+            acc, ks, _ = _instrumented("softhash", fid)
+            _drive(acc, ops)
+            miss[fid] = ks.findbest_hash.branch_mispredict
+        assert miss["detailed"] > 0
+        ratio = miss["fast"] / miss["detailed"]
+        assert 0.3 < ratio < 3.0
+
+    def test_counters_accumulate_across_tables(self):
+        acc, ks, _ = _instrumented("softhash")
+        _drive(acc, [(1, 1.0)])
+        first = ks.findbest_hash.instructions
+        _drive(acc, [(1, 1.0)])
+        assert ks.findbest_hash.instructions == pytest.approx(2 * first)
+
+
+class TestASAAccounting:
+    def test_asa_instructions_counted(self):
+        acc, ks, _ = _instrumented("asa")
+        _drive(acc, [(k, 1.0) for k in range(10)])
+        assert ks.findbest_hash.asa == 11  # 10 accumulates + 1 gather
+
+    def test_busy_cycles_accrue(self):
+        acc, ks, _ = _instrumented("asa")
+        _drive(acc, [(k, 1.0) for k in range(10)])
+        assert ks.findbest_hash.asa_busy_cycles > 0
+
+    def test_no_overflow_means_no_overflow_cost(self):
+        acc, ks, _ = _instrumented("asa")
+        _drive(acc, [(k, 1.0) for k in range(10)])
+        assert ks.findbest_overflow.instructions == 0
+        assert acc.overflowed_vertices == 0
+
+    def test_overflow_charged_separately(self):
+        acc, ks, _ = _instrumented("asa")
+        _drive(acc, [(k, 1.0) for k in range(600)])  # > 512 CAM entries
+        assert ks.findbest_overflow.instructions > 0
+        assert acc.overflowed_vertices == 1
+
+    def test_begin_requires_drained_cam(self):
+        acc, ks, _ = _instrumented("asa")
+        acc.begin(0)
+        acc.accumulate(1, 1.0)
+        with pytest.raises(RuntimeError):
+            acc.begin(0)
+
+    def test_far_fewer_instructions_than_softhash(self):
+        ops = [(k % 20, 1.0) for k in range(1000)]
+        soft, sks, _ = _instrumented("softhash")
+        asa, aks, _ = _instrumented("asa")
+        _drive(soft, ops)
+        _drive(asa, ops)
+        assert (
+            aks.findbest_hash_total.instructions
+            < 0.5 * sks.findbest_hash_total.instructions
+        )
+
+    def test_no_hash_branch_mispredicts(self):
+        ops = [(k % 20, 1.0) for k in range(1000)]
+        asa, aks, _ = _instrumented("asa")
+        _drive(asa, ops)
+        # no overflow -> only the overflow-emptiness check branch
+        assert aks.findbest_hash.branch_mispredict < 5

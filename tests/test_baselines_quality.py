@@ -1,0 +1,179 @@
+"""Tests for the Louvain/modularity baselines and the quality metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.louvain import louvain
+from repro.baselines.modularity import modularity
+from repro.graph.build import from_edges
+from repro.graph.generators import planted_partition, ring_of_cliques
+from repro.quality.ari import adjusted_rand_index
+from repro.quality.f1 import pairwise_f1
+from repro.quality.nmi import mutual_information, normalized_mutual_information
+
+
+class TestModularity:
+    def test_single_community_zero(self):
+        g, _ = ring_of_cliques(1, 4)
+        assert modularity(g, np.zeros(4, dtype=int)) == pytest.approx(0.0)
+
+    def test_known_two_triangles(self):
+        # two triangles joined by one edge; Q of the natural split
+        g = from_edges(
+            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+            num_vertices=6,
+        )
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        # m=7 edges; intra=6/7 of arc weight; degree sums 7 per side
+        expected = 6 / 7 - 2 * (7 / 14) ** 2
+        assert modularity(g, labels) == pytest.approx(expected)
+
+    def test_good_partition_beats_bad(self):
+        g, truth = ring_of_cliques(5, 5)
+        rng = np.random.default_rng(0)
+        bad = rng.integers(0, 5, size=g.num_vertices)
+        assert modularity(g, truth) > modularity(g, bad)
+
+    def test_directed_rejected(self):
+        g = from_edges([(0, 1)], directed=True, num_vertices=2)
+        with pytest.raises(ValueError):
+            modularity(g, np.zeros(2, dtype=int))
+
+    def test_label_length_check(self):
+        g, _ = ring_of_cliques(2, 3)
+        with pytest.raises(ValueError):
+            modularity(g, np.zeros(3, dtype=int))
+
+
+class TestLouvain:
+    def test_ring_of_cliques(self):
+        g, truth = ring_of_cliques(6, 5)
+        r = louvain(g)
+        assert r.num_modules == 6
+        assert normalized_mutual_information(r.modules, truth) > 0.99
+
+    def test_planted_partition(self):
+        g, truth = planted_partition(5, 30, 0.4, 0.01, seed=2)
+        r = louvain(g)
+        assert normalized_mutual_information(r.modules, truth) > 0.9
+
+    def test_modularity_positive_on_structured_graph(self):
+        g, _ = planted_partition(4, 25, 0.4, 0.02, seed=1)
+        r = louvain(g)
+        assert r.modularity > 0.3
+
+    def test_deterministic_unseeded(self):
+        g, _ = planted_partition(4, 20, 0.4, 0.02, seed=1)
+        a = louvain(g)
+        b = louvain(g)
+        assert np.array_equal(a.modules, b.modules)
+
+    def test_seeded_reproducible(self):
+        g, _ = planted_partition(4, 20, 0.4, 0.02, seed=1)
+        a = louvain(g, seed=5)
+        b = louvain(g, seed=5)
+        assert np.array_equal(a.modules, b.modules)
+
+    def test_directed_rejected(self):
+        g = from_edges([(0, 1)], directed=True, num_vertices=2)
+        with pytest.raises(ValueError):
+            louvain(g)
+
+    def test_resolution_limit_on_large_ring(self):
+        """The resolution limit (Fortunato & Barthélemy 2007, paper §I):
+        on a long ring of 5-cliques modularity optimization merges adjacent
+        cliques while Infomap recovers every clique."""
+        from repro.core.infomap import run_infomap
+
+        g, truth = ring_of_cliques(30, 5)
+        rl = louvain(g)
+        ri = run_infomap(g)
+        assert ri.num_modules == 30
+        assert rl.num_modules < 30  # Louvain merges (15 pairs)
+
+
+class TestNMI:
+    def test_identical_partitions(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        assert normalized_mutual_information(a, a) == pytest.approx(1.0)
+
+    def test_permutation_invariance(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([7, 7, 3, 3])
+        assert normalized_mutual_information(a, b) == pytest.approx(1.0)
+
+    def test_independent_partitions_low(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 5, 3000)
+        b = rng.integers(0, 5, 3000)
+        assert normalized_mutual_information(a, b) < 0.05
+
+    def test_degenerate_single_cluster(self):
+        a = np.zeros(5, dtype=int)
+        assert normalized_mutual_information(a, a) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            normalized_mutual_information(np.array([0, 1]), np.array([0]))
+
+    def test_mutual_information_nonnegative(self):
+        a = np.array([0, 1, 0, 1, 2])
+        b = np.array([1, 1, 0, 0, 2])
+        assert mutual_information(a, b) >= -1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 4), min_size=2, max_size=60))
+    def test_symmetry(self, labels):
+        a = np.asarray(labels)
+        rng = np.random.default_rng(1)
+        b = rng.integers(0, 3, len(a))
+        assert normalized_mutual_information(a, b) == pytest.approx(
+            normalized_mutual_information(b, a)
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 4), min_size=2, max_size=60))
+    def test_bounds(self, labels):
+        a = np.asarray(labels)
+        rng = np.random.default_rng(2)
+        b = rng.integers(0, 4, len(a))
+        assert 0.0 <= normalized_mutual_information(a, b) <= 1.0
+
+
+class TestARI:
+    def test_identical(self):
+        a = np.array([0, 0, 1, 1])
+        assert adjusted_rand_index(a, a) == pytest.approx(1.0)
+
+    def test_permutation_invariance(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([1, 1, 0, 0])
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 4, 4000)
+        b = rng.integers(0, 4, 4000)
+        assert abs(adjusted_rand_index(a, b)) < 0.05
+
+
+class TestPairwiseF1:
+    def test_identical(self):
+        a = np.array([0, 0, 1, 1, 2])
+        assert pairwise_f1(a, a) == pytest.approx(1.0)
+
+    def test_all_singletons_vs_clustered(self):
+        pred = np.arange(6)
+        truth = np.array([0, 0, 0, 1, 1, 1])
+        assert pairwise_f1(pred, truth) == 0.0
+
+    def test_partial_overlap_between_zero_and_one(self):
+        pred = np.array([0, 0, 1, 1])
+        truth = np.array([0, 0, 0, 1])
+        f1 = pairwise_f1(pred, truth)
+        assert 0.0 < f1 < 1.0
+
+    def test_both_all_singletons(self):
+        a = np.arange(5)
+        assert pairwise_f1(a, a) == 1.0

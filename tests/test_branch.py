@@ -1,0 +1,132 @@
+"""Tests for the branch-predictor models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.branch import (
+    BranchSite,
+    GSharePredictor,
+    StatisticalBranchModel,
+    TwoBitPredictor,
+    twobit_steady_state_misrate,
+)
+
+
+class TestTwoBit:
+    def test_always_taken_learns(self):
+        p = TwoBitPredictor()
+        for _ in range(100):
+            p.record(0, True)
+        assert p.mispredicts <= 1
+        assert p.lookups == 100
+
+    def test_always_not_taken_learns(self):
+        p = TwoBitPredictor()
+        for _ in range(100):
+            p.record(0, False)
+        # initial counter is weakly-taken: at most 2 early misses
+        assert p.mispredicts <= 2
+
+    def test_alternating_is_bad(self):
+        p = TwoBitPredictor()
+        misses = sum(p.record(0, i % 2 == 0) for i in range(200))
+        assert misses >= 80  # 2-bit counters thrash on alternation
+
+    def test_sites_independent(self):
+        p = TwoBitPredictor()
+        for _ in range(50):
+            p.record(0, True)
+            p.record(1, False)
+        assert p.mispredicts <= 3
+
+    def test_reset(self):
+        p = TwoBitPredictor()
+        p.record(0, True)
+        p.reset()
+        assert p.lookups == 0 and p.mispredicts == 0 and not p.counters
+
+
+class TestGShare:
+    def test_biased_stream_low_misrate(self):
+        g = GSharePredictor()
+        misses = sum(g.record(7, True) for _ in range(1000))
+        assert misses / 1000 < 0.05
+
+    def test_learns_periodic_pattern(self):
+        """gshare exploits history: a period-4 pattern becomes predictable."""
+        g = GSharePredictor()
+        pattern = [True, True, False, True]
+        outcomes = pattern * 500
+        misses = sum(g.record(3, t) for t in outcomes)
+        # a 2-bit counter alone would miss ~25 %+; gshare should do better
+        assert misses / len(outcomes) < 0.15
+
+    def test_random_stream_near_half(self):
+        rng = np.random.default_rng(0)
+        g = GSharePredictor()
+        outcomes = rng.random(4000) < 0.5
+        misses = sum(g.record(1, bool(t)) for t in outcomes)
+        assert 0.35 < misses / 4000 < 0.6
+
+    def test_reset(self):
+        g = GSharePredictor()
+        g.record(0, True)
+        g.reset()
+        assert g.lookups == 0 and g.history == 0
+
+
+class TestSteadyState:
+    def test_extremes(self):
+        assert twobit_steady_state_misrate(0.0) == 0.0
+        assert twobit_steady_state_misrate(1.0) == 0.0
+        assert twobit_steady_state_misrate(0.5) == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        for p in (0.1, 0.25, 0.4):
+            assert twobit_steady_state_misrate(p) == pytest.approx(
+                twobit_steady_state_misrate(1 - p)
+            )
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_bounds(self, p):
+        r = twobit_steady_state_misrate(p)
+        assert 0.0 <= r <= 0.5
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.05, max_value=0.95))
+    def test_matches_simulated_twobit(self, p):
+        """Closed form should match a simulated 2-bit counter on iid input."""
+        rng = np.random.default_rng(12345)
+        pred = TwoBitPredictor()
+        n = 20000
+        misses = sum(pred.record(0, bool(t)) for t in rng.random(n) < p)
+        assert misses / n == pytest.approx(
+            twobit_steady_state_misrate(p), abs=0.04
+        )
+
+
+class TestStatisticalModel:
+    def test_aggregate_accounting(self):
+        m = StatisticalBranchModel()
+        m.add(BranchSite.HASH_KEYCMP, 1000, 500)
+        assert m.lookups == 1000
+        assert m.mispredicts == pytest.approx(500.0)
+
+    def test_loop_site_uses_low_rate(self):
+        m = StatisticalBranchModel()
+        m.add(BranchSite.LOOP_BACK, 1000, 990)
+        assert m.mispredicts == pytest.approx(10.0)
+
+    def test_invalid_aggregate(self):
+        m = StatisticalBranchModel()
+        with pytest.raises(ValueError):
+            m.add(0, 10, 20)
+        with pytest.raises(ValueError):
+            m.add(0, -1, 0)
+
+    def test_reset(self):
+        m = StatisticalBranchModel()
+        m.add(0, 10, 5)
+        m.reset()
+        assert m.lookups == 0

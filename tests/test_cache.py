@@ -1,0 +1,137 @@
+"""Tests for the cache-hierarchy models."""
+
+import pytest
+
+from repro.sim.cache import (
+    CacheConfig,
+    CacheHierarchy,
+    SetAssociativeCache,
+    StatisticalCacheModel,
+)
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        assert CacheConfig(32 * 1024, 8).num_sets == 64
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(0, 8)
+        with pytest.raises(ValueError):
+            CacheConfig(1000, 3)  # not divisible
+
+
+class TestSetAssociativeCache:
+    def test_cold_miss_then_hit(self):
+        c = SetAssociativeCache(CacheConfig(1024, 2))
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.access(8)  # same 64B line
+        assert c.hits == 2 and c.misses == 1
+
+    def test_lru_eviction(self):
+        # 2-way, line 64B, 1024B total -> 8 sets; addresses 0, 512, 1024
+        # map to the same set (stride = num_sets * line = 512)
+        c = SetAssociativeCache(CacheConfig(1024, 2))
+        c.access(0)
+        c.access(512)
+        c.access(1024)  # evicts line 0 (LRU)
+        assert not c.access(0)
+
+    def test_lru_touch_prevents_eviction(self):
+        c = SetAssociativeCache(CacheConfig(1024, 2))
+        c.access(0)
+        c.access(512)
+        c.access(0)      # touch: 512 becomes LRU
+        c.access(1024)   # evicts 512
+        assert c.access(0)
+        assert not c.access(512)
+
+    def test_reset(self):
+        c = SetAssociativeCache(CacheConfig(1024, 2))
+        c.access(0)
+        c.reset()
+        assert c.hits == 0 and not c.access(0)
+
+
+class TestHierarchy:
+    def _small(self):
+        return CacheHierarchy(
+            l1=CacheConfig(128, 2),
+            l2=CacheConfig(512, 2),
+            l3=CacheConfig(2048, 2),
+        )
+
+    def test_miss_goes_to_memory(self):
+        h = self._small()
+        assert h.access(0) == 4
+
+    def test_second_access_l1(self):
+        h = self._small()
+        h.access(0)
+        assert h.access(0) == 1
+
+    def test_l1_eviction_falls_to_l2(self):
+        h = self._small()
+        # L1: 128B/2-way/64B-line -> 1 set, 2 ways. Three lines thrash L1.
+        h.access(0)
+        h.access(64)
+        h.access(128)  # evicts line 0 from L1, still in L2
+        assert h.access(0) == 2
+
+    def test_shared_l3(self):
+        shared = SetAssociativeCache(CacheConfig(2048, 2))
+        h1 = CacheHierarchy(CacheConfig(128, 2), CacheConfig(512, 2), l3_cache=shared)
+        h2 = CacheHierarchy(CacheConfig(128, 2), CacheConfig(512, 2), l3_cache=shared)
+        h1.access(0)
+        # other core's private levels miss but shared L3 hits
+        assert h2.access(0) == 3
+
+    def test_requires_l3(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy(CacheConfig(128, 2), CacheConfig(512, 2))
+
+
+class TestStatisticalCache:
+    def _m(self):
+        return StatisticalCacheModel(
+            l1_bytes=32 * 1024, l2_bytes=256 * 1024, l3_bytes=16 * 1024 * 1024
+        )
+
+    def test_small_footprint_all_l1(self):
+        m = self._m()
+        l1, l2, l3, mem = m.add(100, footprint_bytes=1024)
+        assert l1 == pytest.approx(100)
+        assert l2 == l3 == mem == 0
+
+    def test_l2_sized_footprint(self):
+        m = self._m()
+        l1, l2, l3, mem = m.add(100, footprint_bytes=128 * 1024)
+        assert l1 == pytest.approx(25)
+        assert l2 == pytest.approx(75)
+        assert l3 == mem == 0
+
+    def test_huge_footprint_reaches_memory(self):
+        m = self._m()
+        l1, l2, l3, mem = m.add(100, footprint_bytes=64 * 1024 * 1024)
+        assert mem > 0
+        assert l1 + l2 + l3 + mem == pytest.approx(100)
+
+    def test_streaming_misses_once_per_line(self):
+        m = self._m()
+        l1, l2, l3, mem = m.add(64, footprint_bytes=0, streaming=True)
+        # 8-byte elements, 64-byte lines: 1/8 of accesses leave L1
+        assert l3 == pytest.approx(8)
+        assert l1 == pytest.approx(56)
+
+    def test_zero_accesses(self):
+        m = self._m()
+        assert m.add(0, 100) == (0.0, 0.0, 0.0, 0.0)
+
+    def test_accumulates_and_resets(self):
+        m = self._m()
+        m.add(10, 1024)
+        m.add(10, 1024)
+        assert m.l1_frac == pytest.approx(20)
+        m.reset()
+        assert m.l1_frac == 0

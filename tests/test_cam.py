@@ -1,0 +1,125 @@
+"""Tests for the ASA CAM and sort_and_merge (Section III semantics)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asa.cam import CAM
+from repro.asa.merge import sort_and_merge
+
+
+class TestCAMBasics:
+    def test_insert_then_hit(self):
+        cam = CAM(4)
+        assert cam.accumulate(1, 1.0) == "insert"
+        assert cam.accumulate(1, 2.0) == "hit"
+        assert cam.peek() == {1: 3.0}
+
+    def test_three_outcomes(self):
+        cam = CAM(2)
+        assert cam.accumulate(1, 1.0) == "insert"
+        assert cam.accumulate(2, 1.0) == "insert"
+        assert cam.accumulate(1, 1.0) == "hit"
+        assert cam.accumulate(3, 1.0) == "evict"
+
+    def test_lru_victim_is_least_recent(self):
+        cam = CAM(2)
+        cam.accumulate(1, 1.0)
+        cam.accumulate(2, 1.0)
+        cam.accumulate(1, 1.0)  # touch 1 -> 2 is LRU
+        cam.accumulate(3, 1.0)  # evicts 2
+        assert set(cam.peek()) == {1, 3}
+        non, over = cam.gather()
+        assert over == [(2, 1.0)]
+
+    def test_gather_drains(self):
+        cam = CAM(4)
+        cam.accumulate(1, 1.0)
+        non, over = cam.gather()
+        assert non == [(1, 1.0)] and over == []
+        assert len(cam) == 0 and cam.overflow_count == 0
+
+    def test_evicted_key_reenters_fresh(self):
+        cam = CAM(1)
+        cam.accumulate(1, 1.0)
+        cam.accumulate(2, 1.0)  # evicts 1
+        cam.accumulate(1, 5.0)  # evicts 2; key 1 re-enters with fresh sum
+        non, over = cam.gather()
+        assert dict(non) == {1: 5.0}
+        assert sorted(dict(over).items()) == [(1, 1.0), (2, 1.0)]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            CAM(0)
+
+    def test_stats(self):
+        cam = CAM(2)
+        cam.accumulate(1, 1.0)
+        cam.accumulate(1, 1.0)
+        cam.accumulate(2, 1.0)
+        cam.accumulate(3, 1.0)
+        s = cam.stats
+        assert s.accumulates == 4
+        assert s.hits == 1
+        assert s.inserts == 3
+        assert s.evictions == 1
+
+    def test_reset(self):
+        cam = CAM(2)
+        cam.accumulate(1, 1.0)
+        cam.reset()
+        assert len(cam) == 0 and cam.stats.accumulates == 0
+
+
+class TestSortAndMerge:
+    def test_empty(self):
+        merged, stats = sort_and_merge([], [])
+        assert merged == [] and stats.elements == 0
+
+    def test_merges_duplicates(self):
+        merged, stats = sort_and_merge([(1, 1.0), (2, 2.0)], [(1, 3.0)])
+        assert merged == [(1, 4.0), (2, 2.0)]
+        assert stats.merged_duplicates == 1
+
+    def test_sorted_output(self):
+        merged, _ = sort_and_merge([(5, 1.0), (1, 1.0)], [(3, 1.0)])
+        assert [k for k, _ in merged] == [1, 3, 5]
+
+    def test_comparison_estimate(self):
+        _, stats = sort_and_merge([(i, 1.0) for i in range(8)], [])
+        assert stats.comparisons == pytest.approx(8 * 3)
+
+
+class TestExactnessProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.floats(0.001, 10.0)),
+            min_size=0,
+            max_size=300,
+        ),
+        st.integers(1, 16),
+    )
+    def test_cam_plus_merge_is_exact(self, ops, capacity):
+        """Regardless of CAM size, gather + sort_and_merge yields exact sums
+        — the correctness contract of Section III."""
+        cam = CAM(capacity)
+        expected: dict[int, float] = {}
+        for k, v in ops:
+            cam.accumulate(k, v)
+            expected[k] = expected.get(k, 0.0) + v
+        merged, _ = sort_and_merge(*cam.gather())
+        got = dict(merged)
+        assert set(got) == set(expected)
+        for k in expected:
+            assert got[k] == pytest.approx(expected[k], rel=1e-12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(0, 1000), min_size=1, max_size=200),
+        st.integers(1, 64),
+    )
+    def test_capacity_bound_respected(self, keys, capacity):
+        cam = CAM(capacity)
+        for k in keys:
+            cam.accumulate(k, 1.0)
+            assert len(cam) <= capacity

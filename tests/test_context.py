@@ -1,0 +1,131 @@
+"""Unit tests for the per-core HardwareContext."""
+
+import pytest
+
+from repro.sim.branch import BranchSite
+from repro.sim.cache import SetAssociativeCache
+from repro.sim.context import HardwareContext
+from repro.sim.counters import Counters
+from repro.sim.machine import baseline_machine
+
+
+class TestAttribution:
+    def test_use_switches_target(self):
+        ctx = HardwareContext(baseline_machine())
+        a, b = Counters(), Counters()
+        ctx.use(a)
+        ctx.instr(int_alu=5)
+        ctx.use(b)
+        ctx.instr(int_alu=7)
+        assert a.int_alu == 5 and b.int_alu == 7
+
+    def test_instr_classes(self):
+        ctx = HardwareContext(baseline_machine())
+        c = Counters()
+        ctx.use(c)
+        ctx.instr(int_alu=1, float_alu=2, load=3, store=4, branch=5, asa=6)
+        assert c.instructions == 21
+
+    def test_asa_busy(self):
+        ctx = HardwareContext(baseline_machine())
+        c = Counters()
+        ctx.use(c)
+        ctx.asa_busy(42.0)
+        assert c.asa_busy_cycles == 42.0
+
+
+class TestFastMode:
+    def test_branch_agg_uses_steady_state(self):
+        ctx = HardwareContext(baseline_machine("fast"))
+        c = Counters()
+        ctx.use(c)
+        ctx.branch_agg(BranchSite.HASH_KEYCMP, 1000, 500)
+        assert c.branch_mispredict == pytest.approx(500.0)
+
+    def test_loop_back_low_rate(self):
+        ctx = HardwareContext(baseline_machine("fast"))
+        c = Counters()
+        ctx.use(c)
+        ctx.branch_agg(BranchSite.LOOP_BACK, 1000, 999)
+        assert c.branch_mispredict == pytest.approx(10.0)
+
+    def test_branch_agg_ignores_empty(self):
+        ctx = HardwareContext(baseline_machine("fast"))
+        c = Counters()
+        ctx.use(c)
+        ctx.branch_agg(BranchSite.HASH_CHAIN, 0, 0)
+        assert c.branch_mispredict == 0
+
+    def test_mem_agg_splits_levels(self):
+        ctx = HardwareContext(baseline_machine("fast"))
+        c = Counters()
+        ctx.use(c)
+        ctx.mem_agg(100, footprint_bytes=128 * 1024)  # spans L1+L2
+        assert c.l1_hit > 0 and c.l2_hit > 0
+        assert c.l1_hit + c.l2_hit + c.l3_hit + c.mem_access == pytest.approx(100)
+
+    def test_no_detailed_structures(self):
+        ctx = HardwareContext(baseline_machine("fast"))
+        assert ctx.predictor is None and ctx.caches is None
+
+
+class TestDetailedMode:
+    def test_branch_event_drives_predictor(self):
+        ctx = HardwareContext(baseline_machine("detailed"))
+        c = Counters()
+        ctx.use(c)
+        for _ in range(200):
+            ctx.branch_event(BranchSite.HASH_KEYCMP, True)
+        assert c.branch_mispredict <= 2  # learned quickly
+
+    def test_mem_event_classifies_hits(self):
+        ctx = HardwareContext(baseline_machine("detailed"))
+        c = Counters()
+        ctx.use(c)
+        ctx.mem_event(0x1000)
+        ctx.mem_event(0x1000)
+        assert c.mem_access == 1  # cold miss
+        assert c.l1_hit == 1
+
+    def test_twobit_predictor_option(self):
+        from repro.sim.branch import TwoBitPredictor
+
+        m = baseline_machine("detailed").with_(predictor="twobit")
+        ctx = HardwareContext(m)
+        assert isinstance(ctx.predictor, TwoBitPredictor)
+
+    def test_shared_l3(self):
+        m = baseline_machine("detailed")
+        shared = SetAssociativeCache(m.l3)
+        a = HardwareContext(m, core_id=0, shared_l3=shared)
+        b = HardwareContext(m, core_id=1, shared_l3=shared)
+        ca, cb = Counters(), Counters()
+        a.use(ca)
+        b.use(cb)
+        a.mem_event(0x40)
+        b.mem_event(0x40)
+        assert ca.mem_access == 1  # cold in everything
+        assert cb.l3_hit == 1  # other core's private levels miss, L3 hits
+
+    def test_dispatchers_fall_back_to_aggregate(self):
+        ctx = HardwareContext(baseline_machine("detailed"))
+        c = Counters()
+        ctx.use(c)
+        ctx.branches(BranchSite.SORT_CMP, 100, 50)
+        assert c.branch_mispredict == pytest.approx(50.0)
+        ctx.mem(10, footprint_bytes=1024)
+        assert c.l1_hit == pytest.approx(10.0)
+
+    def test_dispatchers_consume_real_events(self):
+        ctx = HardwareContext(baseline_machine("detailed"))
+        c = Counters()
+        ctx.use(c)
+        ctx.branches(BranchSite.SORT_CMP, 3, 3, outcomes=[True, True, True])
+        ctx.mem(2, footprint_bytes=0, addrs=[0x80, 0x80])
+        assert c.l1_hit == 1 and c.mem_access == 1
+
+    def test_memory_layouts_distinct_per_core(self):
+        m = baseline_machine("detailed")
+        a = HardwareContext(m, core_id=0)
+        b = HardwareContext(m, core_id=3)
+        assert a.layout.node_addr(0) != b.layout.node_addr(0)

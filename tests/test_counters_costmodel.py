@@ -1,0 +1,177 @@
+"""Tests for counters, cycle model, machine configs, and memory layout."""
+
+import pytest
+
+from repro.sim.counters import Counters, KernelStats
+from repro.sim.costmodel import CycleModel
+from repro.sim.machine import (
+    MachineConfig,
+    asa_machine,
+    baseline_machine,
+    native_machine,
+)
+from repro.sim.memlayout import MemoryLayout
+
+
+class TestCounters:
+    def test_instructions_sum(self):
+        c = Counters(int_alu=10, float_alu=5, load=3, store=2, branch=4, asa=1)
+        assert c.instructions == 25
+
+    def test_add_inplace(self):
+        a = Counters(int_alu=1, branch_mispredict=2)
+        b = Counters(int_alu=3, branch_mispredict=1)
+        a.add(b)
+        assert a.int_alu == 4 and a.branch_mispredict == 3
+
+    def test_operator_add_pure(self):
+        a = Counters(load=1)
+        b = Counters(load=2)
+        c = a + b
+        assert c.load == 3 and a.load == 1
+
+    def test_scaled(self):
+        c = Counters(int_alu=10).scaled(0.5)
+        assert c.int_alu == 5
+
+    def test_as_dict_round_trip(self):
+        c = Counters(int_alu=7, asa_busy_cycles=3)
+        d = c.as_dict()
+        assert d["int_alu"] == 7 and d["asa_busy_cycles"] == 3
+
+
+class TestKernelStats:
+    def test_findbest_composition(self):
+        ks = KernelStats()
+        ks.findbest_hash.int_alu = 10
+        ks.findbest_overflow.int_alu = 5
+        ks.findbest_other.int_alu = 20
+        assert ks.findbest.int_alu == 35
+        assert ks.findbest_hash_total.int_alu == 15
+
+    def test_total_covers_all_kernels(self):
+        ks = KernelStats()
+        for c in ks.components().values():
+            c.load = 1
+        assert ks.total.load == len(ks.components())
+
+    def test_add(self):
+        a, b = KernelStats(), KernelStats()
+        a.pagerank.int_alu = 1
+        b.pagerank.int_alu = 2
+        a.add(b)
+        assert a.pagerank.int_alu == 3
+
+
+class TestCycleModel:
+    def _cfg(self):
+        return baseline_machine()
+
+    def test_issue_component(self):
+        cm = CycleModel(self._cfg())
+        br = cm.cycles(Counters(int_alu=400))
+        assert br.issue == pytest.approx(100)
+        assert br.cycles == pytest.approx(100)
+
+    def test_mispredict_penalty(self):
+        cfg = self._cfg()
+        cm = CycleModel(cfg)
+        br = cm.cycles(Counters(branch=10, branch_mispredict=2))
+        assert br.branch_stall == pytest.approx(2 * cfg.mispredict_penalty)
+
+    def test_memory_stalls_ordered(self):
+        cfg = self._cfg()
+        cm = CycleModel(cfg)
+        l2 = cm.cycles(Counters(l2_hit=10)).memory_stall
+        l3 = cm.cycles(Counters(l3_hit=10)).memory_stall
+        mem = cm.cycles(Counters(mem_access=10)).memory_stall
+        assert 0 < l2 < l3 < mem
+
+    def test_dep_stalls_counted(self):
+        cm = CycleModel(self._cfg())
+        assert cm.cycles(Counters(dep_stall_cycles=50)).memory_stall == 50
+
+    def test_cpi(self):
+        cm = CycleModel(self._cfg())
+        c = Counters(int_alu=100, branch_mispredict=10)
+        br = cm.cycles(c)
+        assert br.cpi == pytest.approx(br.cycles / 100)
+
+    def test_cpi_zero_instructions(self):
+        cm = CycleModel(self._cfg())
+        assert cm.cycles(Counters()).cpi == 0.0
+
+    def test_seconds_scale_with_frequency(self):
+        c = Counters(int_alu=2.6e9 * 4)  # 1 second at 2.6GHz, width 4
+        assert CycleModel(self._cfg()).seconds(c) == pytest.approx(1.0)
+
+    def test_breakdown_addition(self):
+        cm = CycleModel(self._cfg())
+        a = cm.cycles(Counters(int_alu=4))
+        b = cm.cycles(Counters(int_alu=8))
+        assert (a + b).cycles == pytest.approx(a.cycles + b.cycles)
+
+    def test_additivity_over_counters(self):
+        cm = CycleModel(self._cfg())
+        a = Counters(int_alu=10, load=5, branch_mispredict=1)
+        b = Counters(float_alu=3, l3_hit=2)
+        assert cm.cycles(a + b).cycles == pytest.approx(
+            cm.cycles(a).cycles + cm.cycles(b).cycles
+        )
+
+
+class TestMachines:
+    def test_table2_l3_sizes(self):
+        assert native_machine().l3.size_bytes == 20 * 1024 * 1024
+        assert baseline_machine().l3.size_bytes == 16 * 1024 * 1024
+
+    def test_clock(self):
+        assert baseline_machine().freq_hz == 2.6e9
+
+    def test_asa_machine_cam(self):
+        m = asa_machine(cam_bytes=4096)
+        assert m.asa.cam_entries == 256
+
+    def test_default_cam_is_8kb_512_entries(self):
+        assert asa_machine().asa.cam_entries == 512
+
+    def test_with_override(self):
+        m = baseline_machine().with_(issue_width=2.0)
+        assert m.issue_width == 2.0
+        assert baseline_machine().issue_width == 4.0
+
+    def test_fidelity_propagates(self):
+        assert native_machine("detailed").fidelity == "detailed"
+
+
+class TestMemoryLayout:
+    def test_regions_disjoint(self):
+        lay = MemoryLayout()
+        addrs = {lay.adj_addr(0), lay.node_addr(0), lay.bucket_addr(0),
+                 lay.flow_addr(0)}
+        assert len(addrs) == 4
+
+    def test_core_separation(self):
+        a = MemoryLayout(core_id=0)
+        b = MemoryLayout(core_id=1)
+        assert a.node_addr(0) != b.node_addr(0)
+
+    def test_alloc_free_reuse_lifo(self):
+        lay = MemoryLayout()
+        x = lay.alloc_heap_node()
+        y = lay.alloc_heap_node()
+        assert x != y
+        lay.free_heap_node(y)
+        lay.free_heap_node(x)
+        assert lay.alloc_heap_node() == x  # LIFO free list
+        assert lay.alloc_heap_node() == y
+
+    def test_fresh_allocations_strided(self):
+        lay = MemoryLayout()
+        a = lay.alloc_heap_node()
+        b = lay.alloc_heap_node()
+        assert abs(b - a) >= 64  # not adjacent: models pool interleaving
+
+    def test_adjacency_sequential(self):
+        lay = MemoryLayout()
+        assert lay.adj_addr(1) - lay.adj_addr(0) == lay.arc_bytes

@@ -1,0 +1,91 @@
+"""Tests for the simulated distributed-memory (BSP) engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributed import (
+    NetworkModel,
+    run_infomap_distributed,
+)
+from repro.core.infomap import run_infomap
+from repro.graph.generators import planted_partition, ring_of_cliques
+from repro.quality import normalized_mutual_information
+
+
+class TestNetworkModel:
+    def test_transfer_cost(self):
+        nm = NetworkModel(latency_s=1e-6, bandwidth_Bps=1e9)
+        assert nm.transfer_seconds(0) == pytest.approx(1e-6)
+        assert nm.transfer_seconds(1e9) == pytest.approx(1.0 + 1e-6)
+
+
+class TestDistributedRun:
+    def test_single_rank_matches_quality(self):
+        g, truth = planted_partition(5, 25, 0.4, 0.01, seed=1)
+        rd = run_infomap_distributed(g, num_ranks=1)
+        assert normalized_mutual_information(rd.modules, truth) > 0.95
+        assert rd.total_messages == 0  # no peers
+
+    def test_multi_rank_quality(self):
+        g, truth = planted_partition(6, 30, 0.4, 0.01, seed=2)
+        for ranks in (2, 4, 8):
+            rd = run_infomap_distributed(g, num_ranks=ranks)
+            assert normalized_mutual_information(rd.modules, truth) > 0.85, ranks
+
+    def test_codelength_close_to_sequential(self):
+        g, _ = planted_partition(5, 25, 0.4, 0.01, seed=3)
+        rs = run_infomap(g)
+        rd = run_infomap_distributed(g, num_ranks=4)
+        assert rd.codelength <= rs.codelength * 1.1 + 1e-9
+
+    def test_codelength_monotone_over_supersteps(self):
+        g, _ = planted_partition(5, 25, 0.4, 0.02, seed=4)
+        rd = run_infomap_distributed(g, num_ranks=4)
+        ls = [s.codelength for s in rd.supersteps]
+        assert all(b <= a + 1e-9 for a, b in zip(ls, ls[1:]))
+
+    def test_communication_grows_with_ranks(self):
+        g, _ = planted_partition(6, 30, 0.4, 0.01, seed=2)
+        m2 = run_infomap_distributed(g, num_ranks=2).total_messages
+        m8 = run_infomap_distributed(g, num_ranks=8).total_messages
+        assert m8 > m2
+
+    def test_compute_shrinks_with_ranks(self):
+        g, _ = planted_partition(6, 30, 0.4, 0.01, seed=2)
+        c1 = run_infomap_distributed(g, num_ranks=1).compute_seconds
+        c8 = run_infomap_distributed(g, num_ranks=8).compute_seconds
+        assert c8 < c1
+
+    def test_deterministic(self):
+        g, _ = planted_partition(4, 20, 0.4, 0.02, seed=5)
+        a = run_infomap_distributed(g, num_ranks=4)
+        b = run_infomap_distributed(g, num_ranks=4)
+        assert np.array_equal(a.modules, b.modules)
+        assert a.total_bytes == b.total_bytes
+
+    def test_ring_of_cliques(self):
+        g, truth = ring_of_cliques(6, 5)
+        rd = run_infomap_distributed(g, num_ranks=3)
+        assert rd.num_modules == 6
+        assert normalized_mutual_information(rd.modules, truth) == pytest.approx(1.0)
+
+    def test_invalid_ranks(self):
+        g, _ = ring_of_cliques(2, 3)
+        with pytest.raises(ValueError):
+            run_infomap_distributed(g, num_ranks=0)
+
+    def test_superstep_records_complete(self):
+        g, _ = planted_partition(4, 20, 0.4, 0.02, seed=6)
+        rd = run_infomap_distributed(g, num_ranks=2)
+        assert len(rd.supersteps) >= 1
+        for s in rd.supersteps:
+            assert s.compute_seconds > 0
+            assert s.bytes_sent >= 0
+        assert rd.total_seconds == pytest.approx(
+            rd.comm_seconds + rd.compute_seconds
+        )
+
+    def test_summary_string(self):
+        g, _ = ring_of_cliques(3, 4)
+        rd = run_infomap_distributed(g, num_ranks=2)
+        assert "ranks" in rd.summary()

@@ -1,0 +1,89 @@
+"""Unit and property tests for the entropy kernels."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.entropy import entropy, perplexity, plogp, plogp_array
+
+
+class TestPlogp:
+    def test_zero_is_zero(self):
+        assert plogp(0.0) == 0.0
+
+    def test_one_is_zero(self):
+        assert plogp(1.0) == 0.0
+
+    def test_half(self):
+        assert plogp(0.5) == pytest.approx(-0.5)
+
+    def test_two(self):
+        assert plogp(2.0) == pytest.approx(2.0)
+
+    def test_tiny_negative_clamped(self):
+        assert plogp(-1e-15) == 0.0
+
+    def test_meaningful_negative_raises(self):
+        with pytest.raises(ValueError):
+            plogp(-0.1)
+
+    @given(st.floats(min_value=1e-12, max_value=1e6))
+    def test_matches_direct_formula(self, x):
+        assert plogp(x) == pytest.approx(x * math.log2(x), rel=1e-12)
+
+
+class TestPlogpArray:
+    def test_matches_scalar(self):
+        xs = np.array([0.0, 0.25, 0.5, 1.0, 3.0])
+        out = plogp_array(xs)
+        for x, o in zip(xs, out):
+            assert o == pytest.approx(plogp(float(x)))
+
+    def test_empty(self):
+        assert plogp_array(np.array([])).shape == (0,)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            plogp_array(np.array([0.5, -0.5]))
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50)
+    )
+    def test_elementwise_property(self, xs):
+        arr = np.asarray(xs)
+        out = plogp_array(arr)
+        assert out.shape == arr.shape
+        # plogp is <= 0 on [0, 1] and >= 0 on [1, inf)
+        assert np.all(out[arr <= 1.0] <= 1e-12)
+        assert np.all(out[arr >= 1.0] >= -1e-12)
+
+
+class TestEntropy:
+    def test_uniform(self):
+        assert entropy(np.full(8, 1 / 8)) == pytest.approx(3.0)
+
+    def test_degenerate(self):
+        assert entropy(np.array([1.0, 0.0, 0.0])) == pytest.approx(0.0)
+
+    def test_unnormalized_input(self):
+        assert entropy(np.array([2.0, 2.0])) == pytest.approx(1.0)
+
+    def test_all_zero(self):
+        assert entropy(np.zeros(4)) == 0.0
+
+    @given(
+        st.lists(st.floats(min_value=0.001, max_value=10.0), min_size=2, max_size=30)
+    )
+    def test_bounds(self, ps):
+        h = entropy(np.asarray(ps))
+        assert -1e-9 <= h <= math.log2(len(ps)) + 1e-9
+
+
+class TestPerplexity:
+    def test_uniform_perplexity_is_n(self):
+        assert perplexity(np.full(16, 1 / 16)) == pytest.approx(16.0)
+
+    def test_degenerate_is_one(self):
+        assert perplexity(np.array([1.0])) == pytest.approx(1.0)

@@ -1,0 +1,72 @@
+"""Tests for the results-export pipeline."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.harness.export import EXPORTABLE, export_all, table_to_csv, to_json
+from repro.util.tables import Table
+
+
+class TestToJson:
+    def test_numpy_values_serialized(self, tmp_path):
+        data = {
+            "arr": np.arange(3),
+            "f": np.float64(1.5),
+            "i": np.int64(7),
+            "b": np.bool_(True),
+            "nested": {"xs": [np.int32(1), 2.0]},
+        }
+        p = to_json(data, tmp_path / "out.json")
+        loaded = json.loads(p.read_text())
+        assert loaded["arr"] == [0, 1, 2]
+        assert loaded["f"] == 1.5
+        assert loaded["i"] == 7
+        assert loaded["b"] is True
+        assert loaded["nested"]["xs"] == [1, 2.0]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        p = to_json({"x": 1}, tmp_path / "a" / "b" / "c.json")
+        assert p.exists()
+
+    def test_float_keys_stringified(self, tmp_path):
+        p = to_json({0.5: {"nmi": 1.0}}, tmp_path / "k.json")
+        loaded = json.loads(p.read_text())
+        assert loaded["0.5"]["nmi"] == 1.0
+
+
+class TestTableToCsv:
+    def test_round_trip(self, tmp_path):
+        t = Table("T", ["name", "value"])
+        t.add_row(["alpha", 1.25])
+        t.add_row(["beta", 2])
+        p = table_to_csv(t, tmp_path / "t.csv")
+        with open(p) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["name", "value"]
+        assert rows[1] == ["alpha", "1.25"]
+        assert rows[2] == ["beta", "2"]
+
+
+class TestExportAll:
+    def test_cheap_experiments_exported(self, tmp_path):
+        written = export_all(
+            tmp_path, names=["table1_datasets", "fig5_cam_coverage"]
+        )
+        assert len(written) == 4
+        names = {p.name for p in written}
+        assert "table1_datasets.json" in names
+        assert "fig5_cam_coverage.csv" in names
+        payload = json.loads((tmp_path / "table1_datasets.json").read_text())
+        assert payload["experiment"] == "table1_datasets"
+        assert payload["data"]["orkut"]["paper_edges"] == 117185083
+
+    def test_unknown_name_rejected(self, tmp_path):
+        with pytest.raises(KeyError, match="valid"):
+            export_all(tmp_path, names=["fig99"])
+
+    def test_registry_listed(self):
+        assert "table5_hash_time" in EXPORTABLE
+        assert "lfr_quality" in EXPORTABLE

@@ -1,0 +1,113 @@
+"""Tests for PageRank and flow networks."""
+
+import numpy as np
+import pytest
+
+from repro.core.flow import FlowNetwork, pagerank
+from repro.graph.build import from_edges
+from repro.graph.generators import ring_of_cliques
+
+
+class TestPageRank:
+    def test_sums_to_one(self):
+        g = from_edges([(0, 1), (1, 2), (2, 0)], directed=True, num_vertices=3)
+        p, _ = pagerank(g)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_symmetric_cycle_uniform(self):
+        g = from_edges([(0, 1), (1, 2), (2, 0)], directed=True, num_vertices=3)
+        p, _ = pagerank(g)
+        assert np.allclose(p, 1 / 3)
+
+    def test_dangling_vertex_handled(self):
+        # vertex 2 has no out-links
+        g = from_edges([(0, 1), (1, 2)], directed=True, num_vertices=3)
+        p, it = pagerank(g)
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(p > 0)
+        assert it >= 1
+
+    def test_sink_attracts_mass(self):
+        g = from_edges([(0, 2), (1, 2), (2, 2)], directed=True, num_vertices=3)
+        p, _ = pagerank(g)
+        assert p[2] > p[0] and p[2] > p[1]
+
+    def test_teleportation_bounds(self):
+        g = from_edges([(0, 1)], directed=True, num_vertices=3)
+        p, _ = pagerank(g, tau=0.15)
+        # every vertex gets at least tau/n
+        assert np.all(p >= 0.15 / 3 - 1e-12)
+
+    def test_invalid_tau(self):
+        g = from_edges([(0, 1)], directed=True, num_vertices=2)
+        with pytest.raises(ValueError):
+            pagerank(g, tau=1.5)
+
+    def test_empty_graph(self):
+        p, it = pagerank(from_edges([], num_vertices=0, directed=True))
+        assert len(p) == 0
+
+
+class TestFlowNetworkUndirected:
+    def test_flows_sum_to_one(self):
+        g, _ = ring_of_cliques(3, 4)
+        net = FlowNetwork.from_graph(g)
+        assert net.arc_flow.sum() == pytest.approx(1.0)
+        assert net.node_flow.sum() == pytest.approx(1.0)
+
+    def test_node_flow_proportional_to_strength(self):
+        g = from_edges([(0, 1, 3.0), (1, 2, 1.0)], num_vertices=3)
+        net = FlowNetwork.from_graph(g)
+        assert net.node_flow[1] == pytest.approx(0.5)
+        assert net.node_flow[0] == pytest.approx(3 / 8)
+
+    def test_node_out_excludes_self_loops(self):
+        g = from_edges([(0, 0, 2.0), (0, 1, 1.0)], num_vertices=2)
+        net = FlowNetwork.from_graph(g)
+        # total arc weight = 2 (loop) + 1 + 1 (mirror) = 4
+        assert net.node_out[0] == pytest.approx(1 / 4)
+
+    def test_in_equals_out(self):
+        g, _ = ring_of_cliques(3, 4)
+        net = FlowNetwork.from_graph(g)
+        assert np.allclose(net.node_in, net.node_out)
+        assert net.t_indptr is net.indptr
+
+    def test_no_arcs_raises(self):
+        with pytest.raises(ValueError):
+            FlowNetwork.from_graph(from_edges([], num_vertices=3))
+
+
+class TestFlowNetworkDirected:
+    def test_arc_flow_conservation(self):
+        g = from_edges(
+            [(0, 1), (1, 2), (2, 0), (0, 2)], directed=True, num_vertices=3
+        )
+        net = FlowNetwork.from_graph(g, tau=0.15)
+        # each non-dangling vertex emits (1 - tau) * p_v of link flow
+        out = np.zeros(3)
+        src = np.repeat(np.arange(3), np.diff(net.indptr))
+        for s, f in zip(src, net.arc_flow):
+            out[s] += f
+        assert np.allclose(out, 0.85 * net.node_flow)
+
+    def test_transpose_flow_matches(self):
+        g = from_edges([(0, 1, 2.0), (2, 1, 1.0)], directed=True, num_vertices=3)
+        net = FlowNetwork.from_graph(g)
+        # total in-flow at vertex 1 equals sum of arc flows into it
+        lo, hi = net.t_indptr[1], net.t_indptr[2]
+        assert net.t_arc_flow[lo:hi].sum() == pytest.approx(
+            net.arc_flow.sum()  # both arcs point at vertex 1
+        )
+
+    def test_out_arcs_accessor(self):
+        g = from_edges([(0, 1), (0, 2)], directed=True, num_vertices=3)
+        net = FlowNetwork.from_graph(g)
+        idx, flow = net.out_arcs(0)
+        assert set(idx.tolist()) == {1, 2}
+        assert len(flow) == 2
+
+    def test_dangling_has_no_out_flow(self):
+        g = from_edges([(0, 1)], directed=True, num_vertices=2)
+        net = FlowNetwork.from_graph(g)
+        assert net.node_out[1] == 0.0

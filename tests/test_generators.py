@@ -1,0 +1,139 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    barabasi_albert,
+    chung_lu,
+    planted_partition,
+    powerlaw_degree_sequence,
+    ring_of_cliques,
+    rmat,
+)
+from repro.graph.metrics import powerlaw_alpha_mle
+
+
+class TestPowerlawDegrees:
+    def test_bounds_respected(self):
+        deg = powerlaw_degree_sequence(1000, alpha=2.5, min_degree=2,
+                                       max_degree=50, seed=0)
+        assert deg.min() >= 2 and deg.max() <= 50
+
+    def test_deterministic(self):
+        a = powerlaw_degree_sequence(100, seed=1)
+        b = powerlaw_degree_sequence(100, seed=1)
+        assert np.array_equal(a, b)
+
+    def test_heavier_alpha_means_lighter_tail(self):
+        light = powerlaw_degree_sequence(5000, alpha=3.5, seed=0).mean()
+        heavy = powerlaw_degree_sequence(5000, alpha=2.0, seed=0).mean()
+        assert heavy > light
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            powerlaw_degree_sequence(10, alpha=0.9)
+
+
+class TestChungLu:
+    def test_expected_edge_count(self):
+        deg = np.full(1000, 10.0)
+        g = chung_lu(deg, seed=0)
+        # ~5000 edges expected; loose band for collision/self-loop losses
+        assert 3500 < g.num_edges < 5100
+
+    def test_empty_degrees(self):
+        g = chung_lu(np.zeros(5), seed=0)
+        assert g.num_vertices == 5 and g.num_arcs == 0
+
+    def test_negative_degree_raises(self):
+        with pytest.raises(ValueError):
+            chung_lu(np.array([-1.0, 2.0]))
+
+    def test_powerlaw_preserved(self):
+        deg = powerlaw_degree_sequence(8000, alpha=2.5, min_degree=3, seed=1)
+        g = chung_lu(deg, seed=2)
+        alpha = powerlaw_alpha_mle(g, k_min=3)
+        assert 1.5 < alpha < 3.5
+
+    def test_deterministic(self):
+        deg = np.full(100, 4.0)
+        a = chung_lu(deg, seed=5)
+        b = chung_lu(deg, seed=5)
+        assert np.array_equal(a.indices, b.indices)
+
+
+class TestRMAT:
+    def test_size(self):
+        g = rmat(8, edge_factor=4, seed=0)
+        assert g.num_vertices == 256
+        assert g.num_edges > 200
+
+    def test_skew(self):
+        g = rmat(10, edge_factor=8, seed=0)
+        deg = np.asarray(g.out_degree())
+        # heavy skew: max degree far above mean
+        assert deg.max() > 5 * deg.mean()
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat(4, a=0.5, b=0.3, c=0.3)
+
+    def test_directed_option(self):
+        g = rmat(6, edge_factor=4, seed=1, directed=True)
+        assert g.directed
+
+
+class TestBarabasiAlbert:
+    def test_size_and_min_degree(self):
+        g = barabasi_albert(500, m_attach=3, seed=0)
+        assert g.num_vertices == 500
+        deg = np.asarray(g.out_degree())
+        assert deg.min() >= 3
+
+    def test_n_must_exceed_m(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(3, m_attach=3)
+
+    def test_hub_formation(self):
+        g = barabasi_albert(2000, m_attach=2, seed=1)
+        deg = np.asarray(g.out_degree())
+        assert deg.max() > 20  # preferential attachment creates hubs
+
+
+class TestPlantedPartition:
+    def test_labels_shape(self):
+        g, labels = planted_partition(4, 20, 0.5, 0.01, seed=0)
+        assert g.num_vertices == 80
+        assert len(labels) == 80
+        assert len(np.unique(labels)) == 4
+
+    def test_intra_density_dominates(self):
+        g, labels = planted_partition(4, 30, 0.5, 0.01, seed=1)
+        src, dst, _ = g.edge_array()
+        intra = np.mean(labels[src] == labels[dst])
+        assert intra > 0.7
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            planted_partition(2, 5, 1.5, 0.1)
+
+
+class TestRingOfCliques:
+    def test_structure(self):
+        g, labels = ring_of_cliques(4, 5)
+        assert g.num_vertices == 20
+        # 4 cliques of C(5,2)=10 edges plus 4 bridges
+        assert g.num_edges == 44
+
+    def test_two_cliques_single_bridge(self):
+        g, _ = ring_of_cliques(2, 3)
+        assert g.num_edges == 2 * 3 + 1
+
+    def test_single_clique(self):
+        g, _ = ring_of_cliques(1, 4)
+        assert g.num_edges == 6
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            ring_of_cliques(3, 1)

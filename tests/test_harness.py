@@ -1,0 +1,102 @@
+"""Tests for the experiment harness (cheap experiments only; the expensive
+sweeps run in benchmarks/)."""
+
+import numpy as np
+import pytest
+
+from repro.harness.experiments import (
+    fig4_degree_distribution,
+    fig5_cam_coverage,
+    lfr_quality,
+    table1_datasets,
+    table2_machines,
+)
+
+
+class TestTable1:
+    def test_rows_and_order(self):
+        data, table = table1_datasets()
+        assert list(data) == [
+            "amazon", "dblp", "youtube", "soc-pokec", "livejournal", "orkut",
+        ]
+        out = table.render()
+        assert "amazon" in out and "orkut" in out
+
+    def test_paper_sizes_recorded(self):
+        data, _ = table1_datasets()
+        assert data["orkut"]["paper_edges"] == 117_185_083
+        assert data["amazon"]["paper_vertices"] == 334_863
+
+
+class TestTable2:
+    def test_l3_sizes_differ(self):
+        data, table = table2_machines()
+        assert data["native_l3"] == 20 * 1024 * 1024
+        assert data["baseline_l3"] == 16 * 1024 * 1024
+        assert "20MB" in table.render() and "16MB" in table.render()
+
+
+class TestFig4:
+    def test_powerlaw_shape(self):
+        data, _ = fig4_degree_distribution(names=("youtube",))
+        buckets = data["youtube"]["buckets"]
+        keys = sorted(buckets)
+        # monotone-ish decay: first bucket far larger than the tail
+        assert buckets[keys[0]] > 10 * max(1, buckets[keys[-1]])
+
+    def test_alpha_reported(self):
+        data, _ = fig4_degree_distribution(names=("soc-pokec",))
+        assert 1.0 < data["soc-pokec"]["alpha"] < 4.0
+
+
+class TestFig5:
+    def test_coverage_monotone_in_cam_size(self):
+        data, _ = fig5_cam_coverage(names=("orkut",), cam_kb=(1, 2, 4, 8))
+        cov = data["orkut"]
+        vals = [cov[kb] for kb in (1, 2, 4, 8)]
+        assert all(b >= a for a, b in zip(vals, vals[1:]))
+
+    def test_paper_claims(self):
+        data, _ = fig5_cam_coverage(cam_kb=(1, 8))
+        for name, cov in data.items():
+            assert cov[1] > 0.82, name
+            assert cov[8] > 0.99, name
+
+
+class TestLFRQuality:
+    def test_infomap_beats_or_ties_louvain_at_high_mixing(self):
+        data, table = lfr_quality(mus=(0.1, 0.5), n=600, seed=3)
+        # easy regime: both near-perfect
+        assert data[0.1]["infomap_nmi"] > 0.85
+        assert data[0.1]["louvain_nmi"] > 0.85
+        # harder regime: Infomap at least competitive
+        assert data[0.5]["infomap_nmi"] >= data[0.5]["louvain_nmi"] - 0.1
+        assert "mu" in table.render()
+
+
+class TestCalibrate:
+    def test_shape_report_single_dataset(self):
+        from repro.harness.calibrate import shape_report
+
+        t = shape_report(["amazon"])
+        out = t.render()
+        assert "amazon" in out and "x" in out
+
+    def test_main_default_names(self, monkeypatch, capsys):
+        """main([]) must fall back to the Table I list, not sys.argv."""
+        import repro.harness.calibrate as cal
+
+        monkeypatch.setattr(
+            cal, "shape_report", lambda names: _FakeTable(names)
+        )
+        cal.main([])
+        out = capsys.readouterr().out
+        assert "amazon" in out and "orkut" in out
+
+
+class _FakeTable:
+    def __init__(self, names):
+        self.names = names
+
+    def print(self):
+        print(" ".join(self.names))

@@ -1,0 +1,141 @@
+"""Tests for networkx interop and the CLI."""
+
+import numpy as np
+import pytest
+
+networkx = pytest.importorskip("networkx")
+
+from repro.cli import build_parser, main
+from repro.graph.build import from_edges
+from repro.graph.generators import ring_of_cliques
+from repro.graph.interop import from_networkx, to_networkx
+
+
+class TestFromNetworkx:
+    def test_round_trip_undirected(self):
+        g, _ = ring_of_cliques(3, 4)
+        nxg = to_networkx(g)
+        g2, order = from_networkx(nxg)
+        assert g2.num_vertices == g.num_vertices
+        assert g2.num_edges == g.num_edges
+        assert not g2.directed
+
+    def test_weights_preserved(self):
+        nxg = networkx.Graph()
+        nxg.add_edge("a", "b", weight=2.5)
+        g, order = from_networkx(nxg)
+        assert g.total_weight == pytest.approx(5.0)  # both arcs
+        assert set(order) == {"a", "b"}
+
+    def test_directed(self):
+        nxg = networkx.DiGraph()
+        nxg.add_edge(0, 1)
+        nxg.add_edge(1, 0)
+        g, _ = from_networkx(nxg)
+        assert g.directed and g.num_arcs == 2
+
+    def test_arbitrary_node_labels(self):
+        nxg = networkx.Graph()
+        nxg.add_edge("protein-A", "protein-B")
+        nxg.add_edge("protein-B", (1, 2))
+        g, order = from_networkx(nxg)
+        assert g.num_vertices == 3
+        assert "protein-A" in order
+
+    def test_ignore_weight_attr(self):
+        nxg = networkx.Graph()
+        nxg.add_edge(0, 1, weight=9.0)
+        g, _ = from_networkx(nxg, weight=None)
+        _, w = g.out_neighbors(0)
+        assert w[0] == 1.0
+
+    def test_end_to_end_clustering(self):
+        from repro.core.infomap import run_infomap
+
+        nxg = networkx.Graph()
+        # two triangles joined by a bridge
+        nxg.add_edges_from([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+        g, _ = from_networkx(nxg)
+        r = run_infomap(g)
+        assert r.num_modules == 2
+
+
+class TestToNetworkx:
+    def test_module_annotation(self):
+        g, truth = ring_of_cliques(2, 3)
+        nxg = to_networkx(g, modules=truth)
+        assert nxg.nodes[0]["module"] == 0
+        assert nxg.nodes[5]["module"] == 1
+
+    def test_module_length_check(self):
+        g, _ = ring_of_cliques(2, 3)
+        with pytest.raises(ValueError):
+            to_networkx(g, modules=np.array([0]))
+
+    def test_directed_conversion(self):
+        g = from_edges([(0, 1)], directed=True, num_vertices=2)
+        nxg = to_networkx(g)
+        assert nxg.is_directed()
+        assert nxg.has_edge(0, 1) and not nxg.has_edge(1, 0)
+
+
+class TestCLI:
+    def test_parser_builds(self):
+        p = build_parser()
+        args = p.parse_args(["run", "--dataset", "amazon", "--backend", "asa"])
+        assert args.dataset == "amazon"
+
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "amazon" in out and "orkut" in out
+
+    def test_run_on_edge_list(self, tmp_path, capsys):
+        from repro.graph.io import write_edge_list
+
+        g, _ = ring_of_cliques(3, 4)
+        path = tmp_path / "ring.txt"
+        write_edge_list(g, path)
+        assert main(["run", "--edge-list", str(path), "--backend", "softhash"]) == 0
+        out = capsys.readouterr().out
+        assert "3 modules" in out
+        assert "Hash-op time" in out
+
+    def test_run_multicore(self, tmp_path, capsys):
+        from repro.graph.io import write_edge_list
+
+        g, _ = ring_of_cliques(4, 5)
+        path = tmp_path / "ring.txt"
+        write_edge_list(g, path)
+        assert main(
+            ["run", "--edge-list", str(path), "--backend", "asa", "--cores", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 simulated cores" in out
+
+    def test_experiment_command(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Machine configurations" in out
+
+    def test_quality_command(self, capsys):
+        assert main(["quality", "--mu", "0.1", "--n", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "Infomap" in out
+
+    def test_invalid_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--dataset", "amazon", "--backend", "cuckoo"])
+
+
+class TestCLIExport:
+    def test_export_writes_artifacts(self, tmp_path, capsys):
+        assert main([
+            "export", "--out", str(tmp_path), "--names", "table2_machines",
+        ]) == 0
+        assert (tmp_path / "table2_machines.json").exists()
+        assert (tmp_path / "table2_machines.csv").exists()

@@ -1,0 +1,82 @@
+"""Tests for SNAP-style edge-list I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.build import from_edges
+
+
+class TestRead:
+    def test_basic(self):
+        text = io.StringIO("# comment\n0 1\n1 2\n")
+        g, ids = read_edge_list(text)
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert list(ids) == [0, 1, 2]
+
+    def test_relabel_sparse_ids(self):
+        text = io.StringIO("100 200\n200 300\n")
+        g, ids = read_edge_list(text)
+        assert g.num_vertices == 3
+        assert list(ids) == [100, 200, 300]
+
+    def test_weights(self):
+        text = io.StringIO("0 1 2.5\n")
+        g, _ = read_edge_list(text)
+        _, w = g.out_neighbors(0)
+        assert w[0] == pytest.approx(2.5)
+
+    def test_percent_comments_and_blank_lines(self):
+        text = io.StringIO("% header\n\n0 1\n\n")
+        g, _ = read_edge_list(text)
+        assert g.num_edges == 1
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError, match="line 1"):
+            read_edge_list(io.StringIO("justonetoken\n"))
+
+    def test_directed(self):
+        g, _ = read_edge_list(io.StringIO("0 1\n"), directed=True)
+        assert g.directed
+        assert g.num_arcs == 1
+
+    def test_no_relabel(self):
+        g, ids = read_edge_list(io.StringIO("0 5\n"), relabel=False)
+        assert g.num_vertices == 6
+        assert len(ids) == 6
+
+
+class TestRoundTrip:
+    def test_write_read(self, tmp_path):
+        g = from_edges([(0, 1, 2.0), (1, 2, 0.5), (2, 2, 1.0)], num_vertices=3)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        g2, _ = read_edge_list(path)
+        assert g2.num_vertices == g.num_vertices
+        assert g2.num_edges == g.num_edges
+        assert np.allclose(g2.weights, g.weights)
+
+    def test_write_without_weights(self, tmp_path):
+        g = from_edges([(0, 1, 2.0)], num_vertices=2)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path, weights=False)
+        g2, _ = read_edge_list(path)
+        _, w = g2.out_neighbors(0)
+        assert w[0] == pytest.approx(1.0)
+
+    def test_directed_round_trip(self, tmp_path):
+        g = from_edges([(0, 1), (1, 0), (1, 2)], directed=True, num_vertices=3)
+        path = tmp_path / "d.txt"
+        write_edge_list(g, path)
+        g2, _ = read_edge_list(path, directed=True)
+        assert g2.num_arcs == 3
+
+    def test_name_from_path(self, tmp_path):
+        g = from_edges([(0, 1)], num_vertices=2)
+        path = tmp_path / "mynet.txt"
+        write_edge_list(g, path)
+        g2, _ = read_edge_list(path)
+        assert g2.name == "mynet"

@@ -1,0 +1,171 @@
+"""Tests for the LFR generator, graph metrics, and dataset surrogates."""
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import DATASETS, TABLE1_ORDER, dataset_names, load_dataset
+from repro.graph.generators import ring_of_cliques
+from repro.graph.lfr import LFRParams, lfr_graph
+from repro.graph.metrics import (
+    cam_coverage,
+    degree_cdf,
+    degree_histogram,
+    gini_coefficient,
+    powerlaw_alpha_mle,
+)
+
+
+class TestLFR:
+    def test_sizes(self):
+        g, labels = lfr_graph(LFRParams(n=500, mu=0.2, seed=0))
+        assert g.num_vertices == 500
+        assert len(labels) == 500
+        assert labels.min() >= 0
+
+    def test_mixing_parameter_realized(self):
+        """Fraction of inter-community edges should track mu."""
+        for mu in (0.1, 0.4):
+            g, labels = lfr_graph(LFRParams(n=800, mu=mu, seed=1))
+            src, dst, _ = g.edge_array()
+            inter = float(np.mean(labels[src] != labels[dst]))
+            assert abs(inter - mu) < 0.12, (mu, inter)
+
+    def test_community_size_bounds(self):
+        params = LFRParams(n=600, mu=0.3, min_community=25, max_community=80,
+                           max_degree=40, seed=2)
+        _, labels = lfr_graph(params)
+        sizes = np.bincount(labels)
+        sizes = sizes[sizes > 0]
+        assert sizes.min() >= 20  # last community may absorb a small tail
+        assert sizes.max() <= 80 + 25
+
+    def test_deterministic(self):
+        a = lfr_graph(LFRParams(n=300, seed=5))
+        b = lfr_graph(LFRParams(n=300, seed=5))
+        assert np.array_equal(a[0].indices, b[0].indices)
+        assert np.array_equal(a[1], b[1])
+
+    def test_degree_cap(self):
+        g, _ = lfr_graph(LFRParams(n=500, max_degree=30, seed=3))
+        assert int(np.asarray(g.out_degree()).max()) <= 30 + 2
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            lfr_graph(LFRParams(n=100, mu=1.5))
+        with pytest.raises(ValueError):
+            lfr_graph(LFRParams(n=100, max_degree=100, max_community=50))
+
+
+class TestMetrics:
+    def test_degree_histogram(self):
+        g, _ = ring_of_cliques(3, 4)
+        ks, counts = degree_histogram(g)
+        assert counts.sum() == g.num_vertices
+        assert set(ks.tolist()) <= {3, 4, 5}
+
+    def test_degree_cdf_monotone(self):
+        g, _ = ring_of_cliques(5, 6)
+        ks, cdf = degree_cdf(g)
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_cam_coverage_extremes(self):
+        g, _ = ring_of_cliques(3, 4)
+        assert cam_coverage(g, 16 * 1024) == 1.0
+        # 16-byte CAM = 1 entry; every vertex has degree >= 3
+        assert cam_coverage(g, 16) == 0.0
+
+    def test_cam_coverage_invalid(self):
+        g, _ = ring_of_cliques(2, 3)
+        with pytest.raises(ValueError):
+            cam_coverage(g, 0)
+
+    def test_alpha_mle_on_known_powerlaw(self):
+        from repro.graph.generators import chung_lu, powerlaw_degree_sequence
+
+        deg = powerlaw_degree_sequence(20000, alpha=2.5, min_degree=5, seed=0)
+        g = chung_lu(deg, seed=1)
+        alpha = powerlaw_alpha_mle(g, k_min=5)
+        assert 2.0 < alpha < 3.0
+
+    def test_alpha_mle_empty_tail(self):
+        g, _ = ring_of_cliques(2, 3)
+        with pytest.raises(ValueError):
+            powerlaw_alpha_mle(g, k_min=100)
+
+    def test_gini(self):
+        assert gini_coefficient(np.full(10, 5.0)) == pytest.approx(0.0, abs=1e-9)
+        skew = np.zeros(100)
+        skew[0] = 1.0
+        assert gini_coefficient(skew) > 0.9
+        assert gini_coefficient(np.array([])) == 0.0
+
+
+class TestDatasets:
+    def test_registry_order(self):
+        assert dataset_names() == TABLE1_ORDER
+        assert set(TABLE1_ORDER) == set(DATASETS)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="valid names"):
+            load_dataset("facebook")
+
+    def test_load_is_cached(self):
+        a = load_dataset("amazon")
+        b = load_dataset("amazon")
+        assert a is b
+
+    def test_amazon_properties(self):
+        g = load_dataset("amazon")
+        spec = DATASETS["amazon"]
+        assert g.num_vertices == spec.n
+        avg_deg = 2 * g.num_edges / g.num_vertices
+        assert abs(avg_deg - spec.avg_degree) / spec.avg_degree < 0.25
+
+    def test_fig5_claims_hold_on_surrogates(self):
+        """Paper Fig 5: 1 KB covers > 82 %, 8 KB covers > 99 %."""
+        for name in TABLE1_ORDER:
+            g = load_dataset(name)
+            assert cam_coverage(g, 1024) > 0.82, name
+            assert cam_coverage(g, 8192) > 0.99, name
+
+    def test_edge_count_ordering_matches_paper(self):
+        edges = [load_dataset(n).num_edges for n in TABLE1_ORDER]
+        paper = [DATASETS[n].paper_edges for n in TABLE1_ORDER]
+        assert np.array_equal(np.argsort(edges), np.argsort(paper))
+
+    def test_surrogates_are_scale_free(self):
+        for name in ("youtube", "soc-pokec", "orkut"):
+            alpha = powerlaw_alpha_mle(load_dataset(name))
+            assert 1.2 < alpha < 3.5, name
+
+
+class TestDirectedDatasets:
+    def test_structure(self):
+        from repro.graph.datasets import load_directed_dataset
+
+        g = load_directed_dataset("amazon")
+        assert g.directed
+        base = load_dataset("amazon")
+        assert g.num_vertices == base.num_vertices
+        # arcs = edges + mutual extras: between 1x and 2x the edge count
+        assert base.num_edges <= g.num_arcs <= 2 * base.num_edges
+
+    def test_reciprocity_fraction(self):
+        import numpy as np
+
+        from repro.graph.datasets import load_directed_dataset
+
+        g = load_directed_dataset("amazon")
+        src, dst, _ = g.edge_array()
+        pairs = set(zip(src.tolist(), dst.tolist()))
+        mutual = sum(1 for (u, v) in pairs if (v, u) in pairs)
+        frac = mutual / len(pairs)
+        assert 0.4 < frac < 0.75  # 2*0.4/(1+0.4) ~ 0.57 expected
+
+    def test_deterministic_and_cached(self):
+        from repro.graph.datasets import load_directed_dataset
+
+        a = load_directed_dataset("amazon")
+        b = load_directed_dataset("amazon")
+        assert a is b

@@ -1,0 +1,182 @@
+"""Tests for the map equation and the incremental Partition state.
+
+The key property test: ``delta_move`` must exactly predict the difference
+in recomputed codelength for any legal move — this pins the delta algebra
+to the expanded map equation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.flow import FlowNetwork
+from repro.core.mapequation import MapEquation
+from repro.core.partition import Partition
+from repro.graph.build import from_edges
+from repro.graph.generators import planted_partition, ring_of_cliques
+
+
+def _net(directed=False):
+    if directed:
+        g = from_edges(
+            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2), (0, 3)],
+            directed=True,
+            num_vertices=5,
+        )
+    else:
+        g, _ = ring_of_cliques(3, 4)
+    return FlowNetwork.from_graph(g)
+
+
+def _pair_maps(net, partition, v):
+    """Oracle computation of outTo/inFrom maps for vertex v."""
+    out_to: dict[int, float] = {}
+    idx, flow = net.out_arcs(v)
+    for t, f in zip(idx.tolist(), flow.tolist()):
+        if t == v:
+            continue
+        m = int(partition.module[t])
+        out_to[m] = out_to.get(m, 0.0) + f
+    in_from: dict[int, float] = {}
+    idx, flow = net.in_arcs(v)
+    for t, f in zip(idx.tolist(), flow.tolist()):
+        if t == v:
+            continue
+        m = int(partition.module[t])
+        in_from[m] = in_from.get(m, 0.0) + f
+    return out_to, in_from
+
+
+class TestMapEquation:
+    def test_one_level_is_entropy(self):
+        flows = np.array([0.25, 0.25, 0.25, 0.25])
+        assert MapEquation.one_level_codelength(flows) == pytest.approx(2.0)
+
+    def test_singleton_partition_matches_direct(self):
+        net = _net()
+        L = MapEquation.codelength(
+            net.node_in, net.node_out, net.node_flow, net.node_flow
+        )
+        p = Partition(net)
+        assert p.codelength == pytest.approx(L)
+
+    def test_index_plus_module_decomposition(self):
+        net = _net()
+        enter = net.node_in.copy()
+        exit_ = net.node_out.copy()
+        flow = net.node_flow.copy()
+        total = MapEquation.codelength(enter, exit_, flow, net.node_flow)
+        parts = MapEquation.index_codelength(enter) + MapEquation.module_codelength(
+            exit_, flow, net.node_flow
+        )
+        assert total == pytest.approx(parts)
+
+    def test_good_partition_shorter_than_singletons(self):
+        g, labels = ring_of_cliques(4, 5)
+        net = FlowNetwork.from_graph(g)
+        p = Partition(net)
+        singleton_L = p.codelength
+        # compute L of the planted clique partition from arrays
+        k = 4
+        src = np.repeat(np.arange(net.num_vertices), np.diff(net.indptr))
+        cross = labels[src] != labels[net.indices]
+        exit_ = np.bincount(labels[src[cross]], weights=net.arc_flow[cross], minlength=k)
+        flow = np.bincount(labels, weights=net.node_flow, minlength=k)
+        clique_L = MapEquation.codelength(exit_, exit_, flow, net.node_flow)
+        assert clique_L < singleton_L
+
+    def test_empty_modules_ignored(self):
+        # zero-padded arrays must not change the codelength
+        e = np.array([0.1, 0.2])
+        f = np.array([0.3, 0.7])
+        nf = np.array([0.3, 0.7])
+        a = MapEquation.codelength(e, e, f, nf)
+        b = MapEquation.codelength(
+            np.append(e, 0.0), np.append(e, 0.0), np.append(f, 0.0), nf
+        )
+        assert a == pytest.approx(b)
+
+
+class TestPartitionIncremental:
+    @pytest.mark.parametrize("directed", [False, True])
+    def test_initial_codelength_matches_recompute(self, directed):
+        p = Partition(_net(directed))
+        assert p.codelength == pytest.approx(p.codelength_recomputed())
+
+    @pytest.mark.parametrize("directed", [False, True])
+    def test_delta_matches_recompute_exhaustive(self, directed):
+        """For every (vertex, neighbour-module) pair, delta_move must equal
+        the recomputed difference."""
+        net = _net(directed)
+        p = Partition(net)
+        for v in range(net.num_vertices):
+            out_to, in_from = _pair_maps(net, p, v)
+            if not directed:
+                in_from = out_to
+            cur = int(p.module[v])
+            for m in set(out_to) | set(in_from):
+                if m == cur:
+                    continue
+                dl = p.delta_move(
+                    v, m,
+                    out_to.get(cur, 0.0), in_from.get(cur, 0.0),
+                    out_to.get(m, 0.0), in_from.get(m, 0.0),
+                )
+                before = p.codelength_recomputed()
+                p.apply_move(
+                    v, m,
+                    out_to.get(cur, 0.0), in_from.get(cur, 0.0),
+                    out_to.get(m, 0.0), in_from.get(m, 0.0),
+                )
+                after = p.codelength_recomputed()
+                assert dl == pytest.approx(after - before, abs=1e-10)
+                assert p.codelength == pytest.approx(after, abs=1e-10)
+                # move back
+                out_to2, in_from2 = _pair_maps(net, p, v)
+                if not directed:
+                    in_from2 = out_to2
+                p.apply_move(
+                    v, cur,
+                    out_to2.get(m, 0.0), in_from2.get(m, 0.0),
+                    out_to2.get(cur, 0.0), in_from2.get(cur, 0.0),
+                )
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_random_move_sequences_stay_consistent(self, seed):
+        """After any sequence of random legal moves, the incremental
+        codelength equals the from-scratch recomputation."""
+        rng = np.random.default_rng(seed)
+        g, _ = planted_partition(3, 8, 0.5, 0.1, seed=seed % 100)
+        net = FlowNetwork.from_graph(g)
+        p = Partition(net)
+        for _ in range(30):
+            v = int(rng.integers(net.num_vertices))
+            out_to, _ = _pair_maps(net, p, v)
+            in_from = out_to
+            cur = int(p.module[v])
+            cands = [m for m in out_to if m != cur]
+            if not cands:
+                continue
+            m = cands[int(rng.integers(len(cands)))]
+            p.apply_move(
+                v, m,
+                out_to.get(cur, 0.0), in_from.get(cur, 0.0),
+                out_to.get(m, 0.0), in_from.get(m, 0.0),
+            )
+        assert p.codelength == pytest.approx(p.codelength_recomputed(), abs=1e-9)
+        # module bookkeeping stays consistent
+        assert p.num_modules == len(np.unique(p.module))
+        sizes = np.bincount(p.module, minlength=net.num_vertices)
+        assert np.array_equal(sizes, p.module_size)
+
+    def test_delta_of_staying_is_zero(self):
+        p = Partition(_net())
+        assert p.delta_move(0, 0, 0.0, 0.0, 0.0, 0.0) == 0.0
+
+    def test_dense_assignment(self):
+        net = _net()
+        p = Partition(net)
+        dense, k = p.dense_assignment()
+        assert k == net.num_vertices
+        assert np.array_equal(np.sort(np.unique(dense)), np.arange(k))

@@ -1,0 +1,105 @@
+"""Band assertions on the paper's headline claims.
+
+These run the instrumented single-core pipeline on the two small surrogates
+(amazon, dblp — a few seconds each; results are cached across tests) and
+assert every Fig 2/6/8 shape lands in an acceptance band around the paper's
+numbers.  The bands are deliberately loose — surrogates are ~50× smaller
+than the SNAP originals — but they pin the *direction and rough magnitude*
+of every claim, which is the reproduction contract (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.harness.experiments import run_cached
+
+NETWORKS = ("amazon", "dblp")
+
+
+@pytest.fixture(scope="module", params=NETWORKS)
+def pair(request):
+    name = request.param
+    return name, run_cached(name, "softhash"), run_cached(name, "asa")
+
+
+class TestFig2Shapes:
+    def test_findbest_dominates(self, pair):
+        """Paper Fig 2a: FindBestCommunity is 70–90 % of the application."""
+        _, rb, _ = pair
+        cm = rb.cycle_model()
+        fb = cm.cycles(rb.stats.findbest).seconds
+        tot = cm.cycles(rb.stats.total).seconds
+        # amazon/dblp are the two smallest networks (Fig 2a itself shows
+        # Pokec/Orkut, where the share is higher; the bench checks those)
+        assert 0.50 < fb / tot < 0.97
+
+    def test_hash_share_of_findbest(self, pair):
+        """Paper Fig 2b: hash operations are 50–65 % of FindBestCommunity."""
+        _, rb, _ = pair
+        cm = rb.cycle_model()
+        fb = cm.cycles(rb.stats.findbest).seconds
+        assert 0.35 < rb.hash_seconds / fb < 0.70
+
+
+class TestTable5Fig6:
+    def test_hash_speedup_band(self, pair):
+        """Paper Fig 6: 3.28×–5.56× hash-operation speedup."""
+        _, rb, ra = pair
+        speedup = rb.hash_seconds / ra.hash_seconds
+        assert 2.5 < speedup < 8.0
+
+    def test_asa_always_wins(self, pair):
+        _, rb, ra = pair
+        assert ra.hash_seconds < rb.hash_seconds
+        assert ra.findbest_seconds < rb.findbest_seconds
+        assert ra.total_seconds < rb.total_seconds
+
+
+class TestFig8Shapes:
+    def test_instruction_reduction(self, pair):
+        """Paper: 12–24 % fewer FindBestCommunity instructions."""
+        _, rb, ra = pair
+        red = 1 - ra.stats.findbest.instructions / rb.stats.findbest.instructions
+        assert 0.10 < red < 0.40
+
+    def test_mispredict_reduction(self, pair):
+        """Paper: 40–59 % fewer mispredicted branches."""
+        _, rb, ra = pair
+        red = 1 - (
+            ra.stats.findbest.branch_mispredict
+            / rb.stats.findbest.branch_mispredict
+        )
+        assert 0.30 < red < 0.75
+
+    def test_cpi_reduction(self, pair):
+        """Paper: 18–21 % lower CPI (Fig 8c / Fig 11)."""
+        _, rb, ra = pair
+        cpib = rb.breakdown(rb.stats.findbest).cpi
+        cpia = ra.breakdown(ra.stats.findbest).cpi
+        red = 1 - cpia / cpib
+        assert 0.08 < red < 0.35
+
+
+class TestOverflow:
+    def test_overflow_share_small(self, pair):
+        """Paper §IV-C: overflow handling is a minor share of ASA time
+        (9.86 % soc-Pokec, 13.31 % Orkut)."""
+        _, _, ra = pair
+        share = ra.overflow_seconds / ra.hash_seconds
+        assert share < 0.30
+
+    def test_identical_partitions(self, pair):
+        import numpy as np
+
+        _, rb, ra = pair
+        assert np.array_equal(rb.modules, ra.modules)
+        assert rb.codelength == pytest.approx(ra.codelength, abs=1e-12)
+
+
+class TestIterationDecay:
+    def test_per_iteration_times_decay(self, pair):
+        """Tables III/IV shape: successive FindBestCommunity iterations get
+        cheaper (worklist shrinks)."""
+        _, rb, _ = pair
+        level0 = [it for it in rb.iterations if it.level == 0]
+        assert len(level0) >= 3
+        assert level0[-1].seconds < level0[0].seconds

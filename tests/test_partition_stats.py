@@ -1,0 +1,83 @@
+"""Tests for per-community structural statistics."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import from_edges
+from repro.graph.generators import planted_partition, ring_of_cliques
+from repro.quality.partition_stats import (
+    PartitionStats,
+    conductance,
+    coverage,
+    partition_stats,
+)
+
+
+class TestConductance:
+    def test_isolated_cliques_zero(self):
+        g, truth = ring_of_cliques(1, 5)  # single clique, no cut
+        c = conductance(g, truth[:5] * 0)
+        assert np.allclose(c, 0.0)
+
+    def test_ring_cliques_small(self):
+        g, truth = ring_of_cliques(4, 5)
+        c = conductance(g, truth)
+        # each clique: cut=2 bridge arcs..., vol = 2*10+2 = 22
+        assert np.all(c < 0.15)
+
+    def test_random_split_high(self):
+        g, truth = ring_of_cliques(4, 5)
+        rng = np.random.default_rng(0)
+        bad = rng.integers(0, 4, g.num_vertices)
+        assert conductance(g, bad).mean() > conductance(g, truth).mean()
+
+
+class TestCoverage:
+    def test_single_community_is_one(self):
+        g, _ = ring_of_cliques(3, 4)
+        assert coverage(g, np.zeros(g.num_vertices, dtype=int)) == 1.0
+
+    def test_singletons_is_zero(self):
+        g = from_edges([(0, 1), (1, 2)], num_vertices=3)
+        assert coverage(g, np.arange(3)) == 0.0
+
+    def test_clique_partition_high(self):
+        g, truth = ring_of_cliques(5, 5)
+        assert coverage(g, truth) > 0.9
+
+
+class TestPartitionStats:
+    def test_full_summary(self):
+        g, truth = ring_of_cliques(4, 5)
+        st = partition_stats(g, truth)
+        assert st.num_communities == 4
+        assert st.sizes.tolist() == [5, 5, 5, 5]
+        assert st.coverage > 0.9
+        assert st.modularity > 0.5
+        assert 0 <= st.median_conductance < 0.2
+        # clique density = intra arcs / ordered pairs = 1 (each clique
+        # complete; bridges are inter)
+        assert np.all(st.internal_densities >= 0.9)
+
+    def test_table_rows(self):
+        g, truth = ring_of_cliques(3, 4)
+        st = partition_stats(g, truth)
+        rows = st.table_rows(top=2)
+        assert len(rows) == 2
+        assert rows[0][1] == 4  # size
+
+    def test_label_validation(self):
+        g, _ = ring_of_cliques(2, 3)
+        with pytest.raises(ValueError):
+            partition_stats(g, np.zeros(2, dtype=int))
+
+    def test_infomap_partition_beats_random(self):
+        from repro.core.infomap import run_infomap
+
+        g, _ = planted_partition(5, 20, 0.4, 0.02, seed=1)
+        r = run_infomap(g)
+        found = partition_stats(g, r.modules)
+        rng = np.random.default_rng(0)
+        rand = partition_stats(g, rng.integers(0, 5, g.num_vertices))
+        assert found.coverage > rand.coverage
+        assert found.median_conductance < rand.median_conductance

@@ -1,0 +1,170 @@
+"""Cross-cutting property tests: the invariants that tie the system together.
+
+These are the load-bearing correctness properties of the reproduction:
+
+1. coarsening preserves the codelength of any partition;
+2. every engine optimizes the same objective (codelengths agree within a
+   small factor on random structured graphs);
+3. the incremental delta algebra matches brute-force recomputation under
+   random move sequences (already covered per-move in
+   ``test_mapequation_partition``; here: across whole engine runs);
+4. graphs with pathologies (self-loops, isolated vertices, multi-edges)
+   survive the full pipeline.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.flow import FlowNetwork
+from repro.core.infomap import run_infomap
+from repro.core.mapequation import MapEquation
+from repro.core.supernode import convert_to_supernodes
+from repro.core.vectorized import run_infomap_vectorized
+from repro.graph.build import from_edges
+from repro.graph.generators import planted_partition
+
+
+def _partition_codelength(net, labels, k):
+    src = np.repeat(np.arange(net.num_vertices), np.diff(net.indptr))
+    cross = labels[src] != labels[net.indices]
+    exit_ = np.bincount(labels[src[cross]], weights=net.arc_flow[cross], minlength=k)
+    enter = np.bincount(
+        labels[net.indices[cross]], weights=net.arc_flow[cross], minlength=k
+    )
+    flow = np.bincount(labels, weights=net.node_flow, minlength=k)
+    return MapEquation.codelength(enter, exit_, flow, net.node_flow)
+
+
+class TestCoarseningInvariance:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_random_partition_codelength_preserved(self, seed):
+        """For ANY partition, the coarse graph's singleton partition has
+        the same codelength (modulo the node-visit term, which is supplied
+        from the fine level)."""
+        rng = np.random.default_rng(seed)
+        g, _ = planted_partition(3, 8, 0.5, 0.1, seed=seed % 50)
+        net = FlowNetwork.from_graph(g)
+        k = int(rng.integers(2, 6))
+        labels = rng.integers(0, k, net.num_vertices).astype(np.int64)
+        _, dense = np.unique(labels, return_inverse=True)
+        kk = int(dense.max()) + 1
+        fine_L = _partition_codelength(net, dense, kk)
+        coarse = convert_to_supernodes(net, dense.astype(np.int64), kk)
+        coarse_L = MapEquation.codelength(
+            coarse.node_in, coarse.node_out, coarse.node_flow, net.node_flow
+        )
+        assert coarse_L == pytest.approx(fine_L, abs=1e-10)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_flow_conservation_under_coarsening(self, seed):
+        rng = np.random.default_rng(seed)
+        g, _ = planted_partition(3, 8, 0.5, 0.1, seed=seed % 50)
+        net = FlowNetwork.from_graph(g)
+        labels = rng.integers(0, 4, net.num_vertices)
+        _, dense = np.unique(labels, return_inverse=True)
+        kk = int(dense.max()) + 1
+        coarse = convert_to_supernodes(net, dense.astype(np.int64), kk)
+        assert coarse.arc_flow.sum() == pytest.approx(float(net.arc_flow.sum()))
+        assert coarse.node_flow.sum() == pytest.approx(float(net.node_flow.sum()))
+
+
+class TestEngineAgreement:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_sequential_vs_vectorized_codelength(self, seed):
+        g, _ = planted_partition(4, 12, 0.5, 0.05, seed=seed)
+        rs = run_infomap(g)
+        rv = run_infomap_vectorized(g)
+        # same objective, different schedules: within 8 %
+        assert rv.codelength <= rs.codelength * 1.08 + 1e-9
+        assert rs.codelength <= rv.codelength * 1.08 + 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_found_partition_codelength_is_self_consistent(self, seed):
+        """The reported codelength must equal the map equation evaluated
+        on the reported partition over the original flow network."""
+        g, _ = planted_partition(4, 10, 0.5, 0.05, seed=seed)
+        r = run_infomap(g)
+        net = FlowNetwork.from_graph(g)
+        k = r.num_modules
+        direct = _partition_codelength(net, r.modules, k)
+        assert r.codelength == pytest.approx(direct, abs=1e-9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_result_never_worse_than_singletons_or_one_module(self, seed):
+        g, _ = planted_partition(3, 10, 0.5, 0.08, seed=seed)
+        r = run_infomap(g)
+        net = FlowNetwork.from_graph(g)
+        n = net.num_vertices
+        singleton_L = _partition_codelength(net, np.arange(n), n)
+        one_L = _partition_codelength(net, np.zeros(n, dtype=np.int64), 1)
+        assert r.codelength <= min(singleton_L, one_L) + 1e-9
+
+
+class TestPathologicalGraphs:
+    def test_self_loops_survive_pipeline(self):
+        g = from_edges(
+            [(0, 0, 2.0), (0, 1), (1, 2), (2, 0), (3, 3, 1.0), (3, 2)],
+            num_vertices=4,
+        )
+        r = run_infomap(g, backend="softhash")
+        assert len(r.modules) == 4
+        assert np.isfinite(r.codelength)
+
+    def test_isolated_vertices(self):
+        g = from_edges([(0, 1), (1, 2)], num_vertices=6)
+        r = run_infomap(g)
+        assert len(r.modules) == 6
+        # isolated vertices have zero flow; they stay singleton modules
+        assert np.isfinite(r.codelength)
+
+    def test_two_vertex_graph(self):
+        g = from_edges([(0, 1)], num_vertices=2)
+        r = run_infomap(g)
+        assert r.num_modules in (1, 2)
+
+    def test_star_graph(self):
+        g = from_edges([(0, i) for i in range(1, 30)], num_vertices=30)
+        for backend in ("softhash", "asa"):
+            r = run_infomap(g, backend=backend)
+            assert np.isfinite(r.codelength)
+
+    def test_multi_edges_coalesce_through_pipeline(self):
+        g = from_edges(
+            [(0, 1), (0, 1), (1, 2), (1, 2, 3.0), (2, 0)], num_vertices=3
+        )
+        r = run_infomap(g)
+        assert r.num_modules == 1  # dense triangle collapses
+
+    def test_weighted_directed_cycle(self):
+        g = from_edges(
+            [(0, 1, 5.0), (1, 2, 5.0), (2, 0, 5.0), (2, 3, 0.1),
+             (3, 4, 5.0), (4, 5, 5.0), (5, 3, 5.0), (5, 0, 0.1)],
+            directed=True, num_vertices=6,
+        )
+        r = run_infomap(g)
+        assert r.num_modules == 2
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 9)),
+            min_size=1,
+            max_size=40,
+        ),
+        st.booleans(),
+    )
+    def test_arbitrary_small_graphs_never_crash(self, edges, directed):
+        g = from_edges(edges, num_vertices=10, directed=directed)
+        if g.num_arcs == 0:
+            return
+        # directed graphs need at least one non-dangling vertex
+        r = run_infomap(g, backend="asa")
+        assert len(r.modules) == 10
+        assert np.isfinite(r.codelength)
+        assert r.codelength <= r.one_level_codelength + 1e-6

@@ -1,0 +1,124 @@
+"""Tests for util.rng, util.tables and util.validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.rng import make_rng, spawn_rngs, stable_hash64
+from repro.util.rng import stable_hash64_array
+from repro.util.tables import Table, format_pct, format_seconds, format_si
+from repro.util.validation import (
+    check_in_range,
+    check_positive,
+    check_probability,
+    require,
+)
+
+
+class TestRng:
+    def test_make_rng_deterministic(self):
+        a = make_rng(42).random(5)
+        b = make_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_none_maps_to_fixed_seed(self):
+        assert np.array_equal(make_rng(None).random(3), make_rng(0).random(3))
+
+    def test_passthrough(self):
+        g = make_rng(1)
+        assert make_rng(g) is g
+
+    def test_spawn_rngs_independent(self):
+        rngs = spawn_rngs(7, 4)
+        assert len(rngs) == 4
+        draws = [r.random() for r in rngs]
+        assert len(set(draws)) == 4
+
+    def test_spawn_deterministic(self):
+        a = [r.random() for r in spawn_rngs(7, 3)]
+        b = [r.random() for r in spawn_rngs(7, 3)]
+        assert a == b
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash64(12345) == stable_hash64(12345)
+
+    def test_seed_changes_hash(self):
+        assert stable_hash64(1, seed=0) != stable_hash64(1, seed=1)
+
+    def test_range(self):
+        for k in (0, 1, 2**32, 2**63):
+            assert 0 <= stable_hash64(k) < 2**64
+
+    @given(st.integers(min_value=0, max_value=2**62))
+    def test_avalanche_nearby_keys_differ(self, k):
+        assert stable_hash64(k) != stable_hash64(k + 1)
+
+    def test_vectorized_matches_scalar(self):
+        keys = np.array([0, 1, 7, 1000, 2**40], dtype=np.uint64)
+        vec = stable_hash64_array(keys, seed=3)
+        for k, v in zip(keys.tolist(), vec.tolist()):
+            assert stable_hash64(int(k), seed=3) == int(v)
+
+
+class TestFormatting:
+    def test_si(self):
+        assert format_si(2.4e12) == "2.40T"
+        assert format_si(30_622_564) == "30.62M"
+        assert format_si(925_872) == "925.87K"
+        assert format_si(42) == "42"
+        assert format_si(-3e6) == "-3.00M"
+
+    def test_seconds(self):
+        assert format_seconds(8.426) == "8.426s"
+        assert format_seconds(0.0521).endswith("ms")
+        assert format_seconds(2e-5).endswith("us")
+
+    def test_pct(self):
+        assert format_pct(0.59) == "59.0%"
+        assert format_pct(0.9986, 2) == "99.86%"
+
+
+class TestTable:
+    def test_render_contains_rows(self):
+        t = Table("T", ["a", "b"])
+        t.add_row(["x", 1])
+        out = t.render()
+        assert "T" in out and "x" in out and "1" in out
+
+    def test_wrong_arity_raises(self):
+        t = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_float_formatting(self):
+        t = Table("T", ["v"])
+        t.add_row([3.14159265])
+        assert "3.142" in t.render()
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "ok")
+        with pytest.raises(ValueError, match="bad"):
+            require(False, "bad")
+
+    def test_check_positive(self):
+        assert check_positive("x", 1) == 1
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+        assert check_positive("x", 0, strict=False) == 0
+        with pytest.raises(ValueError):
+            check_positive("x", -1, strict=False)
+
+    def test_check_probability(self):
+        assert check_probability("p", 0.5) == 0.5
+        for bad in (-0.01, 1.01):
+            with pytest.raises(ValueError):
+                check_probability("p", bad)
+
+    def test_check_in_range(self):
+        assert check_in_range("k", 3, 1, 5) == 3
+        with pytest.raises(ValueError):
+            check_in_range("k", 6, 1, 5)

@@ -1,0 +1,123 @@
+"""Tests for the Robin Hood open-addressing software baseline."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accum.robinhood import RobinHoodAccumulator
+from repro.sim.context import HardwareContext
+from repro.sim.counters import KernelStats
+from repro.sim.machine import baseline_machine
+
+
+def _make():
+    ctx = HardwareContext(baseline_machine())
+    ks = KernelStats()
+    return RobinHoodAccumulator(ctx, ks.findbest_hash), ks
+
+
+def _drive(acc, ops):
+    acc.begin(len(ops))
+    for k, v in ops:
+        acc.accumulate(k, v)
+    pairs = dict(acc.items())
+    acc.finish()
+    return pairs
+
+
+class TestFunctional:
+    def test_basic(self):
+        acc, _ = _make()
+        assert _drive(acc, [(1, 1.0), (1, 2.0), (2, 5.0)]) == {1: 3.0, 2: 5.0}
+
+    def test_rehash_preserves_contents(self):
+        acc, _ = _make()
+        ops = [(k, float(k)) for k in range(100)]
+        got = _drive(acc, ops)
+        assert got == {k: float(k) for k in range(100)}
+        assert acc._slots >= 128  # grew past 0.75 load factor
+
+    def test_reuse_across_vertices(self):
+        acc, _ = _make()
+        assert _drive(acc, [(7, 1.0)]) == {7: 1.0}
+        assert _drive(acc, [(9, 2.0)]) == {9: 2.0}
+
+    def test_begin_sizes_for_expected(self):
+        acc, _ = _make()
+        acc.begin(100)
+        assert acc._slots * acc.MAX_LOAD >= 100
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 64), st.floats(0.01, 9.0)),
+            min_size=0,
+            max_size=200,
+        )
+    )
+    def test_exactness_property(self, ops):
+        acc, _ = _make()
+        ref = {}
+        for k, v in ops:
+            ref[k] = ref.get(k, 0.0) + v
+        got = _drive(acc, ops)
+        assert set(got) == set(ref)
+        for k in ref:
+            assert got[k] == pytest.approx(ref[k], rel=1e-12)
+
+
+class TestRobinHoodInvariant:
+    def test_probe_distances_are_robin_hood_ordered(self):
+        """After any insertions, no slot's resident is 'richer' than an
+        element probing past it (the Robin Hood invariant: distances along
+        a probe run never decrease by more than the run's steps)."""
+        acc, _ = _make()
+        acc.begin(0)
+        for k in range(60):
+            acc.accumulate(k * 7, 1.0)
+        slots = acc._slots
+        for s in range(slots):
+            if acc._keys[s] is None:
+                continue
+            home = acc._slot_of(acc._keys[s])
+            expected_dist = (s - home) % slots
+            assert acc._dist[s] == expected_dist
+
+
+class TestCostShape:
+    def test_fewer_instructions_than_chained(self):
+        from repro.accum.softhash import SoftwareHashAccumulator
+
+        ops = [(k % 17, 1.0) for k in range(500)]
+        rh, rks = _make()
+        _drive(rh, ops)
+        ctx = HardwareContext(baseline_machine())
+        sks = KernelStats()
+        ch = SoftwareHashAccumulator(ctx, sks.findbest_hash)
+        _drive(ch, ops)
+        assert (
+            rks.findbest_hash.instructions < sks.findbest_hash.instructions
+        )
+
+    def test_no_dependent_chain_stalls_beyond_first(self):
+        acc, ks = _make()
+        _drive(acc, [(k, 1.0) for k in range(50)])
+        # one serialized head access per op, nothing per probe step
+        assert ks.findbest_hash.dep_stall_cycles == pytest.approx(
+            50 * acc.costs.dep_stall_per_probe
+        )
+
+
+class TestInfomapIntegration:
+    def test_quality_matches_softhash(self):
+        import numpy as np
+
+        from repro.core.infomap import run_infomap
+        from repro.graph.generators import planted_partition
+        from repro.quality import normalized_mutual_information
+
+        g, truth = planted_partition(4, 25, 0.4, 0.02, seed=5)
+        rr = run_infomap(g, backend="robinhood")
+        rs = run_infomap(g, backend="softhash")
+        assert normalized_mutual_information(rr.modules, truth) > 0.95
+        assert abs(rr.codelength - rs.codelength) / rs.codelength < 0.03
+        assert rr.hash_seconds < rs.hash_seconds

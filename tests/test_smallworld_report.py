@@ -1,0 +1,107 @@
+"""Tests for the small-world/SBM generators and the hardware report."""
+
+import numpy as np
+import pytest
+
+from repro.graph.smallworld import stochastic_block_model, watts_strogatz
+from repro.sim.report import (
+    cycle_breakdown_table,
+    hardware_report,
+    instruction_mix_table,
+)
+
+
+class TestWattsStrogatz:
+    def test_ring_lattice_no_rewire(self):
+        g = watts_strogatz(20, k=4, p_rewire=0.0)
+        deg = np.asarray(g.out_degree())
+        assert np.all(deg == 4)
+        assert g.num_edges == 40
+
+    def test_rewire_changes_structure(self):
+        a = watts_strogatz(50, k=4, p_rewire=0.0)
+        b = watts_strogatz(50, k=4, p_rewire=0.5, seed=1)
+        assert not np.array_equal(a.indices, b.indices)
+
+    def test_edge_count_roughly_preserved(self):
+        g = watts_strogatz(100, k=6, p_rewire=0.3, seed=2)
+        assert 250 <= g.num_edges <= 300
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(10, k=3)
+        with pytest.raises(ValueError):
+            watts_strogatz(4, k=4)
+        with pytest.raises(ValueError):
+            watts_strogatz(10, k=4, p_rewire=2.0)
+
+    def test_no_cam_overflow_on_homogeneous_graph(self):
+        """Small worlds have no hubs: ASA never overflows at level 0."""
+        from repro.core.infomap import run_infomap
+
+        g = watts_strogatz(300, k=6, p_rewire=0.05, seed=3)
+        r = run_infomap(g, backend="asa", max_levels=1)
+        assert r.overflowed_vertices == 0
+
+
+class TestSBM:
+    def test_sizes_and_labels(self):
+        g, labels = stochastic_block_model(
+            [10, 20, 30], np.full((3, 3), 0.05) + np.eye(3) * 0.4, seed=0
+        )
+        assert g.num_vertices == 60
+        assert np.bincount(labels).tolist() == [10, 20, 30]
+
+    def test_assortative_structure_detected(self):
+        from repro.core.infomap import run_infomap
+        from repro.quality import normalized_mutual_information
+
+        p = np.full((3, 3), 0.01) + np.eye(3) * 0.4
+        g, labels = stochastic_block_model([30, 30, 30], p, seed=1)
+        r = run_infomap(g)
+        assert normalized_mutual_information(r.modules, labels) > 0.9
+
+    def test_matrix_validation(self):
+        with pytest.raises(ValueError):
+            stochastic_block_model([5, 5], np.zeros((3, 3)))
+        asym = np.array([[0.5, 0.1], [0.2, 0.5]])
+        with pytest.raises(ValueError):
+            stochastic_block_model([5, 5], asym)
+        with pytest.raises(ValueError):
+            stochastic_block_model([5, 0], np.eye(2) * 0.5)
+        with pytest.raises(ValueError):
+            stochastic_block_model([5, 5], np.eye(2) * 1.5)
+
+    def test_zero_probability_blocks_disconnected(self):
+        p = np.eye(2) * 0.8
+        g, labels = stochastic_block_model([10, 10], p, seed=2)
+        src, dst, _ = g.edge_array()
+        assert np.all(labels[src] == labels[dst])
+
+
+class TestHardwareReport:
+    def _run(self):
+        from repro.core.infomap import run_infomap
+        from repro.graph.generators import planted_partition
+
+        g, _ = planted_partition(4, 20, 0.4, 0.02, seed=1)
+        return run_infomap(g, backend="softhash")
+
+    def test_cycle_breakdown_table(self):
+        r = self._run()
+        t = cycle_breakdown_table(r.stats, r.machine)
+        out = t.render()
+        assert "TOTAL" in out
+        assert "findbest_hash" in out
+
+    def test_instruction_mix_sums_to_total(self):
+        r = self._run()
+        t = instruction_mix_table(r.stats.findbest)
+        assert "100.0%" in t.render()
+
+    def test_full_report(self):
+        r = self._run()
+        report = hardware_report(r.stats, r.machine, label="test")
+        assert "Headline metrics" in report
+        assert "FindBest CPI" in report
+        assert "Hash share" in report

@@ -1,0 +1,128 @@
+"""Tests for the SpGEMM substrate (ASA's original workload)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spgemm.gustavson import spgemm
+from repro.spgemm.matrix import CSRMatrix, random_sparse_matrix
+
+
+class TestCSRMatrix:
+    def test_from_to_dense_round_trip(self):
+        d = np.array([[1.0, 0, 2.0], [0, 0, 0], [0, -3.0, 0]])
+        m = CSRMatrix.from_dense(d)
+        assert m.shape == (3, 3)
+        assert m.nnz == 3
+        assert np.array_equal(m.to_dense(), d)
+
+    def test_from_triplets_sums_duplicates(self):
+        m = CSRMatrix.from_triplets(
+            np.array([0, 0]), np.array([1, 1]), np.array([2.0, 3.0]), (2, 2)
+        )
+        assert m.nnz == 1
+        assert m.to_dense()[0, 1] == pytest.approx(5.0)
+
+    def test_row_accessor(self):
+        m = CSRMatrix.from_dense(np.array([[0, 1.0], [2.0, 0]]))
+        cols, vals = m.row(1)
+        assert list(cols) == [0] and vals[0] == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(np.array([1, 1]), np.array([0]), np.array([1.0]), 2)
+        with pytest.raises(ValueError):
+            CSRMatrix(np.array([0, 1]), np.array([5]), np.array([1.0]), 2)
+
+    def test_random_matrix_properties(self):
+        m = random_sparse_matrix(50, 30, 0.05, seed=3)
+        assert m.shape == (50, 30)
+        assert m.nnz > 0
+        m2 = random_sparse_matrix(50, 30, 0.05, seed=3)
+        assert np.array_equal(m.indices, m2.indices)  # deterministic
+
+    def test_powerlaw_rows_skewed(self):
+        m = random_sparse_matrix(200, 200, 0.02, seed=4, powerlaw_rows=True)
+        lens = np.diff(m.indptr)
+        assert lens.max() > 4 * max(1.0, lens.mean())
+
+    def test_density_validation(self):
+        with pytest.raises(ValueError):
+            random_sparse_matrix(5, 5, 0.0)
+
+
+class TestSpGEMM:
+    def test_matches_dense_reference(self):
+        a = random_sparse_matrix(40, 30, 0.1, seed=1)
+        b = random_sparse_matrix(30, 20, 0.1, seed=2)
+        ref = a.to_dense() @ b.to_dense()
+        for backend in ("plain", "softhash", "asa"):
+            r = spgemm(a, b, backend=backend)
+            assert np.allclose(r.matrix.to_dense(), ref, atol=1e-10), backend
+
+    def test_dimension_mismatch(self):
+        a = random_sparse_matrix(4, 5, 0.5, seed=0)
+        b = random_sparse_matrix(4, 5, 0.5, seed=0)
+        with pytest.raises(ValueError):
+            spgemm(a, b)
+
+    def test_identity(self):
+        eye = CSRMatrix.from_dense(np.eye(6))
+        a = random_sparse_matrix(6, 6, 0.4, seed=5)
+        r = spgemm(a, eye)
+        assert np.allclose(r.matrix.to_dense(), a.to_dense())
+
+    def test_empty_product(self):
+        a = CSRMatrix.from_dense(np.zeros((3, 3)))
+        b = CSRMatrix.from_dense(np.zeros((3, 3)))
+        r = spgemm(a, b)
+        assert r.matrix.nnz == 0 and r.flops == 0
+
+    def test_asa_faster_than_softhash(self):
+        """The accelerator's original claim: ASA beats software hashing on
+        SpGEMM hash accumulation."""
+        a = random_sparse_matrix(150, 150, 0.05, seed=6)
+        b = random_sparse_matrix(150, 150, 0.05, seed=7)
+        soft = spgemm(a, b, backend="softhash")
+        asa = spgemm(a, b, backend="asa")
+        assert asa.hash_seconds < soft.hash_seconds / 2
+        assert np.allclose(asa.matrix.to_dense(), soft.matrix.to_dense())
+
+    def test_flop_count(self):
+        a = CSRMatrix.from_dense(np.array([[1.0, 1.0], [0, 1.0]]))
+        b = CSRMatrix.from_dense(np.array([[1.0, 0], [1.0, 1.0]]))
+        r = spgemm(a, b)
+        # row 0: A has 2 nnz -> rows of B with 1 + 2 products = 3
+        # row 1: A has 1 nnz -> B row 1 has 2 products
+        assert r.flops == 5
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_property_matches_scipy(self, seed):
+        import scipy.sparse as sp
+
+        a = random_sparse_matrix(25, 20, 0.15, seed=seed)
+        b = random_sparse_matrix(20, 15, 0.15, seed=seed + 1)
+        r = spgemm(a, b, backend="asa")
+        ref = (
+            sp.csr_matrix(a.to_dense()) @ sp.csr_matrix(b.to_dense())
+        ).toarray()
+        assert np.allclose(r.matrix.to_dense(), ref, atol=1e-10)
+
+    def test_overflow_path_on_dense_rows(self):
+        """A matrix row producing > 512 distinct output columns exercises
+        CAM overflow inside SpGEMM."""
+        n = 700
+        a = CSRMatrix.from_triplets(
+            np.zeros(3, np.int64), np.arange(3, dtype=np.int64),
+            np.ones(3), (1, 3),
+        )
+        b = CSRMatrix.from_triplets(
+            np.repeat(np.arange(3, dtype=np.int64), n // 3 + 1)[: n],
+            np.arange(n, dtype=np.int64) % n,
+            np.ones(n), (3, n),
+        )
+        r = spgemm(a, b, backend="asa")
+        assert r.stats.findbest_overflow.instructions > 0
+        ref = a.to_dense() @ b.to_dense()
+        assert np.allclose(r.matrix.to_dense(), ref)
