@@ -6,10 +6,14 @@ so regressions in the vectorized engine, the generators, or the
 accumulator inner loop show up as real milliseconds.
 """
 
+import time
+
 from repro.accum.plain import PlainDictAccumulator
 from repro.core.vectorized import run_infomap_vectorized
 from repro.graph.generators import chung_lu, powerlaw_degree_sequence
 from repro.graph.lfr import LFRParams, lfr_graph
+from repro.obs import spans as obs_spans
+from repro.obs.spans import trace_span
 
 
 def test_perf_vectorized_engine(benchmark):
@@ -48,3 +52,51 @@ def test_perf_accumulator_inner_loop(benchmark):
 
     pairs = benchmark.pedantic(run, rounds=5, iterations=1)
     assert len(pairs) == 257
+
+
+def test_obs_disabled_overhead_guard():
+    """Tracing off must cost <1% of the instrumented engines' wall time.
+
+    Direct A/B wall-time comparison at the 1% level is noise-dominated,
+    so the guard is a projection: count how many ``trace_span`` calls the
+    workload actually makes (by running once with tracing on), measure
+    the per-call cost of the disabled no-op path, and assert that their
+    product is under 1% of the measured workload time.
+    """
+    g, _ = lfr_graph(LFRParams(n=2000, mu=0.25, seed=3))
+
+    # 1. how many spans does the workload open?
+    obs_spans.clear()
+    obs_spans.enable()
+    try:
+        run_infomap_vectorized(g)
+        span_calls = len(obs_spans.events())
+    finally:
+        obs_spans.disable()
+        obs_spans.clear()
+
+    # 2. per-call cost of the disabled fast path (amortized over 200k)
+    assert trace_span("a") is trace_span("b"), "disabled path must be a no-op singleton"
+    reps = 200_000
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        with trace_span("findbest", level=1, pass_=2):
+            pass
+    per_call = (time.perf_counter() - t0) / reps
+
+    # 3. workload wall time with observability disabled (best of 3)
+    workload = min(
+        _timed(run_infomap_vectorized, g) for _ in range(3)
+    )
+
+    projected = span_calls * per_call
+    assert projected < 0.01 * workload, (
+        f"disabled-tracing overhead {projected * 1e6:.1f}us projected over "
+        f"{span_calls} spans exceeds 1% of the {workload * 1e3:.1f}ms workload"
+    )
+
+
+def _timed(fn, *args):
+    t0 = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - t0

@@ -4,11 +4,25 @@ Every bench prints its reproduced table via :func:`emit` (which bypasses
 pytest's output capture so ``pytest benchmarks/ --benchmark-only``
 regenerates the paper's evaluation section on the terminal) and asserts
 the headline shape so regressions fail loudly.
+
+Observability wiring (docs/observability.md): every benchmark session
+records per-bench wall time into a :class:`repro.obs.metrics`
+registry and writes a consolidated ``BENCH_observability.json`` at the
+repo root — the repo's durable perf-trajectory artifact.  Pass
+``--emit-jsonl PATH`` to additionally *append* one JSON line per bench,
+building a longitudinal record across runs/commits.
 """
 
 import sys
+from pathlib import Path
 
 import pytest
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_BENCH_JSON = _REPO_ROOT / "BENCH_observability.json"
+
+#: per-bench {"bench", "outcome", "wall_seconds"} records for this session
+_RESULTS = []
 
 
 def emit(table) -> None:
@@ -21,3 +35,57 @@ def emit(table) -> None:
 @pytest.fixture
 def show():
     return emit
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro observability")
+    group.addoption(
+        "--emit-jsonl",
+        default=None,
+        metavar="PATH",
+        help="append one JSON line per benchmark (wall time + outcome) "
+        "to PATH, building a perf trajectory across runs",
+    )
+
+
+def _short_bench_name(nodeid: str) -> str:
+    """``benchmarks/bench_x.py::test_y[z]`` -> ``bench_x::test_y[z]``."""
+    path, _, rest = nodeid.partition("::")
+    return f"{Path(path).stem}::{rest}" if rest else Path(path).stem
+
+
+def pytest_runtest_logreport(report):
+    if report.when != "call":
+        return
+    _RESULTS.append(
+        {
+            "bench": _short_bench_name(report.nodeid),
+            "outcome": report.outcome,
+            "wall_seconds": float(report.duration),
+        }
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RESULTS:
+        return
+    from repro.obs.export import write_json, write_jsonl
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    for rec in _RESULTS:
+        registry.histogram("bench.wall_seconds", bench=rec["bench"]).observe(
+            rec["wall_seconds"]
+        )
+        registry.counter("bench.outcomes", outcome=rec["outcome"]).inc()
+    write_json(
+        {
+            "schema": "repro.bench/v1",
+            "results": sorted(_RESULTS, key=lambda r: r["bench"]),
+            "metrics": registry.snapshot(),
+        },
+        _BENCH_JSON,
+    )
+    jsonl_path = session.config.getoption("--emit-jsonl")
+    if jsonl_path:
+        write_jsonl(_RESULTS, jsonl_path, append=True)

@@ -60,6 +60,8 @@ class ASAAccumulator(Accumulator):
         self._evictions = 0
         #: total vertices whose accumulation overflowed (for reporting)
         self.overflowed_vertices = 0
+        #: lifetime CAM evictions (exported as accum.overflow_evictions)
+        self.total_evictions = 0
 
     def begin(self, expected_keys: int = 0) -> None:
         if len(self.cam) or self.cam.overflow_count:
@@ -74,6 +76,7 @@ class ASAAccumulator(Accumulator):
         self._ops += 1
         if outcome == "evict":
             self._evictions += 1
+            self.total_evictions += 1
 
     def items(self) -> list[tuple[int, float]]:
         non_overflowed, overflowed = self.cam.gather()

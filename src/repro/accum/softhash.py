@@ -66,6 +66,8 @@ class SoftwareHashAccumulator(Accumulator):
         self._chains: dict[int, list[int]] = {}
         self._buckets = self.costs.initial_buckets
         self._node_addr: dict[int, int] = {}
+        #: lifetime rehash count (exported as accum.rehashes)
+        self.total_rehashes = 0
         # per-table tallies (reset in begin)
         self._reset_tallies()
 
@@ -146,6 +148,7 @@ class SoftwareHashAccumulator(Accumulator):
             return
         self._buckets *= 2
         self._rehashes += 1
+        self.total_rehashes += 1
         self._rehash_elems += len(self._data)
         old = self._chains
         self._chains = {}

@@ -5,19 +5,30 @@ Usage (after install)::
     python -m repro datasets                    # Table I inventory
     python -m repro run --dataset amazon --backend asa
     python -m repro run --edge-list my.txt --backend softhash --cores 4
+    python -m repro run --dataset amazon --trace out.trace.json \
+        --metrics-out metrics.json --log-level debug
+    python -m repro trace-view out.trace.json   # self-time breakdown
     python -m repro experiment fig6 table5 fig8 ...
+    python -m repro experiment fig6 --metrics-out metrics.json
     python -m repro quality --mu 0.1 0.3 0.5
     python -m repro calibrate
     python -m repro export --out results --names table1_datasets fig6_speedups
 
 Every command prints ASCII tables; exit code 0 on success.
+
+Observability (see docs/observability.md): ``--trace`` writes a Chrome
+trace-event JSON loadable in chrome://tracing or https://ui.perfetto.dev;
+``--metrics-out`` writes a metrics-registry snapshot; ``--log-level`` (or
+the ``REPRO_LOG`` env var) turns on structured run-id logging.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Sequence
+from contextlib import contextmanager
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -25,7 +36,7 @@ from repro.core.infomap import run_infomap
 from repro.core.multicore import run_infomap_multicore
 from repro.graph.datasets import TABLE1_ORDER, load_dataset
 from repro.graph.io import read_edge_list
-from repro.util.tables import Table, format_pct, format_si
+from repro.util.tables import Table, format_pct, format_seconds, format_si
 
 __all__ = ["main", "build_parser"]
 
@@ -61,9 +72,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", action="store_true",
         help="print the full per-kernel hardware report",
     )
+    _add_obs_arguments(runp)
 
     exp = sub.add_parser("experiment", help="regenerate paper tables/figures")
     exp.add_argument("names", nargs="+", choices=EXPERIMENTS)
+    _add_obs_arguments(exp, trace=False)
+
+    tv = sub.add_parser(
+        "trace-view",
+        help="summarize a Chrome trace as a per-span self-time table",
+    )
+    tv.add_argument("path", metavar="TRACE_JSON")
+    tv.add_argument("--top", type=int, default=20,
+                    help="show at most this many spans (default 20)")
 
     q = sub.add_parser("quality", help="LFR quality sweep (Infomap vs Louvain)")
     q.add_argument("--mu", type=float, nargs="+", default=[0.1, 0.3, 0.5])
@@ -79,6 +100,69 @@ def build_parser() -> argparse.ArgumentParser:
     exp_out.add_argument("--names", nargs="*", default=None,
                          help="experiment subset (default: all exportable)")
     return p
+
+
+def _add_obs_arguments(p: argparse.ArgumentParser, trace: bool = True) -> None:
+    """Shared observability flags (docs/observability.md)."""
+    if trace:
+        p.add_argument(
+            "--trace", metavar="PATH", default=None,
+            help="write a Chrome trace-event JSON (chrome://tracing, Perfetto)",
+        )
+    p.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write a metrics-registry JSON snapshot",
+    )
+    p.add_argument(
+        "--log-level", default=None,
+        choices=("debug", "info", "warning", "error"),
+        help="structured-logging level (default: $REPRO_LOG or warning)",
+    )
+
+
+@contextmanager
+def _obs_session(args: argparse.Namespace) -> Iterator[None]:
+    """Arm tracing/metrics/logging per the command's flags; write artifacts.
+
+    Spans and metrics are enabled only when their output path was given,
+    so the default path through the engines stays on the no-op fast path.
+    """
+    from repro.obs import logging as obs_logging
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import spans as obs_spans
+
+    obs_logging.setup_logging(
+        getattr(args, "log_level", None), run_id=obs_logging.new_run_id()
+    )
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics_out", None)
+    if trace_path:
+        obs_spans.clear()
+        obs_spans.enable()
+    registry = prev_registry = None
+    if metrics_path:
+        registry = obs_metrics.MetricsRegistry()
+        prev_registry = obs_metrics.set_registry(registry)
+        obs_metrics.enable()
+    try:
+        yield
+    finally:
+        if trace_path:
+            obs_spans.disable()
+            try:
+                print(f"trace: {obs_spans.write_chrome_trace(trace_path)}")
+            except OSError as exc:
+                print(f"cannot write trace {trace_path}: "
+                      f"{exc.strerror or exc}", file=sys.stderr)
+            obs_spans.clear()
+        if metrics_path:
+            obs_metrics.disable()
+            obs_metrics.set_registry(prev_registry)
+            try:
+                print(f"metrics: {registry.write_json(metrics_path)}")
+            except OSError as exc:
+                print(f"cannot write metrics {metrics_path}: "
+                      f"{exc.strerror or exc}", file=sys.stderr)
 
 
 def _cmd_datasets() -> int:
@@ -111,6 +195,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         for ks in r.per_core_stats[1:]:
             stats = _merge_stats(stats, ks)
         cm = r.cycle_model()
+
+    if r.telemetry is not None:
+        print(r.telemetry.summary())
 
     if args.backend != "plain":
         t = Table("Hardware accounting", ["Metric", "Value"])
@@ -174,6 +261,46 @@ def _cmd_experiment(names: Sequence[str]) -> int:
     return 0
 
 
+def _cmd_trace_view(path: str, top: int = 20) -> int:
+    """Per-span self-time table from a Chrome trace (the Fig 2 shape,
+    from measured Python wall time instead of the simulated cost model)."""
+    from repro.obs.spans import self_time_by_name
+
+    try:
+        with open(path) as fh:
+            trace = json.load(fh)
+    except OSError as exc:
+        print(f"cannot read trace {path}: {exc.strerror or exc}")
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"not a JSON trace {path}: {exc}")
+        return 1
+    agg = self_time_by_name(trace)
+    if not agg:
+        print(f"no complete ('ph': 'X') trace events in {path}")
+        return 1
+    total_self = sum(v["self_us"] for v in agg.values()) or 1.0
+    t = Table(
+        f"Span self-time breakdown — {path}",
+        ["Span", "Count", "Total", "Self", "Self %", ""],
+    )
+    ranked = sorted(agg.items(), key=lambda kv: -kv[1]["self_us"])
+    for name, v in ranked[:top]:
+        share = v["self_us"] / total_self
+        t.add_row([
+            name,
+            int(v["count"]),
+            format_seconds(v["total_us"] / 1e6),
+            format_seconds(v["self_us"] / 1e6),
+            format_pct(share),
+            "#" * max(1, round(share * 40)),
+        ])
+    if len(ranked) > top:
+        t.add_row([f"... {len(ranked) - top} more", "", "", "", "", ""])
+    t.print()
+    return 0
+
+
 def _cmd_quality(args: argparse.Namespace) -> int:
     from repro.harness.experiments import lfr_quality
 
@@ -194,9 +321,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "datasets":
         return _cmd_datasets()
     if args.command == "run":
-        return _cmd_run(args)
+        with _obs_session(args):
+            return _cmd_run(args)
     if args.command == "experiment":
-        return _cmd_experiment(args.names)
+        with _obs_session(args):
+            return _cmd_experiment(args.names)
+    if args.command == "trace-view":
+        return _cmd_trace_view(args.path, args.top)
     if args.command == "quality":
         return _cmd_quality(args)
     if args.command == "calibrate":

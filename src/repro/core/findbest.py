@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.accum.base import Accumulator
 from repro.core.partition import Partition
+from repro.obs.spans import trace_span
 from repro.sim.branch import BranchSite
 from repro.sim.context import HardwareContext
 from repro.sim.counters import KernelStats
@@ -67,6 +68,19 @@ def find_best_pass(
     if order is None:
         order = np.arange(n, dtype=np.int64)
 
+    with trace_span("findbest.sweep", vertices=len(order)):
+        return _sweep(partition, accumulator, ctx, stats, order)
+
+
+def _sweep(
+    partition: Partition,
+    accumulator: Accumulator,
+    ctx: HardwareContext,
+    stats: KernelStats,
+    order: np.ndarray,
+) -> tuple[int, list[int]]:
+    net = partition.net
+    n = net.num_vertices
     kc = ctx.machine.kernel
     module = partition.module
     detailed = ctx.detailed

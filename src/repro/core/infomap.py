@@ -17,6 +17,7 @@ from which :class:`InfomapResult` derives the per-kernel timing breakdown
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -28,12 +29,21 @@ from repro.core.partition import Partition
 from repro.core.supernode import convert_to_supernodes
 from repro.core.update import update_members
 from repro.graph.csr import CSRGraph
+from repro.obs.logging import get_logger
+from repro.obs.spans import trace_span
+from repro.obs.telemetry import (
+    ConvergenceTelemetry,
+    TelemetryRecorder,
+    publish_run_metrics,
+)
 from repro.sim.branch import BranchSite
 from repro.sim.context import HardwareContext
 from repro.sim.costmodel import CycleBreakdown, CycleModel
 from repro.sim.counters import Counters, KernelStats
 from repro.sim.machine import MachineConfig, asa_machine, baseline_machine
 from repro.util.rng import make_rng
+
+log = get_logger("core.infomap")
 
 __all__ = ["run_infomap", "InfomapResult", "IterationRecord"]
 
@@ -74,6 +84,8 @@ class InfomapResult:
     #: vertices whose ASA accumulation overflowed the CAM (0 for softhash)
     overflowed_vertices: int = 0
     pagerank_iterations: int = 0
+    #: measured-wall-time convergence record (see repro.obs.telemetry)
+    telemetry: ConvergenceTelemetry | None = None
 
     # ------------------------------------------------------------------
     def cycle_model(self) -> CycleModel:
@@ -152,15 +164,37 @@ def run_infomap(
         get progressively cheaper (the decaying per-iteration runtimes of
         Tables III/IV).  Disable to sweep every vertex every pass.
     """
+    with trace_span("infomap.run", engine="sequential", backend=backend):
+        return _run_infomap(
+            graph, backend, machine, ctx, tau, max_levels,
+            max_passes_per_level, shuffle_seed, worklist, accumulator_kwargs,
+        )
+
+
+def _run_infomap(
+    graph: CSRGraph,
+    backend: str,
+    machine: MachineConfig | None,
+    ctx: HardwareContext | None,
+    tau: float,
+    max_levels: int,
+    max_passes_per_level: int,
+    shuffle_seed: int | None,
+    worklist: bool,
+    accumulator_kwargs: dict | None,
+) -> InfomapResult:
     if machine is None:
         machine = asa_machine() if backend == "asa" else baseline_machine()
     if ctx is None:
         ctx = HardwareContext(machine)
 
+    recorder = TelemetryRecorder("sequential", backend=backend)
     stats = KernelStats()
-    net = FlowNetwork.from_graph(graph, tau=tau)
-    pagerank_iters = net.pagerank_iterations
-    _charge_pagerank(ctx, stats, net)
+    with trace_span("pagerank", vertices=graph.num_vertices), \
+            recorder.kernel("pagerank"):
+        net = FlowNetwork.from_graph(graph, tau=tau)
+        pagerank_iters = net.pagerank_iterations
+        _charge_pagerank(ctx, stats, net)
 
     accumulator = make_accumulator(
         backend,
@@ -186,9 +220,11 @@ def run_infomap(
     # codelengths back to true flat-partition codelengths
     node_flow_log0 = -one_level
 
+    converged = False
     for level in range(max_levels):
         levels = level + 1
         partition = Partition(net)
+        recorder.begin_level(level, net.num_vertices)
         active: np.ndarray | None = None  # None = all vertices (first pass)
         for pass_idx in range(max_passes_per_level):
             order = active
@@ -197,8 +233,24 @@ def run_infomap(
             elif order is not None and rng is not None:
                 order = rng.permutation(order)
             before = cm.cycles(stats.findbest).seconds
-            moves, moved = find_best_pass(partition, accumulator, ctx, stats, order)
+            wall0 = time.perf_counter()
+            with trace_span("findbest", level=level, pass_=pass_idx):
+                moves, moved = find_best_pass(
+                    partition, accumulator, ctx, stats, order
+                )
+            wall = time.perf_counter() - wall0
             after = cm.cycles(stats.findbest).seconds
+            codelength = partition.flat_codelength(node_flow_log0)
+            recorder.record_kernel("findbest", wall)
+            recorder.record_pass(
+                level=level,
+                pass_in_level=pass_idx,
+                active_vertices=net.num_vertices if order is None else len(order),
+                moves=moves,
+                num_modules=partition.num_modules,
+                codelength=codelength,
+                wall_seconds=wall,
+            )
             iteration_no += 1
             iterations.append(
                 IterationRecord(
@@ -207,7 +259,7 @@ def run_infomap(
                     pass_in_level=pass_idx,
                     nodes=net.num_vertices if order is None else len(order),
                     moves=moves,
-                    codelength=partition.flat_codelength(node_flow_log0),
+                    codelength=codelength,
                     seconds=after - before,
                 )
             )
@@ -219,13 +271,32 @@ def run_infomap(
                 active = None
 
         dense, k = partition.dense_assignment()
+        recorder.end_level(k, partition.flat_codelength(node_flow_log0))
+        log.debug(
+            "level %d: %d -> %d modules, L=%.4f bits",
+            level, net.num_vertices, k,
+            partition.flat_codelength(node_flow_log0),
+        )
         if k == net.num_vertices:
+            converged = True
             break  # nothing merged: converged
-        mapping = update_members(mapping, dense, ctx, stats)
-        net = convert_to_supernodes(net, dense, k, ctx, stats)
+        with trace_span("updatemembers", level=level), \
+                recorder.kernel("updatemembers"):
+            mapping = update_members(mapping, dense, ctx, stats)
+        with trace_span("convert2supernode", level=level, modules=k), \
+                recorder.kernel("convert2supernode"):
+            net = convert_to_supernodes(net, dense, k, ctx, stats)
 
     final_modules, num_modules = _densify(mapping, partition)
     overflowed = getattr(accumulator, "overflowed_vertices", 0)
+
+    telemetry = recorder.finish(converged)
+    publish_run_metrics(
+        telemetry,
+        overflow_evictions=getattr(accumulator, "total_evictions", 0),
+        rehashes=getattr(accumulator, "total_rehashes", 0),
+    )
+    log.debug("run done: %s", telemetry.summary())
 
     return InfomapResult(
         modules=final_modules,
@@ -239,6 +310,7 @@ def run_infomap(
         backend=backend,
         overflowed_vertices=overflowed,
         pagerank_iterations=pagerank_iters,
+        telemetry=telemetry,
     )
 
 

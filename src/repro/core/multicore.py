@@ -23,6 +23,7 @@ HyPC-Map as well; their (bulk-counted) work is split evenly across cores.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -36,11 +37,21 @@ from repro.core.partition import Partition
 from repro.core.supernode import convert_to_supernodes
 from repro.core.update import update_members
 from repro.graph.csr import CSRGraph
+from repro.obs import spans as obs_spans
+from repro.obs.logging import get_logger
+from repro.obs.spans import trace_span
+from repro.obs.telemetry import (
+    ConvergenceTelemetry,
+    TelemetryRecorder,
+    publish_run_metrics,
+)
 from repro.sim.cache import SetAssociativeCache
 from repro.sim.context import HardwareContext
 from repro.sim.costmodel import CycleModel
 from repro.sim.counters import Counters, KernelStats
 from repro.sim.machine import MachineConfig, asa_machine, baseline_machine
+
+log = get_logger("core.multicore")
 
 __all__ = ["run_infomap_multicore", "MulticoreResult"]
 
@@ -61,6 +72,8 @@ class MulticoreResult:
     #: simulated parallel seconds per pass (max over cores + barrier)
     pass_seconds: list[float] = field(default_factory=list)
     overflowed_vertices: int = 0
+    #: measured-wall-time convergence record (see repro.obs.telemetry)
+    telemetry: ConvergenceTelemetry | None = None
 
     def cycle_model(self) -> CycleModel:
         return CycleModel(self.machine)
@@ -161,6 +174,28 @@ def run_infomap_multicore(
     if machine is None:
         machine = asa_machine() if backend == "asa" else baseline_machine()
 
+    with trace_span(
+        "infomap.run", engine="multicore", backend=backend, cores=num_cores
+    ):
+        return _run_multicore(
+            graph, num_cores, backend, machine, tau, max_levels,
+            max_passes_per_level, chunk,
+        )
+
+
+def _run_multicore(
+    graph: CSRGraph,
+    num_cores: int,
+    backend: str,
+    machine: MachineConfig,
+    tau: float,
+    max_levels: int,
+    max_passes_per_level: int,
+    chunk: int,
+) -> MulticoreResult:
+    recorder = TelemetryRecorder(
+        "multicore", backend=backend, num_cores=num_cores
+    )
     shared_l3 = (
         SetAssociativeCache(machine.l3) if machine.fidelity == "detailed" else None
     )
@@ -170,13 +205,15 @@ def run_infomap_multicore(
     ]
     stats_list = [KernelStats() for _ in range(num_cores)]
 
-    net = FlowNetwork.from_graph(graph, tau=tau)
+    with trace_span("pagerank", vertices=graph.num_vertices), \
+            recorder.kernel("pagerank"):
+        net = FlowNetwork.from_graph(graph, tau=tau)
 
-    # parallel PageRank: each core does 1/P of the work
-    temp_ctx = HardwareContext(machine, core_id=num_cores)
-    temp_stats = KernelStats()
-    _charge_pagerank(temp_ctx, temp_stats, net)
-    _distribute(stats_list, temp_stats)
+        # parallel PageRank: each core does 1/P of the work
+        temp_ctx = HardwareContext(machine, core_id=num_cores)
+        temp_stats = KernelStats()
+        _charge_pagerank(temp_ctx, temp_stats, net)
+        _distribute(stats_list, temp_stats)
 
     accumulators = [
         make_accumulator(
@@ -196,13 +233,17 @@ def run_infomap_multicore(
     iteration_no = 0
     partition = Partition(net)
 
+    converged = False
     for level in range(max_levels):
         levels = level + 1
         partition = Partition(net)
+        recorder.begin_level(level, net.num_vertices)
         blocks = _edge_balanced_blocks(net, num_cores)
         active_sets: list[np.ndarray | None] = [None] * num_cores
         for pass_idx in range(max_passes_per_level):
             before = [cm.cycles(s.findbest).seconds for s in stats_list]
+            wall0 = time.perf_counter()
+            tracing = obs_spans.is_enabled()
             moves = 0
             all_moved: list[int] = []
             # interleaved chunks: deterministic emulation of concurrency
@@ -222,6 +263,9 @@ def run_infomap_multicore(
                     hi = min(lo + chunk, len(block))
                     offsets[p] = hi
                     running = True
+                    if tracing:
+                        # attribute this chunk's spans to simulated core p
+                        obs_spans.set_current_core(p)
                     m, moved = find_best_pass(
                         partition,
                         accumulators[p],
@@ -231,11 +275,25 @@ def run_infomap_multicore(
                     )
                     moves += m
                     all_moved.extend(moved)
+            if tracing:
+                obs_spans.set_current_core(0)
+            wall = time.perf_counter() - wall0
             after = [cm.cycles(s.findbest).seconds for s in stats_list]
             core_secs = [a - b for a, b in zip(after, before)]
             barrier_s = machine.barrier_cycles / machine.freq_hz
             pass_s = max(core_secs) + barrier_s
             pass_seconds.append(pass_s)
+            codelength = partition.flat_codelength(node_flow_log0)
+            recorder.record_kernel("findbest", wall)
+            recorder.record_pass(
+                level=level,
+                pass_in_level=pass_idx,
+                active_vertices=sum(len(o) for o in core_orders),
+                moves=moves,
+                num_modules=partition.num_modules,
+                codelength=codelength,
+                wall_seconds=wall,
+            )
             iteration_no += 1
             iterations.append(
                 IterationRecord(
@@ -244,7 +302,7 @@ def run_infomap_multicore(
                     pass_in_level=pass_idx,
                     nodes=net.num_vertices,
                     moves=moves,
-                    codelength=partition.flat_codelength(node_flow_log0),
+                    codelength=codelength,
                     seconds=pass_s,
                 )
             )
@@ -263,11 +321,21 @@ def run_infomap_multicore(
                     active_sets[p] = np.empty(0, dtype=np.int64)
 
         dense, k = partition.dense_assignment()
+        recorder.end_level(k, partition.flat_codelength(node_flow_log0))
+        log.debug(
+            "level %d (%d cores): %d -> %d modules",
+            level, num_cores, net.num_vertices, k,
+        )
         if k == net.num_vertices:
+            converged = True
             break
         temp_stats = KernelStats()
-        mapping = update_members(mapping, dense, temp_ctx, temp_stats)
-        net = convert_to_supernodes(net, dense, k, temp_ctx, temp_stats)
+        with trace_span("updatemembers", level=level), \
+                recorder.kernel("updatemembers"):
+            mapping = update_members(mapping, dense, temp_ctx, temp_stats)
+        with trace_span("convert2supernode", level=level, modules=k), \
+                recorder.kernel("convert2supernode"):
+            net = convert_to_supernodes(net, dense, k, temp_ctx, temp_stats)
         _distribute(stats_list, temp_stats)
 
     level_dense, _ = partition.dense_assignment()
@@ -276,6 +344,18 @@ def run_infomap_multicore(
     overflowed = sum(
         getattr(acc, "overflowed_vertices", 0) for acc in accumulators
     )
+
+    telemetry = recorder.finish(converged)
+    publish_run_metrics(
+        telemetry,
+        overflow_evictions=sum(
+            getattr(acc, "total_evictions", 0) for acc in accumulators
+        ),
+        rehashes=sum(
+            getattr(acc, "total_rehashes", 0) for acc in accumulators
+        ),
+    )
+    log.debug("run done: %s", telemetry.summary())
 
     return MulticoreResult(
         modules=final_dense.astype(np.int64),
@@ -289,4 +369,5 @@ def run_infomap_multicore(
         num_cores=num_cores,
         pass_seconds=pass_seconds,
         overflowed_vertices=overflowed,
+        telemetry=telemetry,
     )

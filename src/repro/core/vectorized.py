@@ -16,6 +16,7 @@ codelength improvement and hence termination.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -24,8 +25,17 @@ from repro.core.flow import FlowNetwork
 from repro.core.mapequation import MapEquation
 from repro.core.supernode import convert_to_supernodes
 from repro.graph.csr import CSRGraph
+from repro.obs.logging import get_logger
+from repro.obs.spans import trace_span
+from repro.obs.telemetry import (
+    ConvergenceTelemetry,
+    TelemetryRecorder,
+    publish_run_metrics,
+)
 from repro.util.entropy import plogp_array, plogp
 from repro.util.rng import make_rng
+
+log = get_logger("core.vectorized")
 
 __all__ = ["run_infomap_vectorized", "VectorizedResult"]
 
@@ -40,6 +50,8 @@ class VectorizedResult:
     one_level_codelength: float
     levels: int
     rounds: int
+    #: measured-wall-time convergence record (see repro.obs.telemetry)
+    telemetry: ConvergenceTelemetry | None = None
 
     def summary(self) -> str:
         return (
@@ -186,10 +198,16 @@ def _one_level(
     net: FlowNetwork,
     max_rounds: int,
     rng: np.random.Generator,
+    recorder: "TelemetryRecorder | None" = None,
+    level: int = 0,
+    flat_offset: float = 0.0,
 ) -> tuple[np.ndarray, int, float, int]:
     """Batch-synchronous local-move rounds at one level.
 
-    Returns ``(module, num_modules, codelength, rounds)``.
+    Returns ``(module, num_modules, codelength, rounds)``.  When a
+    :class:`~repro.obs.telemetry.TelemetryRecorder` is given, each round
+    is recorded as one pass (``flat_offset`` converts level-local
+    codelengths to flat level-0 bits).
     """
     n = net.num_vertices
     module = np.arange(n, dtype=np.int64)
@@ -199,26 +217,44 @@ def _one_level(
     rounds = 0
     for _ in range(max_rounds):
         rounds += 1
-        verts, targets, _deltas = _best_moves(net, module, enter, exit_, flow)
-        if len(verts) == 0:
-            break
-        accepted = np.ones(len(verts), dtype=bool)
-        improved = False
-        for _backoff in range(6):
-            trial = module.copy()
-            trial[verts[accepted]] = targets[accepted]
-            e2, x2, f2 = _module_state(net, trial, n)
-            l2 = MapEquation.codelength(e2, x2, f2, net.node_flow)
-            if l2 < length - 1e-12:
-                module, enter, exit_, flow, length = trial, e2, x2, f2, l2
-                improved = True
-                break
-            # conflicting simultaneous moves: keep a random half and retry
-            keep = rng.random(len(verts)) < 0.5
-            accepted &= keep
-            if not np.any(accepted):
-                break
-        if not improved:
+        wall0 = time.perf_counter()
+        applied = 0
+        with trace_span("findbest", level=level, pass_=rounds - 1):
+            verts, targets, _deltas = _best_moves(
+                net, module, enter, exit_, flow
+            )
+            stop = len(verts) == 0
+            improved = False
+            if not stop:
+                accepted = np.ones(len(verts), dtype=bool)
+                for _backoff in range(6):
+                    trial = module.copy()
+                    trial[verts[accepted]] = targets[accepted]
+                    e2, x2, f2 = _module_state(net, trial, n)
+                    l2 = MapEquation.codelength(e2, x2, f2, net.node_flow)
+                    if l2 < length - 1e-12:
+                        module, enter, exit_, flow, length = trial, e2, x2, f2, l2
+                        improved = True
+                        applied = int(np.count_nonzero(accepted))
+                        break
+                    # conflicting simultaneous moves: keep a random half and retry
+                    keep = rng.random(len(verts)) < 0.5
+                    accepted &= keep
+                    if not np.any(accepted):
+                        break
+        if recorder is not None:
+            wall = time.perf_counter() - wall0
+            recorder.record_kernel("findbest", wall)
+            recorder.record_pass(
+                level=level,
+                pass_in_level=rounds - 1,
+                active_vertices=n,
+                moves=applied,
+                num_modules=int(len(np.unique(module))),
+                codelength=length + flat_offset,
+                wall_seconds=wall,
+            )
+        if stop or not improved:
             break
     uniq, dense = np.unique(module, return_inverse=True)
     return dense.astype(np.int64), len(uniq), length, rounds
@@ -239,28 +275,51 @@ def run_infomap_vectorized(
     within a few percent on structured graphs.
     """
     rng = make_rng(seed)
-    net = FlowNetwork.from_graph(graph, tau=tau)
-    one_level = MapEquation.one_level_codelength(net.node_flow)
-    # level-0 node-visit term: converts supernode-level codelengths to
-    # true flat-partition codelengths
-    node_flow_log0 = -one_level
-    n0 = graph.num_vertices
-    mapping = np.arange(n0, dtype=np.int64)
+    recorder = TelemetryRecorder("vectorized")
+    with trace_span("infomap.run", engine="vectorized"):
+        with trace_span("pagerank", vertices=graph.num_vertices), \
+                recorder.kernel("pagerank"):
+            net = FlowNetwork.from_graph(graph, tau=tau)
+        one_level = MapEquation.one_level_codelength(net.node_flow)
+        # level-0 node-visit term: converts supernode-level codelengths to
+        # true flat-partition codelengths
+        node_flow_log0 = -one_level
+        n0 = graph.num_vertices
+        mapping = np.arange(n0, dtype=np.int64)
 
-    total_rounds = 0
-    levels = 0
-    length = one_level
-    for level in range(max_levels):
-        levels = level + 1
-        node_flow_log_level = float(plogp_array(net.node_flow).sum())
-        dense, k, level_length, rounds = _one_level(net, max_rounds_per_level, rng)
-        length = level_length + node_flow_log_level - node_flow_log0
-        total_rounds += rounds
-        if k == net.num_vertices:
-            break
-        mapping = dense[mapping]
-        net = convert_to_supernodes(net, dense, k)
+        total_rounds = 0
+        levels = 0
+        length = one_level
+        converged = False
+        for level in range(max_levels):
+            levels = level + 1
+            recorder.begin_level(level, net.num_vertices)
+            node_flow_log_level = float(plogp_array(net.node_flow).sum())
+            dense, k, level_length, rounds = _one_level(
+                net,
+                max_rounds_per_level,
+                rng,
+                recorder=recorder,
+                level=level,
+                flat_offset=node_flow_log_level - node_flow_log0,
+            )
+            length = level_length + node_flow_log_level - node_flow_log0
+            total_rounds += rounds
+            recorder.end_level(k, length)
+            log.debug(
+                "level %d: %d -> %d modules, L=%.4f bits after %d rounds",
+                level, net.num_vertices, k, length, rounds,
+            )
+            if k == net.num_vertices:
+                converged = True
+                break
+            mapping = dense[mapping]
+            with trace_span("convert2supernode", level=level, modules=k), \
+                    recorder.kernel("convert2supernode"):
+                net = convert_to_supernodes(net, dense, k)
 
+    telemetry = recorder.finish(converged)
+    publish_run_metrics(telemetry)
     uniq, final = np.unique(mapping, return_inverse=True)
     return VectorizedResult(
         modules=final.astype(np.int64),
@@ -269,4 +328,5 @@ def run_infomap_vectorized(
         one_level_codelength=one_level,
         levels=levels,
         rounds=total_rounds,
+        telemetry=telemetry,
     )

@@ -22,6 +22,9 @@ from repro.core.vectorized import run_infomap_vectorized
 from repro.graph.datasets import DATASETS, TABLE1_ORDER, load_dataset
 from repro.graph.lfr import LFRParams, lfr_graph
 from repro.graph.metrics import cam_coverage, degree_histogram, powerlaw_alpha_mle
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import get_logger
+from repro.obs.spans import trace_span
 from repro.quality.nmi import normalized_mutual_information
 from repro.sim.costmodel import CycleModel
 from repro.sim.machine import (
@@ -31,6 +34,8 @@ from repro.sim.machine import (
     native_machine,
 )
 from repro.util.tables import Table, format_pct, format_seconds, format_si
+
+log = get_logger("harness.experiments")
 
 __all__ = [
     "run_cached",
@@ -68,17 +73,26 @@ def run_cached(
     """Deterministic memoized Infomap run on a surrogate dataset."""
     key = (name, backend, cores, fidelity)
     if key in _RUN_CACHE:
+        if obs_metrics.is_enabled():
+            obs_metrics.get_registry().counter("harness.cache_hits").inc()
         return _RUN_CACHE[key]  # type: ignore[return-value]
-    graph = load_dataset(name)
-    machine = (asa_machine if backend == "asa" else baseline_machine)(fidelity)
-    if cores == 1:
-        result: InfomapResult | MulticoreResult = run_infomap(
-            graph, backend=backend, machine=machine
-        )
-    else:
-        result = run_infomap_multicore(
-            graph, num_cores=cores, backend=backend, machine=machine
-        )
+    log.debug("run_cached miss: %s", key)
+    if obs_metrics.is_enabled():
+        obs_metrics.get_registry().counter("harness.cache_misses").inc()
+    with trace_span(
+        "harness.run_cached",
+        dataset=name, backend=backend, cores=cores, fidelity=fidelity,
+    ):
+        graph = load_dataset(name)
+        machine = (asa_machine if backend == "asa" else baseline_machine)(fidelity)
+        if cores == 1:
+            result: InfomapResult | MulticoreResult = run_infomap(
+                graph, backend=backend, machine=machine
+            )
+        else:
+            result = run_infomap_multicore(
+                graph, num_cores=cores, backend=backend, machine=machine
+            )
     _RUN_CACHE[key] = result
     return result
 

@@ -14,28 +14,22 @@ import json
 from pathlib import Path
 from typing import Any, Callable, Iterable
 
-import numpy as np
-
+from repro.obs.export import jsonable
 from repro.util.tables import Table
 
 __all__ = ["to_json", "table_to_csv", "export_all", "EXPORTABLE"]
 
 
 def _jsonable(obj: Any) -> Any:
-    """Recursively convert numpy scalars/arrays to JSON-safe values."""
-    if isinstance(obj, dict):
-        return {str(k): _jsonable(v) for k, v in obj.items()}
-    if isinstance(obj, (list, tuple)):
-        return [_jsonable(v) for v in obj]
-    if isinstance(obj, np.ndarray):
-        return obj.tolist()
-    if isinstance(obj, (np.integer,)):
-        return int(obj)
-    if isinstance(obj, (np.floating,)):
-        return float(obj)
-    if isinstance(obj, (np.bool_,)):
-        return bool(obj)
-    return obj
+    """Recursively convert numpy scalars/arrays to JSON-safe values.
+
+    Delegates to :func:`repro.obs.export.jsonable` — the canonical
+    implementation shared with the observability artifacts (metrics
+    snapshots, Chrome traces, telemetry dumps) — so experiment JSON and
+    obs JSON serialize numpy leaves (``np.floating`` / ``np.integer`` /
+    ``np.bool_`` and every other ``np.generic`` scalar) identically.
+    """
+    return jsonable(obj)
 
 
 def to_json(data: dict, path: str | Path) -> Path:

@@ -1,0 +1,65 @@
+"""Observability layer: tracing spans, metrics, telemetry, logging.
+
+The simulated-hardware counters in :mod:`repro.sim` measure the *modeled*
+machine; this package measures the *Python runtime itself*:
+
+* :mod:`repro.obs.spans` — hierarchical wall-clock tracing spans with a
+  disabled-mode no-op fast path and Chrome trace-event JSON export
+  (loadable in ``chrome://tracing`` / Perfetto);
+* :mod:`repro.obs.metrics` — a registry of counters / gauges /
+  histograms with labeled series and JSON/JSONL snapshots;
+* :mod:`repro.obs.telemetry` — per-run convergence records (codelength,
+  moves, module count, wall time per pass and level) attached to every
+  engine's result;
+* :mod:`repro.obs.logging` — structured stdlib logging with a run-id
+  field and the ``REPRO_LOG`` env knob;
+* :mod:`repro.obs.export` — the canonical JSON-safe conversion shared
+  with :mod:`repro.harness.export`.
+
+See ``docs/observability.md`` for the span taxonomy and metric catalog.
+"""
+
+from repro.obs.export import jsonable, write_json, write_jsonl, read_jsonl
+from repro.obs.logging import get_logger, new_run_id, setup_logging
+from repro.obs.metrics import (
+    MetricsRegistry,
+    get_registry,
+    scoped_registry,
+)
+from repro.obs.spans import (
+    SpanEvent,
+    set_current_core,
+    to_chrome_trace,
+    trace_span,
+    write_chrome_trace,
+)
+from repro.obs.telemetry import (
+    ConvergenceTelemetry,
+    LevelTelemetry,
+    PassTelemetry,
+    TelemetryRecorder,
+    publish_run_metrics,
+)
+
+__all__ = [
+    "jsonable",
+    "write_json",
+    "write_jsonl",
+    "read_jsonl",
+    "get_logger",
+    "new_run_id",
+    "setup_logging",
+    "MetricsRegistry",
+    "get_registry",
+    "scoped_registry",
+    "SpanEvent",
+    "set_current_core",
+    "to_chrome_trace",
+    "trace_span",
+    "write_chrome_trace",
+    "ConvergenceTelemetry",
+    "LevelTelemetry",
+    "PassTelemetry",
+    "TelemetryRecorder",
+    "publish_run_metrics",
+]

@@ -1,0 +1,79 @@
+"""JSON serialization shared by every observability artifact.
+
+``jsonable`` is the canonical "make this safe for ``json.dumps``"
+conversion for the whole repo: :mod:`repro.harness.export` delegates its
+``_jsonable`` here so experiment artifacts, metrics snapshots, Chrome
+traces, and telemetry dumps all serialize numpy leaves identically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+import numpy as np
+
+__all__ = ["jsonable", "write_json", "write_jsonl", "read_jsonl"]
+
+
+def jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into JSON-serializable builtins.
+
+    Handles dicts (keys stringified), lists/tuples/sets, numpy arrays,
+    *any* numpy scalar (``np.float64``/``np.int64``/``np.bool_``/... via
+    ``np.generic.item()``), dataclass instances, and ``pathlib.Path``.
+    """
+    if isinstance(obj, dict):
+        return {str(k): jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [jsonable(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return [jsonable(v) for v in sorted(obj, key=repr)]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, np.generic):
+        # covers np.floating, np.integer, np.bool_, np.str_, ... uniformly
+        return obj.item()
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, Path):
+        return str(obj)
+    return obj
+
+
+def write_json(data: Any, path: str | Path, indent: int = 2) -> Path:
+    """Write ``data`` (after :func:`jsonable`) as pretty JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(jsonable(data), indent=indent, sort_keys=True) + "\n"
+    )
+    return path
+
+
+def write_jsonl(records: Iterable[Any], path: str | Path,
+                append: bool = False) -> Path:
+    """Write one compact JSON document per line (JSONL)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    mode = "a" if append else "w"
+    with open(path, mode) as fh:
+        for rec in records:
+            fh.write(json.dumps(jsonable(rec), sort_keys=True) + "\n")
+    return path
+
+
+def read_jsonl(path: str | Path) -> list[Any]:
+    """Parse a JSONL file back into a list of documents."""
+    out = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

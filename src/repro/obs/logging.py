@@ -1,0 +1,117 @@
+"""Structured stdlib logging with a run-id field.
+
+All repro loggers hang off the ``"repro"`` namespace
+(``get_logger("core.infomap")`` → ``repro.core.infomap``) and share one
+handler whose format carries the current run id::
+
+    2026-08-05 12:00:00 DEBUG [a1b2c3d4] repro.core.infomap: level 0: ...
+
+Environment knob: ``REPRO_LOG=debug|info|warning|error`` sets the level
+when :func:`setup_logging` is called without an explicit one (the CLI
+calls it on every command, so ``REPRO_LOG=debug python -m repro run ...``
+just works).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+import uuid
+from typing import IO
+
+__all__ = ["setup_logging", "get_logger", "new_run_id", "current_run_id"]
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+_FORMAT = "%(asctime)s %(levelname)s [%(run_id)s] %(name)s: %(message)s"
+
+_run_id = "-"
+
+
+def new_run_id() -> str:
+    """Fresh short hex run id (stable for the rest of the process)."""
+    global _run_id
+    _run_id = uuid.uuid4().hex[:8]
+    return _run_id
+
+
+def current_run_id() -> str:
+    return _run_id
+
+
+class _RunIdFilter(logging.Filter):
+    """Injects the process-current run id into every record."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        if not hasattr(record, "run_id"):
+            record.run_id = _run_id
+        return True
+
+
+class _StderrHandler(logging.StreamHandler):
+    """StreamHandler bound to *whatever* ``sys.stderr`` is at emit time.
+
+    Capturing the stream object at setup time breaks under test runners
+    that swap ``sys.stderr`` per test and close the old one (the handler
+    would keep writing to a closed file).
+    """
+
+    def __init__(self) -> None:
+        logging.Handler.__init__(self)
+
+    @property
+    def stream(self) -> IO[str]:
+        return sys.stderr
+
+
+def setup_logging(
+    level: str | int | None = None,
+    run_id: str | None = None,
+    stream: IO[str] | None = None,
+) -> logging.Logger:
+    """Configure the ``repro`` logger tree; idempotent.
+
+    ``level`` falls back to the ``REPRO_LOG`` env var, then ``warning``.
+    Returns the root ``repro`` logger.
+    """
+    global _run_id
+    if run_id is not None:
+        _run_id = run_id
+    if level is None:
+        level = os.environ.get("REPRO_LOG", "warning")
+    if isinstance(level, str):
+        try:
+            level = _LEVELS[level.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown log level {level!r}; choose from {sorted(_LEVELS)}"
+            ) from None
+
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    # replace our previous handler (marked by attribute) rather than stack
+    for h in list(logger.handlers):
+        if getattr(h, "_repro_obs", False):
+            logger.removeHandler(h)
+    handler: logging.StreamHandler
+    if stream is not None:
+        handler = logging.StreamHandler(stream)
+    else:
+        handler = _StderrHandler()
+    handler._repro_obs = True  # type: ignore[attr-defined]
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    handler.addFilter(_RunIdFilter())
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Logger under the ``repro`` namespace (dotted ``name`` appended)."""
+    return logging.getLogger("repro" if not name else f"repro.{name}")

@@ -1,0 +1,264 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Named, optionally-labeled series (``registry.counter("infomap.passes")``,
+``registry.histogram("kernel.wall_seconds", kernel="findbest")``) with
+JSON / JSONL snapshot export.  The metric name catalog lives in
+``docs/observability.md``.
+
+Recording is **off by default**: engines publish metrics only when
+:func:`is_enabled` — flipped by ``--metrics-out`` on the CLI, by the
+benchmark harness, or by :func:`scoped_registry` in tests.  Each scope
+gets a fresh registry, so runs are isolated from one another.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "enable",
+    "disable",
+    "is_enabled",
+    "scoped_registry",
+]
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict[str, str]):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += n
+
+    def snapshot(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge:
+    """Last-written value."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict[str, str]):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = float(v)
+
+    def snapshot(self) -> dict:
+        return {"value": self.value}
+
+
+class Histogram:
+    """Full-resolution histogram (stores observations; cheap at our scale)."""
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "values")
+
+    def __init__(self, name: str, labels: dict[str, str]):
+        self.name = name
+        self.labels = labels
+        self.values: list[float] = []
+
+    def observe(self, v: float) -> None:
+        self.values.append(float(v))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def sum(self) -> float:
+        return float(sum(self.values))
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile, ``p`` in [0, 100]."""
+        if not self.values:
+            return math.nan
+        xs = sorted(self.values)
+        if len(xs) == 1:
+            return xs[0]
+        rank = (p / 100.0) * (len(xs) - 1)
+        lo = int(math.floor(rank))
+        hi = min(lo + 1, len(xs) - 1)
+        frac = rank - lo
+        return xs[lo] * (1.0 - frac) + xs[hi] * frac
+
+    def snapshot(self) -> dict:
+        if not self.values:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": min(self.values),
+            "max": max(self.values),
+            "mean": self.sum / self.count,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+_METRIC_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Get-or-create store of metric series keyed by (kind, name, labels)."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, str, _LabelKey], Any] = {}
+        self._lock = threading.Lock()
+
+    # -------------------------------------------------------- constructors
+    def _get(self, kind: str, name: str, labels: dict[str, Any]):
+        key = (kind, name, _label_key(labels))
+        with self._lock:
+            m = self._metrics.get(key)
+            if m is None:
+                for other_kind in _METRIC_TYPES:
+                    if other_kind != kind and (other_kind, name, key[2]) in self._metrics:
+                        raise TypeError(
+                            f"metric {name!r} already registered as {other_kind}"
+                        )
+                m = _METRIC_TYPES[kind](
+                    name, {str(k): str(v) for k, v in labels.items()}
+                )
+                self._metrics[key] = m
+            return m
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get("counter", name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get("gauge", name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get("histogram", name, labels)
+
+    # ------------------------------------------------------------- queries
+    def series(self) -> list[Any]:
+        with self._lock:
+            return list(self._metrics.values())
+
+    def names(self) -> set[str]:
+        return {m.name for m in self.series()}
+
+    def get_value(self, name: str, **labels: Any) -> float | None:
+        """Value of a counter/gauge series, or None if absent."""
+        key = _label_key(labels)
+        for m in self.series():
+            if m.name == name and _label_key(m.labels) == key:
+                return getattr(m, "value", None)
+        return None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+    # -------------------------------------------------------------- export
+    def snapshot(self) -> dict:
+        """One dict per series: ``{name, kind, labels, **stats}``."""
+        out = []
+        for m in self.series():
+            out.append(
+                {
+                    "name": m.name,
+                    "kind": m.kind,
+                    "labels": dict(m.labels),
+                    **m.snapshot(),
+                }
+            )
+        out.sort(key=lambda d: (d["name"], sorted(d["labels"].items())))
+        return {"schema": "repro.metrics/v1", "metrics": out}
+
+    def write_json(self, path: str | Path) -> Path:
+        from repro.obs.export import write_json
+
+        return write_json(self.snapshot(), path)
+
+    def write_jsonl(self, path: str | Path, append: bool = False) -> Path:
+        """One JSON document per series, one per line."""
+        from repro.obs.export import write_jsonl
+
+        return write_jsonl(self.snapshot()["metrics"], path, append=append)
+
+
+# ------------------------------------------------------------ global state
+
+_default_registry = MetricsRegistry()
+_enabled = False
+
+
+def get_registry() -> MetricsRegistry:
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry; returns the previous one."""
+    global _default_registry
+    prev = _default_registry
+    _default_registry = registry
+    return prev
+
+
+def enable() -> None:
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    global _enabled
+    _enabled = False
+
+
+def is_enabled() -> bool:
+    return _enabled
+
+
+@contextmanager
+def scoped_registry(
+    registry: MetricsRegistry | None = None,
+) -> Iterator[MetricsRegistry]:
+    """Enable metrics into a fresh (or given) registry for the scope.
+
+    Restores the previous registry and enabled-state on exit, so nested
+    runs cannot leak series into each other.
+    """
+    global _enabled
+    reg = registry if registry is not None else MetricsRegistry()
+    prev = set_registry(reg)
+    prev_enabled = _enabled
+    _enabled = True
+    try:
+        yield reg
+    finally:
+        _enabled = prev_enabled
+        set_registry(prev)

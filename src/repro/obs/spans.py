@@ -1,0 +1,261 @@
+"""Hierarchical wall-clock tracing spans with Chrome-trace export.
+
+Zero-dependency tracing for the Python runtime itself (the simulated
+clock lives in :mod:`repro.sim`; these spans measure *our* wall time).
+Usage::
+
+    from repro.obs.spans import trace_span, enable, write_chrome_trace
+
+    enable()
+    with trace_span("findbest", level=2, pass_=3):
+        ...
+    write_chrome_trace("out.trace.json")
+
+Design points:
+
+* **No-op fast path** — when tracing is disabled (the default),
+  :func:`trace_span` returns a shared singleton context manager whose
+  ``__enter__``/``__exit__`` do nothing: no allocation, no clock read,
+  no recording.  Instrumented engines therefore run at full speed with
+  tracing off (asserted by the overhead guard in
+  ``benchmarks/bench_python_performance.py``).
+* **Thread-local span stack** — nesting is tracked per thread, and each
+  span records its depth, its parent-attributed *self time*
+  (duration minus time spent in child spans), and the **current core**
+  set via :func:`set_current_core` — which the multicore engine uses to
+  attribute spans to simulated cores (they become distinct ``tid`` rows
+  in the trace viewer).
+* **Chrome trace-event export** — :func:`to_chrome_trace` emits the
+  ``{"traceEvents": [...]}`` JSON object format with complete (``"X"``)
+  events, loadable in ``chrome://tracing`` and https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "trace_span",
+    "enable",
+    "disable",
+    "is_enabled",
+    "clear",
+    "events",
+    "set_current_core",
+    "current_core",
+    "SpanEvent",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "self_time_by_name",
+]
+
+_lock = threading.Lock()
+_enabled = False
+
+
+class _ThreadState(threading.local):
+    """Per-thread span stack and simulated-core attribution."""
+
+    def __init__(self) -> None:
+        self.stack: list[Span] = []
+        self.core = 0
+
+
+_state = _ThreadState()
+
+#: completed spans, appended under ``_lock`` (threads may trace concurrently)
+_events: list["SpanEvent"] = []
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One finished span."""
+
+    name: str
+    start_us: float  #: µs on the perf_counter timeline
+    dur_us: float
+    self_us: float  #: duration minus time inside child spans
+    core: int  #: simulated core (trace ``tid``)
+    depth: int  #: nesting depth at entry (0 = root)
+    args: dict = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------- control
+
+
+def enable() -> None:
+    """Turn span recording on (process-wide)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn span recording off; already-recorded events are kept."""
+    global _enabled
+    _enabled = False
+
+
+def is_enabled() -> bool:
+    return _enabled
+
+
+def clear() -> None:
+    """Drop all recorded events."""
+    with _lock:
+        _events.clear()
+
+
+def events() -> list[SpanEvent]:
+    """Snapshot of the recorded events so far."""
+    with _lock:
+        return list(_events)
+
+
+def set_current_core(core: int) -> None:
+    """Attribute subsequent spans on this thread to simulated ``core``."""
+    _state.core = int(core)
+
+
+def current_core() -> int:
+    return _state.core
+
+
+# ------------------------------------------------------------------- spans
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """A live (entered, not yet exited) tracing span."""
+
+    __slots__ = ("name", "args", "core", "depth", "_start", "_child_us")
+
+    def __init__(self, name: str, args: dict):
+        self.name = name
+        self.args = args
+
+    def __enter__(self) -> "Span":
+        st = _state
+        core = self.args.get("core")
+        self.core = st.core if core is None else int(core)
+        self.depth = len(st.stack)
+        self._child_us = 0.0
+        st.stack.append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        end = time.perf_counter()
+        st = _state
+        if st.stack and st.stack[-1] is self:
+            st.stack.pop()
+        elif self in st.stack:  # tolerate mismatched exits
+            st.stack.remove(self)
+        dur_us = (end - self._start) * 1e6
+        if st.stack:
+            st.stack[-1]._child_us += dur_us
+        ev = SpanEvent(
+            name=self.name,
+            start_us=self._start * 1e6,
+            dur_us=dur_us,
+            self_us=max(0.0, dur_us - self._child_us),
+            core=self.core,
+            depth=self.depth,
+            args=self.args,
+        )
+        with _lock:
+            _events.append(ev)
+        return False
+
+
+def trace_span(name: str, **attrs: Any) -> "Span | _NoopSpan":
+    """Open a span named ``name`` with arbitrary attributes.
+
+    Returns the shared :data:`NOOP_SPAN` when tracing is disabled, so the
+    call costs one branch and one (empty or small) kwargs dict.
+    """
+    if not _enabled:
+        return NOOP_SPAN
+    return Span(name, attrs)
+
+
+# ------------------------------------------------------------------ export
+
+
+def to_chrome_trace(span_events: list[SpanEvent] | None = None) -> dict:
+    """Render events as a Chrome trace-event JSON object.
+
+    Complete (``ph: "X"``) events; ``tid`` carries the simulated core so
+    Perfetto shows one row per core.  ``self_us`` and ``depth`` ride in
+    ``args`` so :func:`self_time_by_name` (and ``repro trace-view``) can
+    aggregate self time without re-deriving the span tree.
+    """
+    evs = events() if span_events is None else span_events
+    pid = os.getpid()
+    trace_events = [
+        {
+            "name": ev.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": ev.start_us,
+            "dur": ev.dur_us,
+            "pid": pid,
+            "tid": ev.core,
+            "args": {**ev.args, "self_us": ev.self_us, "depth": ev.depth},
+        }
+        for ev in evs
+    ]
+    trace_events.sort(key=lambda e: (e["tid"], e["ts"]))
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs.spans"},
+    }
+
+
+def write_chrome_trace(path: str | Path,
+                       span_events: list[SpanEvent] | None = None) -> Path:
+    """Write the Chrome trace JSON to ``path``; returns the path."""
+    from repro.obs.export import write_json
+
+    return write_json(to_chrome_trace(span_events), path)
+
+
+def self_time_by_name(trace: dict) -> dict[str, dict[str, float]]:
+    """Aggregate a Chrome trace per span name.
+
+    Returns ``{name: {"count", "total_us", "self_us"}}``.  Falls back to
+    ``dur`` when an event has no ``args.self_us`` (foreign traces).
+    """
+    agg: dict[str, dict[str, float]] = {}
+    for ev in trace.get("traceEvents", []):
+        if ev.get("ph") != "X":
+            continue
+        name = str(ev.get("name", "?"))
+        dur = float(ev.get("dur", 0.0))
+        self_us = float(ev.get("args", {}).get("self_us", dur))
+        slot = agg.setdefault(
+            name, {"count": 0.0, "total_us": 0.0, "self_us": 0.0}
+        )
+        slot["count"] += 1
+        slot["total_us"] += dur
+        slot["self_us"] += self_us
+    return agg

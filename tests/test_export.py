@@ -27,6 +27,28 @@ class TestToJson:
         assert loaded["b"] is True
         assert loaded["nested"]["xs"] == [1, 2.0]
 
+    def test_all_numpy_scalar_kinds(self, tmp_path):
+        # regression: every np scalar kind must serialize via .item(),
+        # not just the handful the old isinstance chain special-cased
+        data = {
+            "f16": np.float16(0.5),
+            "f32": np.float32(2.0),
+            "u8": np.uint8(255),
+            "i8": np.int8(-3),
+        }
+        loaded = json.loads(to_json(data, tmp_path / "s.json").read_text())
+        assert loaded == {"f16": 0.5, "f32": 2.0, "u8": 255, "i8": -3}
+
+    def test_shares_obs_canonical_conversion(self):
+        # harness export must delegate to the one canonical converter in
+        # repro.obs.export so CLI metrics and experiment artifacts agree
+        from repro.harness import export as harness_export
+        from repro.obs.export import jsonable
+
+        payload = {"f": np.float64(1.5), "xs": [np.int32(1), np.bool_(True)]}
+        assert harness_export._jsonable(payload) == jsonable(payload)
+        assert jsonable(payload) == {"f": 1.5, "xs": [1, True]}
+
     def test_creates_parent_dirs(self, tmp_path):
         p = to_json({"x": 1}, tmp_path / "a" / "b" / "c.json")
         assert p.exists()

@@ -132,6 +132,93 @@ class TestCLI:
             main(["run", "--dataset", "amazon", "--backend", "cuckoo"])
 
 
+class TestCLIObservability:
+    def _ring_path(self, tmp_path):
+        from repro.graph.io import write_edge_list
+
+        g, _ = ring_of_cliques(3, 4)
+        path = tmp_path / "ring.txt"
+        write_edge_list(g, path)
+        return path
+
+    def test_run_writes_trace_and_metrics(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "run.trace.json"
+        metrics = tmp_path / "metrics.json"
+        assert main([
+            "run", "--edge-list", str(self._ring_path(tmp_path)),
+            "--backend", "asa",
+            "--trace", str(trace), "--metrics-out", str(metrics),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out and "metrics:" in out
+
+        doc = json.loads(trace.read_text())
+        events = doc["traceEvents"]
+        assert events and all(e["ph"] == "X" for e in events)
+        assert {"infomap.run", "findbest"} <= {e["name"] for e in events}
+
+        snap = json.loads(metrics.read_text())
+        assert snap["schema"] == "repro.metrics/v1"
+        names = {m["name"] for m in snap["metrics"]}
+        assert {"infomap.passes", "codelength.bits",
+                "kernel.wall_seconds"} <= names
+
+    def test_run_without_flags_leaves_obs_disabled(self, tmp_path, capsys):
+        from repro.obs import metrics as obs_metrics
+        from repro.obs import spans as obs_spans
+
+        assert main([
+            "run", "--edge-list", str(self._ring_path(tmp_path)),
+            "--backend", "softhash",
+        ]) == 0
+        capsys.readouterr()
+        assert not obs_spans.is_enabled()
+        assert not obs_metrics.is_enabled()
+        assert obs_spans.events() == []
+
+    def test_trace_view_renders_table(self, tmp_path, capsys):
+        trace = tmp_path / "run.trace.json"
+        assert main([
+            "run", "--edge-list", str(self._ring_path(tmp_path)),
+            "--backend", "softhash", "--trace", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace-view", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Span self-time breakdown" in out
+        assert "findbest" in out
+
+    def test_trace_view_rejects_empty_trace(self, tmp_path, capsys):
+        import json
+
+        empty = tmp_path / "empty.json"
+        empty.write_text(json.dumps({"traceEvents": []}))
+        assert main(["trace-view", str(empty)]) == 1
+
+    def test_experiment_accepts_metrics_out(self, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "exp-metrics.json"
+        assert main([
+            "experiment", "table2", "--metrics-out", str(metrics),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Machine configurations" in out
+        snap = json.loads(metrics.read_text())
+        assert snap["schema"] == "repro.metrics/v1"
+        assert isinstance(snap["metrics"], list)
+
+    def test_run_log_level_flag(self, tmp_path, capsys):
+        # --log-level must parse and not disturb the run
+        assert main([
+            "run", "--edge-list", str(self._ring_path(tmp_path)),
+            "--backend", "softhash", "--log-level", "debug",
+        ]) == 0
+        assert "modules" in capsys.readouterr().out
+
+
 class TestCLIExport:
     def test_export_writes_artifacts(self, tmp_path, capsys):
         assert main([

@@ -1,0 +1,146 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.export import read_jsonl, write_json
+from repro.obs.metrics import MetricsRegistry, scoped_registry
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("infomap.passes").inc()
+        reg.counter("infomap.passes").inc(4)
+        assert reg.get_value("infomap.passes") == 5
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("x").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("codelength.bits", level=0).set(9.5)
+        reg.gauge("codelength.bits", level=0).set(9.1)
+        assert reg.get_value("codelength.bits", level=0) == 9.1
+
+    def test_labels_create_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.counter("runs", engine="sequential").inc()
+        reg.counter("runs", engine="multicore").inc(2)
+        assert reg.get_value("runs", engine="sequential") == 1
+        assert reg.get_value("runs", engine="multicore") == 2
+        assert len(reg.series()) == 2
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+
+class TestHistogram:
+    def test_percentiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for v in range(1, 101):
+            h.observe(v)
+        assert h.percentile(0) == 1
+        assert h.percentile(100) == 100
+        assert h.percentile(50) == pytest.approx(50.5)
+        assert h.percentile(90) == pytest.approx(90.1)
+
+    def test_empty_histogram_snapshot(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        assert h.snapshot() == {"count": 0}
+        assert math.isnan(h.percentile(50))
+
+    def test_snapshot_stats(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", kernel="findbest")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == 6.0
+        assert snap["min"] == 1.0 and snap["max"] == 3.0
+        assert snap["mean"] == pytest.approx(2.0)
+
+
+class TestRegistryIsolation:
+    def test_registries_are_independent(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x").inc()
+        assert b.get_value("x") is None
+
+    def test_scoped_registry_swaps_global(self):
+        assert not obs_metrics.is_enabled()
+        with scoped_registry() as reg:
+            assert obs_metrics.is_enabled()
+            assert obs_metrics.get_registry() is reg
+            reg.counter("run1").inc()
+        assert not obs_metrics.is_enabled()
+        assert obs_metrics.get_registry() is not reg
+        # a second scope sees none of the first scope's series
+        with scoped_registry() as reg2:
+            assert reg2.get_value("run1") is None
+
+    def test_scoped_registry_restores_on_error(self):
+        before = obs_metrics.get_registry()
+        with pytest.raises(RuntimeError):
+            with scoped_registry():
+                raise RuntimeError("boom")
+        assert obs_metrics.get_registry() is before
+        assert not obs_metrics.is_enabled()
+
+
+class TestExport:
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("infomap.passes", engine="sequential").inc(3)
+        reg.histogram("kernel.wall_seconds", kernel="findbest").observe(0.5)
+        snap = reg.snapshot()
+        assert snap["schema"] == "repro.metrics/v1"
+        by_name = {m["name"]: m for m in snap["metrics"]}
+        assert by_name["infomap.passes"]["value"] == 3
+        assert by_name["kernel.wall_seconds"]["count"] == 1
+        assert by_name["kernel.wall_seconds"]["labels"] == {
+            "kernel": "findbest"
+        }
+
+    def test_json_round_trip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(1.25)
+        path = reg.write_json(tmp_path / "m.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["metrics"][0]["value"] == 1.25
+
+    def test_jsonl_round_trip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.histogram("b").observe(2.0)
+        path = reg.write_jsonl(tmp_path / "m.jsonl")
+        docs = read_jsonl(path)
+        assert len(docs) == 2
+        assert {d["name"] for d in docs} == {"a", "b"}
+        assert all(json.dumps(d) for d in docs)
+
+    def test_numpy_leaves_serialize_like_harness_export(self, tmp_path):
+        # regression: np scalar leaves must serialize through the same
+        # canonical conversion as harness experiment artifacts
+        from repro.harness.export import to_json
+
+        data = {"f": np.float64(1.5), "i": np.int32(7), "b": np.bool_(False)}
+        p1 = write_json(data, tmp_path / "obs.json")
+        p2 = to_json(data, tmp_path / "harness.json")
+        assert json.loads(p1.read_text()) == json.loads(p2.read_text()) == {
+            "f": 1.5,
+            "i": 7,
+            "b": False,
+        }

@@ -1,0 +1,145 @@
+"""Tests for the tracing-span layer (repro.obs.spans)."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core.infomap import run_infomap
+from repro.core.multicore import run_infomap_multicore
+from repro.graph.generators import ring_of_cliques
+from repro.obs import spans
+from repro.obs.spans import (
+    NOOP_SPAN,
+    self_time_by_name,
+    set_current_core,
+    to_chrome_trace,
+    trace_span,
+    write_chrome_trace,
+)
+
+
+@pytest.fixture
+def tracing():
+    """Enable span recording for the test, restore a clean slate after."""
+    spans.clear()
+    spans.enable()
+    set_current_core(0)
+    yield spans
+    spans.disable()
+    spans.clear()
+    set_current_core(0)
+
+
+class TestSpanRecording:
+    def test_disabled_by_default_records_nothing(self):
+        assert not spans.is_enabled()
+        with trace_span("x"):
+            pass
+        assert spans.events() == []
+
+    def test_disabled_returns_shared_noop_singleton(self):
+        # the no-op fast path: no allocation, no clock read
+        assert trace_span("a") is NOOP_SPAN
+        assert trace_span("b", level=3) is trace_span("c")
+
+    def test_basic_span_recorded(self, tracing):
+        with trace_span("findbest", level=2, pass_=3):
+            pass
+        (ev,) = spans.events()
+        assert ev.name == "findbest"
+        assert ev.args == {"level": 2, "pass_": 3}
+        assert ev.dur_us >= 0.0
+        assert ev.depth == 0
+
+    def test_nesting_depth_and_self_time(self, tracing):
+        with trace_span("outer"):
+            time.sleep(0.002)
+            with trace_span("inner"):
+                time.sleep(0.005)
+        by_name = {e.name: e for e in spans.events()}
+        assert by_name["inner"].depth == 1
+        assert by_name["outer"].depth == 0
+        # child time is subtracted from the parent's self time
+        assert by_name["outer"].self_us < by_name["outer"].dur_us
+        assert (
+            by_name["outer"].self_us
+            <= by_name["outer"].dur_us - by_name["inner"].dur_us + 1.0
+        )
+        assert by_name["inner"].self_us == pytest.approx(
+            by_name["inner"].dur_us
+        )
+
+    def test_per_core_attribution(self, tracing):
+        set_current_core(3)
+        with trace_span("sweep"):
+            pass
+        set_current_core(0)
+        (ev,) = spans.events()
+        assert ev.core == 3
+
+    def test_core_kwarg_overrides_thread_core(self, tracing):
+        with trace_span("sweep", core=7):
+            pass
+        (ev,) = spans.events()
+        assert ev.core == 7
+
+    def test_threads_have_independent_stacks(self, tracing):
+        def worker():
+            set_current_core(9)
+            with trace_span("worker-span"):
+                pass
+
+        t = threading.Thread(target=worker)
+        with trace_span("main-span"):
+            t.start()
+            t.join()
+        cores = {e.name: e.core for e in spans.events()}
+        assert cores["worker-span"] == 9
+        assert cores["main-span"] == 0
+
+
+class TestChromeTraceExport:
+    def test_schema(self, tracing, tmp_path):
+        with trace_span("outer", level=0):
+            with trace_span("inner"):
+                pass
+        path = write_chrome_trace(tmp_path / "t.trace.json")
+        doc = json.loads(path.read_text())
+        assert isinstance(doc["traceEvents"], list)
+        assert len(doc["traceEvents"]) == 2
+        for ev in doc["traceEvents"]:
+            assert ev["ph"] == "X"
+            for key in ("name", "ts", "dur", "pid", "tid", "args"):
+                assert key in ev
+            assert ev["args"]["self_us"] >= 0.0
+
+    def test_engine_run_produces_loadable_trace(self, tracing, tmp_path):
+        g, _ = ring_of_cliques(4, 5)
+        run_infomap(g, backend="softhash")
+        doc = to_chrome_trace()
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert {"infomap.run", "pagerank", "findbest", "findbest.sweep"} <= names
+        # every pass span carries level/pass attribution
+        fb = [e for e in doc["traceEvents"] if e["name"] == "findbest"]
+        assert all("level" in e["args"] and "pass_" in e["args"] for e in fb)
+
+    def test_multicore_run_attributes_cores(self, tracing):
+        g, _ = ring_of_cliques(6, 5)
+        run_infomap_multicore(g, num_cores=2, backend="softhash")
+        sweep_tids = {
+            e["tid"]
+            for e in to_chrome_trace()["traceEvents"]
+            if e["name"] == "findbest.sweep"
+        }
+        assert sweep_tids == {0, 1}
+
+    def test_self_time_aggregation(self, tracing):
+        with trace_span("a"):
+            with trace_span("b"):
+                time.sleep(0.002)
+        agg = self_time_by_name(to_chrome_trace())
+        assert set(agg) == {"a", "b"}
+        assert agg["b"]["self_us"] >= 2000.0
+        assert agg["a"]["self_us"] < agg["a"]["total_us"]
