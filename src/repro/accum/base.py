@@ -1,4 +1,24 @@
-"""Accumulator interface shared by the software-hash and ASA backends."""
+"""Accumulator interface shared by the software-hash and ASA backends.
+
+This is the contract at the centre of the paper: FindBestCommunity's
+inner loop reduces a vertex's adjacency links to per-module flow sums,
+and every way of doing that — Algorithm 1's chained software hash
+(:mod:`repro.accum.softhash`), a Robin Hood flat table
+(:mod:`repro.accum.robinhood`), Algorithm 2's CAM-backed ASA
+(:mod:`repro.accum.asa_accum`), or an uninstrumented dict
+(:mod:`repro.accum.plain`) — implements this one protocol.  Backends
+must be *functionally interchangeable*: identical merged sums, hence
+identical partitions; they may differ only in the hardware cost events
+they emit.  SpGEMM (:mod:`repro.spgemm`) consumes the same protocol,
+which is the paper's interface-generalization claim.
+
+The batched vectorized engine (:mod:`repro.core.vectorized`) performs
+this same reduction without the per-vertex lifecycle: one whole sweep's
+(vertex, candidate-module) pairs are stable-sorted and segment-summed
+at once (``np.add.reduceat``), which is why it has no ``Accumulator``
+backend and no hardware accounting — see the Workspace invariants
+documented there.
+"""
 
 from __future__ import annotations
 

@@ -12,10 +12,14 @@ Mirrors the four HyPC-Map kernels (Section II-C):
 
 Engines:
 
-* :func:`repro.core.infomap.run_infomap` — sequential instrumented engine
-  (one simulated core, full hardware accounting);
-* :func:`repro.core.vectorized.run_infomap_vectorized` — numpy batch
-  engine for large graphs (no hardware accounting);
+* :func:`repro.core.infomap.run_infomap` — the single entry point:
+  sequential instrumented engine (one simulated core, full hardware
+  accounting) by default, or the batched numpy fast path via
+  ``engine="vectorized"``;
+* :func:`repro.core.vectorized.run_infomap_vectorized` — the batched
+  engine behind ``engine="vectorized"``: whole-sweep segment-sum
+  accumulation with a reusable :class:`~repro.core.vectorized.Workspace`
+  (no hardware accounting);
 * :func:`repro.core.multicore.run_infomap_multicore` — the HyPC-Map-style
   simulated multicore engine behind Figs 7/9/10/11.
 """
@@ -24,7 +28,11 @@ from repro.core.flow import FlowNetwork, pagerank
 from repro.core.mapequation import MapEquation
 from repro.core.partition import Partition
 from repro.core.infomap import run_infomap, InfomapResult, IterationRecord
-from repro.core.vectorized import run_infomap_vectorized
+from repro.core.vectorized import (
+    run_infomap_vectorized,
+    VectorizedResult,
+    Workspace,
+)
 from repro.core.multicore import run_infomap_multicore, MulticoreResult
 from repro.core.hierarchy import run_infomap_hierarchical, HierarchicalResult, HModule
 from repro.core.distributed import run_infomap_distributed, DistributedResult, NetworkModel
@@ -39,6 +47,8 @@ __all__ = [
     "InfomapResult",
     "IterationRecord",
     "run_infomap_vectorized",
+    "VectorizedResult",
+    "Workspace",
     "run_infomap_multicore",
     "MulticoreResult",
     "run_infomap_hierarchical",

@@ -141,14 +141,29 @@ def run_infomap(
     shuffle_seed: int | None = None,
     worklist: bool = True,
     accumulator_kwargs: dict | None = None,
-) -> InfomapResult:
-    """Run multilevel Infomap on ``graph`` with the chosen backend.
+    engine: str = "sequential",
+):
+    """Run multilevel Infomap on ``graph`` — the single engine entry point.
 
     Parameters
     ----------
+    engine:
+        ``"sequential"`` (default) runs the instrumented one-core engine
+        with full hardware accounting and returns an
+        :class:`InfomapResult`.  ``"vectorized"`` dispatches to the
+        batched numpy fast path
+        (:func:`repro.core.vectorized.run_infomap_vectorized`) and
+        returns a :class:`~repro.core.vectorized.VectorizedResult` — no
+        hardware accounting, but 1–2 orders of magnitude faster wall
+        clock, which is what the CLI and harness want on large graphs.
+        Both engines minimize the same map equation; partitions can
+        differ slightly because move schedules differ.
     backend:
         ``"plain"`` (uninstrumented dict), ``"softhash"`` (the paper's
-        Baseline), or ``"asa"``.
+        Baseline), or ``"asa"``.  Sequential engine only: the vectorized
+        engine performs the paper's hash accumulation as whole-sweep
+        numpy segment sums instead of per-vertex
+        :class:`~repro.accum.base.Accumulator` calls.
     machine:
         Machine configuration; defaults to the Table II Baseline machine
         (ASA-augmented when ``backend == "asa"``).
@@ -157,13 +172,34 @@ def run_infomap(
         core); created internally by default.
     shuffle_seed:
         When given, vertices are visited in a seeded random order per pass
-        instead of natural order.
+        instead of natural order.  For the vectorized engine this seeds
+        the conflict-backoff RNG.
     worklist:
         HyPC-Map's active-set optimization: after the first pass, only
         vertices adjacent to a move are revisited.  Successive iterations
         get progressively cheaper (the decaying per-iteration runtimes of
         Tables III/IV).  Disable to sweep every vertex every pass.
+
+    Returns
+    -------
+    InfomapResult | VectorizedResult
+        Per the ``engine`` choice; both expose ``modules``,
+        ``num_modules``, ``codelength``, ``one_level_codelength``,
+        ``levels``, ``telemetry``, and ``summary()``.
     """
+    if engine == "vectorized":
+        from repro.core.vectorized import run_infomap_vectorized
+
+        return run_infomap_vectorized(
+            graph,
+            tau=tau,
+            max_levels=max_levels,
+            seed=shuffle_seed if shuffle_seed is not None else 0,
+        )
+    if engine != "sequential":
+        raise ValueError(
+            f"unknown engine {engine!r}: choose 'sequential' or 'vectorized'"
+        )
     with trace_span("infomap.run", engine="sequential", backend=backend):
         return _run_infomap(
             graph, backend, machine, ctx, tau, max_levels,

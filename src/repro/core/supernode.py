@@ -32,6 +32,7 @@ def convert_to_supernodes(
     num_modules: int,
     ctx: HardwareContext | None = None,
     stats: KernelStats | None = None,
+    src: np.ndarray | None = None,
 ) -> FlowNetwork:
     """Build the coarse flow network induced by ``dense_modules``.
 
@@ -39,6 +40,10 @@ def convert_to_supernodes(
     ----------
     dense_modules:
         Module label per vertex, already densified to ``0..num_modules-1``.
+    src:
+        Optional precomputed arc-source array (``vertex id per CSR arc``);
+        the vectorized engine passes its workspace-cached copy so the
+        per-level ``np.repeat`` is skipped.
     """
     n = net.num_vertices
     k = num_modules
@@ -47,12 +52,24 @@ def convert_to_supernodes(
     if k <= 0 or (len(dense_modules) and dense_modules.max() >= k):
         raise ValueError("labels must lie in [0, num_modules)")
 
-    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(net.indptr))
+    if src is None:
+        src = np.repeat(np.arange(n, dtype=np.int64), np.diff(net.indptr))
     msrc = dense_modules[src]
     mdst = dense_modules[net.indices]
+    # group equal (super-src, super-dst) keys with a stable integer sort
+    # and segment-sum the member arc flows — the same batched sparse
+    # accumulation the vectorized FindBestCommunity sweep uses
     key = msrc * np.int64(k) + mdst
-    uniq_keys, inverse = np.unique(key, return_inverse=True)
-    arc_flow = np.bincount(inverse, weights=net.arc_flow)
+    order = np.argsort(key, kind="stable")
+    ks = key[order]
+    boundary = np.empty(len(ks), dtype=bool)
+    if len(ks):
+        boundary[0] = True
+        np.not_equal(ks[1:], ks[:-1], out=boundary[1:])
+    starts = np.flatnonzero(boundary)
+    arc_flow = np.add.reduceat(net.arc_flow[order], starts) if len(starts) \
+        else np.zeros(0)
+    uniq_keys = ks[starts]
     s_src = (uniq_keys // k).astype(np.int64)
     s_dst = (uniq_keys % k).astype(np.int64)
 

@@ -12,6 +12,37 @@ across workers.  Because simultaneous moves can conflict, the engine
 recomputes the true codelength after applying and backs off (random halving
 of the move set) if the batch made things worse; this guarantees monotone
 codelength improvement and hence termination.
+
+Batched hot-path formulation
+----------------------------
+The paper's thesis is that FindBestCommunity is dominated by sparse
+accumulation: summing each vertex's arc flows by neighbouring module.
+The sequential engines route that accumulation through a pluggable
+:class:`~repro.accum.base.Accumulator` (hash table or CAM); this engine
+instead performs the *whole sweep's* accumulation as one segment-sum:
+
+1. every non-loop arc ``(v, u)`` becomes a pair key ``v * n + module[u]``
+   (directed graphs append the transpose arcs with separate out/in
+   weights, so one grouping aligns both flow directions on identical
+   keys);
+2. a single stable integer argsort groups equal keys contiguously —
+   numpy's radix path, the batched analogue of hash-bucket grouping;
+3. ``np.add.reduceat`` over the group boundaries produces the per
+   (vertex, candidate-module) flows — the sparse accumulation itself;
+4. map-equation deltas are evaluated for all pairs at once, gathering
+   per-module ``plogp`` terms from tables precomputed once per sweep
+   (O(n)) instead of recomputing ``x log2 x`` per pair;
+5. the per-vertex best candidate is selected with a segmented argmin
+   (``np.minimum.reduceat`` over the vertex group boundaries), not a
+   sort.
+
+All sweep-sized scratch lives in a :class:`Workspace` that survives
+across passes *and* levels, so steady-state sweeps allocate only the
+(data-dependent) group-boundary index arrays.  The unbatched reference
+formulation is kept as :func:`_best_moves` / :func:`_module_state`;
+parity tests (``tests/test_hotpath_parity.py``) assert the two paths
+produce identical moves, and ``benchmarks/bench_vectorized_hotpath.py``
+gates the speedup of batched over reference.
 """
 
 from __future__ import annotations
@@ -32,12 +63,19 @@ from repro.obs.telemetry import (
     TelemetryRecorder,
     publish_run_metrics,
 )
-from repro.util.entropy import plogp_array, plogp
+from repro.util.entropy import plogp_array, plogp, plogp_unchecked
 from repro.util.rng import make_rng
 
 log = get_logger("core.vectorized")
 
-__all__ = ["run_infomap_vectorized", "VectorizedResult"]
+__all__ = ["run_infomap_vectorized", "VectorizedResult", "Workspace"]
+
+#: moves must improve the codelength by at least this much
+MIN_IMPROVEMENT = 1e-12
+
+_EMPTY_MOVES = (
+    np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0)
+)
 
 
 @dataclass
@@ -61,10 +99,267 @@ class VectorizedResult:
         )
 
 
+class Workspace:
+    """Reusable scratch for the batched hot path.
+
+    One Workspace serves a whole multilevel run (and can be passed to
+    :func:`run_infomap_vectorized` to serve *many* runs, e.g. a
+    parameter sweep over same-scale graphs).  Invariants:
+
+    * :meth:`bind` must be called whenever the hot path moves to a new
+      :class:`~repro.core.flow.FlowNetwork` (each level, or a new run).
+      It derives the level-constant arc-pair arrays (non-loop sources,
+      destinations, flows — directed networks interleave the transpose
+      arcs with zero-filled complementary weight columns).
+    * Sweep-sized scratch buffers are capacity-backed: binding a
+      *smaller* network slices the existing allocations instead of
+      reallocating, so coarser levels and subsequent runs are
+      allocation-free in steady state.
+    * No state is carried between passes: every buffer handed out is
+      fully overwritten (or zero-filled) before it is read, so reusing
+      one Workspace across levels/graphs is bit-identical to using a
+      fresh one — ``tests/test_hotpath_parity.py`` has a regression
+      test for exactly this.
+    """
+
+    def __init__(self) -> None:
+        self.net: FlowNetwork | None = None
+        self._bufs: dict[str, np.ndarray] = {}
+
+    # -- capacity-backed buffers ---------------------------------------
+    def _buf(self, name: str, size: int, dtype=np.float64) -> np.ndarray:
+        arr = self._bufs.get(name)
+        if arr is None or arr.size < size or arr.dtype != np.dtype(dtype):
+            arr = np.empty(size, dtype=dtype)
+            self._bufs[name] = arr
+        return arr[:size]
+
+    def _iota(self, size: int) -> np.ndarray:
+        arr = self._bufs.get("iota")
+        if arr is None or arr.size < size:
+            arr = np.arange(size, dtype=np.int64)
+            self._bufs["iota"] = arr
+        return arr[:size]
+
+    # -- level binding -------------------------------------------------
+    def bind(self, net: FlowNetwork) -> "Workspace":
+        """Derive the level-constant arc-pair views for ``net``."""
+        self.net = net
+        n = net.num_vertices
+        self.n = n
+        src = np.repeat(np.arange(n, dtype=np.int64), np.diff(net.indptr))
+        # full arc list (self-loops included) for module-state recomputes
+        self.src_all = src
+        self.dst_all = net.indices
+        nonloop = src != net.indices
+        src_nl = src[nonloop]
+        dst_nl = net.indices[nonloop]
+        f_nl = net.arc_flow[nonloop]
+        if net.directed:
+            t_src = np.repeat(
+                np.arange(n, dtype=np.int64), np.diff(net.t_indptr)
+            )
+            t_nonloop = t_src != net.t_indices
+            ts = t_src[t_nonloop]
+            td = net.t_indices[t_nonloop]
+            tf = net.t_arc_flow[t_nonloop]
+            # one combined pair list: out arcs carry (flow, 0), transpose
+            # arcs carry (0, flow), so a single grouping aligns the out-
+            # and in-flow sums on identical (vertex, module) keys
+            self.pair_src = np.concatenate([src_nl, ts])
+            self.pair_dst = np.concatenate([dst_nl, td])
+            e1, e2 = len(src_nl), len(ts)
+            w_out = np.zeros(e1 + e2)
+            w_out[:e1] = f_nl
+            w_in = np.zeros(e1 + e2)
+            w_in[e1:] = tf
+            self.pair_w_out = w_out
+            self.pair_w_in = w_in
+        else:
+            self.pair_src = src_nl
+            self.pair_dst = dst_nl
+            self.pair_w_out = f_nl
+            self.pair_w_in = None  # aliases pair_w_out
+        return self
+
+    # -- module state ----------------------------------------------------
+    def module_state(
+        self, module: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-module ``(enter, exit, flow)`` from scratch, batched.
+
+        Same formulation as the reference :func:`_module_state` but over
+        the cached arc list — no per-call ``np.repeat``.
+        """
+        net = self.net
+        src, dst = self.src_all, self.dst_all
+        msrc = np.take(module, src, out=self._buf("ms_src", len(src), np.int64))
+        mdst = np.take(module, dst, out=self._buf("ms_dst", len(dst), np.int64))
+        cross = np.not_equal(msrc, mdst, out=self._buf("ms_x", len(src), bool))
+        w = net.arc_flow[cross]
+        exit_flow = np.bincount(msrc[cross], weights=w, minlength=k)
+        enter_flow = np.bincount(mdst[cross], weights=w, minlength=k)
+        flow = np.bincount(module, weights=net.node_flow, minlength=k)
+        return enter_flow, exit_flow, flow
+
+    def num_modules(self, module: np.ndarray) -> int:
+        """Distinct label count in O(n) (labels always lie in [0, n))."""
+        return int(np.count_nonzero(np.bincount(module, minlength=self.n)))
+
+    # -- the batched sweep -----------------------------------------------
+    def best_moves(
+        self,
+        module: np.ndarray,
+        enter: np.ndarray,
+        exit_: np.ndarray,
+        flow: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched best-move search for every vertex (one sweep).
+
+        Returns ``(vertices, targets, deltas)`` for vertices with an
+        improving candidate — identical to the reference
+        :func:`_best_moves` output, computed with the segment-sum
+        formulation described in the module docstring.
+        """
+        net = self.net
+        n = self.n
+        pair_src, pair_dst = self.pair_src, self.pair_dst
+        P = len(pair_src)
+        if P == 0:
+            return _EMPTY_MOVES
+
+        # 1. pair keys: (vertex, candidate-module) as one int64
+        mdst = np.take(module, pair_dst, out=self._buf("bm_mdst", P, np.int64))
+        key = np.multiply(pair_src, np.int64(n), out=self._buf("bm_key", P, np.int64))
+        key += mdst
+
+        # 2. group equal keys (stable sort -> radix on int64)
+        order = np.argsort(key, kind="stable")
+        ks = np.take(key, order, out=self._buf("bm_ks", P, np.int64))
+        bounds = self._buf("bm_bounds", P, bool)
+        bounds[0] = True
+        np.not_equal(ks[1:], ks[:-1], out=bounds[1:])
+        starts = np.flatnonzero(bounds)
+
+        # 3. segment sums: the sparse accumulation
+        w_sorted = np.take(
+            self.pair_w_out, order, out=self._buf("bm_wo", P)
+        )
+        out_to = np.add.reduceat(w_sorted, starts)
+        if net.directed:
+            wi_sorted = np.take(
+                self.pair_w_in, order, out=self._buf("bm_wi", P)
+            )
+            in_from = np.add.reduceat(wi_sorted, starts)
+        else:
+            in_from = out_to
+        sel = order[starts]
+        pv = pair_src[sel]          # pair vertex (non-decreasing)
+        pm = mdst[sel]              # pair candidate module
+
+        cur = module[pv]
+        # per-vertex flow to its current module (gathered from the pairs)
+        out_to_cur = self._buf("bm_otc", n)
+        out_to_cur.fill(0.0)
+        own = pm == cur
+        out_to_cur[pv[own]] = out_to[own]
+        if net.directed:
+            in_from_cur = self._buf("bm_ifc", n)
+            in_from_cur.fill(0.0)
+            in_from_cur[pv[own]] = in_from[own]
+        else:
+            in_from_cur = out_to_cur
+
+        cand = ~own
+        if not np.any(cand):
+            return _EMPTY_MOVES
+        cv, cm = pv[cand], pm[cand]
+        c_out, c_in = out_to[cand], in_from[cand]
+
+        p_n = net.node_flow[cv]
+        out_n = net.node_out[cv]
+        in_n = net.node_in[cv]
+        old = cur[cand]
+
+        # 4. map-equation deltas for all candidate pairs at once
+        exit_old_new = exit_[old] - (out_n - out_to_cur[cv]) + in_from_cur[cv]
+        enter_old_new = enter[old] - (in_n - in_from_cur[cv]) + out_to_cur[cv]
+        exit_new_new = exit_[cm] + (out_n - c_out) - c_in
+        enter_new_new = enter[cm] + (in_n - c_in) - c_out
+        flow_old_new = flow[old] - p_n
+        flow_new_new = flow[cm] + p_n
+
+        np.clip(exit_old_new, 0.0, None, out=exit_old_new)
+        np.clip(enter_old_new, 0.0, None, out=enter_old_new)
+        np.clip(flow_old_new, 0.0, None, out=flow_old_new)
+
+        sum_enter = float(enter.sum())
+        sum_enter_new = (
+            sum_enter + enter_old_new + enter_new_new - enter[old] - enter[cm]
+        )
+        np.clip(sum_enter_new, 0.0, None, out=sum_enter_new)
+
+        # per-module plogp tables, computed once per sweep then gathered
+        p_enter = plogp_unchecked(enter)
+        p_exit = plogp_unchecked(exit_)
+        p_exit_flow = plogp_unchecked(exit_ + flow)
+
+        pu = plogp_unchecked
+        dl = (
+            pu(sum_enter_new)
+            - plogp(sum_enter)
+            - (
+                pu(enter_old_new)
+                + pu(enter_new_new)
+                - p_enter[old]
+                - p_enter[cm]
+            )
+            - (
+                pu(exit_old_new)
+                + pu(exit_new_new)
+                - p_exit[old]
+                - p_exit[cm]
+            )
+            + (
+                pu(exit_old_new + flow_old_new)
+                + pu(exit_new_new + flow_new_new)
+                - p_exit_flow[old]
+                - p_exit_flow[cm]
+            )
+        )
+
+        # 5. segmented argmin per vertex (cv is non-decreasing)
+        C = len(cv)
+        vbounds = self._buf("bm_vb", C, bool)
+        vbounds[0] = True
+        np.not_equal(cv[1:], cv[:-1], out=vbounds[1:])
+        vstarts = np.flatnonzero(vbounds)
+        minval = np.minimum.reduceat(dl, vstarts)
+        seg = np.cumsum(vbounds, out=self._buf("bm_seg", C, np.int64))
+        seg -= 1
+        pos = self._buf("bm_pos", C, np.int64)
+        np.copyto(pos, self._iota(C))
+        pos[dl != minval[seg]] = C  # mask non-minima
+        first = np.minimum.reduceat(pos, vstarts)
+        verts, targets, deltas = cv[first], cm[first], dl[first]
+        improving = deltas < -MIN_IMPROVEMENT
+        return verts[improving], targets[improving], deltas[improving]
+
+
+# ----------------------------------------------------------------------
+# Reference (unbatched) formulation.  Kept verbatim from the pre-batching
+# engine: it is the oracle for the parity tests and the machine-local
+# reference the perf gate measures speedup against.
+# ----------------------------------------------------------------------
+
 def _module_state(
     net: FlowNetwork, module: np.ndarray, k: int
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Recompute (enter, exit, flow) per module from scratch, vectorized."""
+    """Recompute (enter, exit, flow) per module from scratch, vectorized.
+
+    Reference formulation (per-call ``np.repeat``); the hot path uses
+    :meth:`Workspace.module_state`, which reuses the cached arc list.
+    """
     n = net.num_vertices
     src = np.repeat(np.arange(n, dtype=np.int64), np.diff(net.indptr))
     dst = net.indices
@@ -86,10 +381,15 @@ def _best_moves(
     exit_: np.ndarray,
     flow: np.ndarray,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Vectorized best-move search for every vertex.
+    """Reference best-move search for every vertex (unbatched hot path).
 
     Returns ``(vertices, targets, deltas)`` for vertices with an improving
-    candidate.
+    candidate.  This is the pre-batching formulation: per-call workspace
+    allocation, ``np.unique``-based grouping, per-pair plogp evaluation,
+    and a lexsort argmin.  :meth:`Workspace.best_moves` computes the same
+    result via segment accumulation; the perf gate
+    (``benchmarks/bench_vectorized_hotpath.py``) measures its speedup
+    over this function on the same module states.
     """
     n = net.num_vertices
     src = np.repeat(np.arange(n, dtype=np.int64), np.diff(net.indptr))
@@ -136,7 +436,7 @@ def _best_moves(
 
     cand = ~own
     if not np.any(cand):
-        return (np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0))
+        return _EMPTY_MOVES
     cv, cm = pv[cand], pm[cand]
     c_out, c_in = out_to[cand], in_from[cand]
 
@@ -190,7 +490,7 @@ def _best_moves(
     first[1:] = cv_sorted[1:] != cv_sorted[:-1]
     idx = order[first]
     verts, targets, deltas = cv[idx], cm[idx], dl[idx]
-    improving = deltas < -1e-12
+    improving = deltas < -MIN_IMPROVEMENT
     return verts[improving], targets[improving], deltas[improving]
 
 
@@ -201,17 +501,23 @@ def _one_level(
     recorder: "TelemetryRecorder | None" = None,
     level: int = 0,
     flat_offset: float = 0.0,
+    workspace: Workspace | None = None,
 ) -> tuple[np.ndarray, int, float, int]:
     """Batch-synchronous local-move rounds at one level.
 
     Returns ``(module, num_modules, codelength, rounds)``.  When a
     :class:`~repro.obs.telemetry.TelemetryRecorder` is given, each round
     is recorded as one pass (``flat_offset`` converts level-local
-    codelengths to flat level-0 bits).
+    codelengths to flat level-0 bits).  ``workspace`` carries the batched
+    hot path's scratch; one is created (and bound to ``net``) when not
+    given, but callers looping over levels should pass a single instance.
     """
+    ws = workspace if workspace is not None else Workspace().bind(net)
+    if ws.net is not net:
+        ws.bind(net)
     n = net.num_vertices
     module = np.arange(n, dtype=np.int64)
-    enter, exit_, flow = _module_state(net, module, n)
+    enter, exit_, flow = ws.module_state(module, n)
     length = MapEquation.codelength(enter, exit_, flow, net.node_flow)
 
     rounds = 0
@@ -220,9 +526,7 @@ def _one_level(
         wall0 = time.perf_counter()
         applied = 0
         with trace_span("findbest", level=level, pass_=rounds - 1):
-            verts, targets, _deltas = _best_moves(
-                net, module, enter, exit_, flow
-            )
+            verts, targets, _deltas = ws.best_moves(module, enter, exit_, flow)
             stop = len(verts) == 0
             improved = False
             if not stop:
@@ -230,9 +534,9 @@ def _one_level(
                 for _backoff in range(6):
                     trial = module.copy()
                     trial[verts[accepted]] = targets[accepted]
-                    e2, x2, f2 = _module_state(net, trial, n)
+                    e2, x2, f2 = ws.module_state(trial, n)
                     l2 = MapEquation.codelength(e2, x2, f2, net.node_flow)
-                    if l2 < length - 1e-12:
+                    if l2 < length - MIN_IMPROVEMENT:
                         module, enter, exit_, flow, length = trial, e2, x2, f2, l2
                         improved = True
                         applied = int(np.count_nonzero(accepted))
@@ -250,7 +554,7 @@ def _one_level(
                 pass_in_level=rounds - 1,
                 active_vertices=n,
                 moves=applied,
-                num_modules=int(len(np.unique(module))),
+                num_modules=ws.num_modules(module),
                 codelength=length + flat_offset,
                 wall_seconds=wall,
             )
@@ -266,15 +570,34 @@ def run_infomap_vectorized(
     max_levels: int = 20,
     max_rounds_per_level: int = 30,
     seed: int = 0,
+    workspace: Workspace | None = None,
 ) -> VectorizedResult:
     """Run the batch-synchronous multilevel Infomap.
 
     Functionally equivalent objective to :func:`repro.core.infomap.run_infomap`
     (both minimize the same map equation); move schedules differ, so the
     found partitions can differ slightly — tests check codelengths agree
-    within a few percent on structured graphs.
+    within a few percent on structured graphs.  Callers wanting one entry
+    point can use ``run_infomap(graph, engine="vectorized")``.
+
+    Parameters
+    ----------
+    graph:
+        Input network (directed or undirected, optionally weighted).
+    tau:
+        Teleportation probability for the PageRank kernel.
+    max_levels, max_rounds_per_level:
+        Multilevel schedule caps.
+    seed:
+        Seed for the conflict-backoff RNG (results are deterministic for
+        a fixed seed).
+    workspace:
+        Optional :class:`Workspace` to reuse across runs; by default each
+        run owns one (it is still reused across all passes and levels
+        within the run).
     """
     rng = make_rng(seed)
+    ws = workspace if workspace is not None else Workspace()
     recorder = TelemetryRecorder("vectorized")
     with trace_span("infomap.run", engine="vectorized"):
         with trace_span("pagerank", vertices=graph.num_vertices), \
@@ -293,6 +616,7 @@ def run_infomap_vectorized(
         converged = False
         for level in range(max_levels):
             levels = level + 1
+            ws.bind(net)
             recorder.begin_level(level, net.num_vertices)
             node_flow_log_level = float(plogp_array(net.node_flow).sum())
             dense, k, level_length, rounds = _one_level(
@@ -302,6 +626,7 @@ def run_infomap_vectorized(
                 recorder=recorder,
                 level=level,
                 flat_offset=node_flow_log_level - node_flow_log0,
+                workspace=ws,
             )
             length = level_length + node_flow_log_level - node_flow_log0
             total_rounds += rounds
@@ -316,7 +641,7 @@ def run_infomap_vectorized(
             mapping = dense[mapping]
             with trace_span("convert2supernode", level=level, modules=k), \
                     recorder.kernel("convert2supernode"):
-                net = convert_to_supernodes(net, dense, k)
+                net = convert_to_supernodes(net, dense, k, src=ws.src_all)
 
     telemetry = recorder.finish(converged)
     publish_run_metrics(telemetry)

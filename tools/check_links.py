@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Check that intra-repo links in README.md and docs/*.md resolve.
+
+Scans markdown links and images (``[text](target)`` / ``![alt](target)``)
+plus backtick *path* references (``` `docs/foo.md` ```,
+``` `benchmarks/bench_x.py` ```; a backtick ref must contain a ``/`` —
+bare filenames are prose, not links) in README.md and every
+``docs/*.md``, and fails if a referenced file or heading anchor does
+not exist in the repo.  Backtick paths may be repo-root-relative or
+``src/repro``-relative (the docs' subpackage shorthand, e.g.
+``core/findbest.py``).  External links (``http(s)://``, ``mailto:``)
+are skipped — this environment has no network, and CI should not
+depend on third-party uptime.
+
+Anchor checking: for ``target.md#some-heading`` the fragment must match
+a heading in the target file under GitHub's slug rules (lowercase,
+spaces → ``-``, punctuation dropped).
+
+Usage::
+
+    python tools/check_links.py          # check, exit 1 on any broken link
+    python tools/check_links.py -v       # also list every link checked
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: markdown inline links/images: [text](target) — target captured
+_MD_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+#: backtick path references: `docs/x.md`, `benchmarks/bench_y.py` —
+#: must contain a "/" so bare filenames in prose are not treated as links
+_TICK_PATH = re.compile(r"`([A-Za-z0-9_.-]+(?:/[A-Za-z0-9_.-]+)+\.(?:md|py|json|yml|toml))`")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style heading → anchor slug."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = re.sub(r"[^\w\- ]", "", text.lower())
+    return text.replace(" ", "-")
+
+
+def _anchors(md_file: Path) -> set[str]:
+    return {_slugify(h) for h in _HEADING.findall(md_file.read_text())}
+
+
+def _iter_targets(text: str):
+    """Yield (target, is_explicit_link) for every checkable reference."""
+    for m in _MD_LINK.finditer(text):
+        yield m.group(1), True
+    for m in _TICK_PATH.finditer(text):
+        yield m.group(1), False
+
+
+def check_file(md_file: Path, verbose: bool = False) -> list[str]:
+    errors = []
+    text = md_file.read_text()
+    for target, explicit in _iter_targets(text):
+        if target.startswith(_EXTERNAL):
+            continue
+        path_part, _, fragment = target.partition("#")
+        if not path_part:  # same-file anchor: #section
+            resolved = md_file
+        else:
+            # explicit links resolve relative to the file; backtick
+            # references may be repo-root-relative, file-relative, or
+            # src/repro-relative (the docs' subpackage shorthand)
+            if explicit:
+                resolved = (md_file.parent / path_part).resolve()
+            else:
+                for base in (REPO_ROOT, md_file.parent, REPO_ROOT / "src" / "repro"):
+                    resolved = (base / path_part).resolve()
+                    if resolved.exists():
+                        break
+        rel = md_file.relative_to(REPO_ROOT)
+        if not resolved.exists():
+            errors.append(f"{rel}: broken link -> {target}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if _slugify(fragment) not in _anchors(resolved):
+                errors.append(f"{rel}: missing anchor -> {target}")
+                continue
+        if verbose:
+            print(f"ok: {rel} -> {target}")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="list every link checked")
+    args = parser.parse_args(argv)
+
+    files = [REPO_ROOT / "README.md"] + sorted((REPO_ROOT / "docs").glob("*.md"))
+    errors = []
+    for f in files:
+        errors.extend(check_file(f, verbose=args.verbose))
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        print(f"\n{len(errors)} broken link(s) across {len(files)} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"all intra-repo links resolve across {len(files)} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
