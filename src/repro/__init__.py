@@ -49,6 +49,8 @@ from repro.core import (
     run_infomap_vectorized,
     run_infomap_multicore,
     MulticoreResult,
+    run_infomap_parallel,
+    ParallelResult,
 )
 from repro.sim import (
     MachineConfig,
@@ -89,6 +91,8 @@ __all__ = [
     "run_infomap_vectorized",
     "run_infomap_multicore",
     "MulticoreResult",
+    "run_infomap_parallel",
+    "ParallelResult",
     "run_infomap_hierarchical",
     "HierarchicalResult",
     "run_infomap_distributed",

@@ -5,6 +5,8 @@ Usage (after install)::
     python -m repro datasets                    # Table I inventory
     python -m repro run --dataset amazon --backend asa
     python -m repro run --dataset orkut --engine vectorized
+    python -m repro run --dataset orkut --engine multicore --workers 4
+    python -m repro run --dataset orkut --engine parallel --workers 4
     python -m repro run --edge-list my.txt --backend softhash --cores 4
     python -m repro run --dataset amazon --trace out.trace.json \
         --metrics-out metrics.json --log-level debug
@@ -68,12 +70,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     runp.add_argument(
         "--engine", default="sequential",
-        choices=("sequential", "vectorized"),
+        choices=("sequential", "vectorized", "multicore", "parallel"),
         help="'sequential' = instrumented engine with hardware accounting; "
         "'vectorized' = batched numpy fast path (no accounting, much "
-        "faster wall clock on large graphs)",
+        "faster wall clock on large graphs); 'multicore' = BSP schedule "
+        "on --workers simulated cores with per-core accounting; "
+        "'parallel' = the same schedule on --workers real worker "
+        "processes over shared memory (bit-identical partitions to "
+        "multicore at equal worker count)",
     )
-    runp.add_argument("--cores", type=int, default=1)
+    runp.add_argument(
+        "--cores", type=int, default=1,
+        help="legacy spelling: with the default engine, >1 switches to "
+        "the simulated multicore engine (prefer --engine multicore "
+        "--workers N)",
+    )
+    runp.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="core/worker count for --engine multicore|parallel "
+        "(default 2); rejected for single-rank engines",
+    )
     runp.add_argument("--directed", action="store_true")
     runp.add_argument("--tau", type=float, default=0.15)
     runp.add_argument(
@@ -108,6 +124,30 @@ def build_parser() -> argparse.ArgumentParser:
     exp_out.add_argument("--names", nargs="*", default=None,
                          help="experiment subset (default: all exportable)")
     return p
+
+
+def _validate_run_args(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
+    """Reject incoherent --engine / --workers / --cores combinations
+    with a proper argparse usage error (exit code 2)."""
+    if args.workers is not None:
+        if args.engine not in ("multicore", "parallel"):
+            parser.error(
+                f"--workers requires --engine multicore or parallel "
+                f"(got --engine {args.engine})"
+            )
+        if args.workers < 1:
+            parser.error("--workers must be >= 1")
+        if args.cores != 1:
+            parser.error("--cores and --workers are mutually exclusive")
+    if args.cores != 1 and args.engine != "sequential":
+        parser.error(
+            f"--cores only applies to the default engine; "
+            f"use --workers with --engine {args.engine}"
+        )
+    if args.cores < 1:
+        parser.error("--cores must be >= 1")
 
 
 def _add_obs_arguments(p: argparse.ArgumentParser, trace: bool = True) -> None:
@@ -188,11 +228,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         graph, _ = read_edge_list(args.edge_list, directed=args.directed)
     print(f"Graph: {graph.name} ({graph.num_vertices} vertices, "
           f"{graph.num_edges} edges)")
-    if args.engine == "vectorized":
-        if args.cores != 1:
-            print("--engine vectorized is single-process; ignoring --cores",
-                  file=sys.stderr)
-        r = run_infomap(graph, engine="vectorized", tau=args.tau)
+    if args.engine in ("vectorized", "parallel"):
+        if args.backend != "plain":
+            print(f"--engine {args.engine} has no hardware accounting; "
+                  "ignoring --backend", file=sys.stderr)
+        if args.engine == "vectorized":
+            r = run_infomap(graph, engine="vectorized", tau=args.tau)
+        else:
+            r = run_infomap(
+                graph, engine="parallel", workers=args.workers, tau=args.tau
+            )
         print(r.summary())
         if r.telemetry is not None:
             print(r.telemetry.summary())
@@ -201,7 +246,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"Module sizes: largest {sizes[:5].tolist()}, median "
               f"{int(np.median(sizes))}, total {len(sizes)}")
         return 0
-    if args.cores == 1:
+    if args.engine == "multicore":
+        args.cores = args.workers or 2
+    if args.cores == 1 and args.engine == "sequential":
         r = run_infomap(graph, backend=args.backend, tau=args.tau)
         print(r.summary())
         stats = r.stats
@@ -338,10 +385,12 @@ def _cmd_calibrate() -> int:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.command == "datasets":
         return _cmd_datasets()
     if args.command == "run":
+        _validate_run_args(parser, args)
         with _obs_session(args):
             return _cmd_run(args)
     if args.command == "experiment":

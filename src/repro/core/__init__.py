@@ -21,7 +21,14 @@ Engines:
   accumulation with a reusable :class:`~repro.core.vectorized.Workspace`
   (no hardware accounting);
 * :func:`repro.core.multicore.run_infomap_multicore` — the HyPC-Map-style
-  simulated multicore engine behind Figs 7/9/10/11.
+  simulated multicore engine behind Figs 7/9/10/11;
+* :func:`repro.core.parallel.run_infomap_parallel` — the real
+  process-parallel engine (multiprocessing + shared-memory arenas),
+  bit-identical to the simulated engine at equal worker count/seed.
+
+The two multicore engines share one deterministic barrier-synchronous
+schedule, :mod:`repro.core.bsp` (propose per shard, commit behind the
+barrier) — only where the propose executes differs.
 """
 
 from repro.core.flow import FlowNetwork, pagerank
@@ -34,6 +41,7 @@ from repro.core.vectorized import (
     Workspace,
 )
 from repro.core.multicore import run_infomap_multicore, MulticoreResult
+from repro.core.parallel import run_infomap_parallel, ParallelResult
 from repro.core.hierarchy import run_infomap_hierarchical, HierarchicalResult, HModule
 from repro.core.distributed import run_infomap_distributed, DistributedResult, NetworkModel
 from repro.core.dynamic import DynamicCommunities, RefreshResult
@@ -51,6 +59,8 @@ __all__ = [
     "Workspace",
     "run_infomap_multicore",
     "MulticoreResult",
+    "run_infomap_parallel",
+    "ParallelResult",
     "run_infomap_hierarchical",
     "HierarchicalResult",
     "HModule",

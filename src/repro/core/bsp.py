@@ -1,0 +1,448 @@
+"""Shared barrier-synchronous (BSP) Infomap schedule.
+
+The simulated multicore engine (:mod:`repro.core.multicore`) and the real
+process-parallel engine (:mod:`repro.core.parallel`) execute the *same*
+deterministic two-phase schedule, defined once here:
+
+1. **propose** — vertices are sharded across ``P`` cores by arc count
+   (:func:`edge_balanced_blocks`); each core computes the best improving
+   move of every vertex in its shard against the snapshot of module state
+   taken at the start of the round, using the shard-restricted batched
+   sweep (:meth:`repro.core.vectorized.Workspace.best_moves` with
+   ``verts=``).  Where that computation *executes* — in-process on
+   simulated cores, or on real worker processes over shared memory — is
+   the only thing an engine supplies.
+2. **commit** — the driver merges proposals in core order behind a
+   barrier: apply all of them at once, recompute module state, accept if
+   the codelength improved, otherwise deterministically halve the move
+   set with the seeded RNG and retry (:func:`commit_proposals`, the same
+   conflict-backoff rule the vectorized engine uses).
+
+Because every quantity that feeds a decision — shard boundaries, snapshot
+state, proposal math, merge order, backoff RNG stream — lives in this
+module and is a pure function of ``(graph, num_cores, seed, chunk)``, two
+engines running this schedule produce **bit-identical partitions** at
+equal core counts and seeds.  ``tests/test_engine_conformance.py``
+enforces exactly that for ``parallel(P=k)`` vs ``multicore(P=k)``.
+
+Engines participate through a :class:`ProposeBackend`: the multicore
+engine adds a per-core hardware-accounting sweep (the paper's simulated
+counters) around the authoritative propose; the parallel engine ships the
+propose to worker processes.  The commit/merge itself is driver-side and
+is deliberately *not* charged to the simulated cores — it models
+HyPC-Map's cheap deterministic merge at the barrier.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.flow import FlowNetwork
+from repro.core.mapequation import MapEquation
+from repro.core.supernode import convert_to_supernodes
+from repro.core.vectorized import MIN_IMPROVEMENT, Workspace
+from repro.graph.csr import CSRGraph
+from repro.obs.spans import trace_span
+from repro.obs.telemetry import TelemetryRecorder, publish_run_metrics
+from repro.util.entropy import plogp_array
+from repro.util.rng import make_rng
+
+__all__ = [
+    "ProposeBackend",
+    "BSPOutcome",
+    "BSPPassRecord",
+    "edge_balanced_blocks",
+    "active_neighborhood",
+    "split_active_by_block",
+    "commit_proposals",
+    "run_bsp_infomap",
+]
+
+#: commit retries: halve the proposal set at most this many times before
+#: declaring the round a wash (same constant as the vectorized engine)
+BACKOFF_TRIES = 6
+
+
+def edge_balanced_blocks(net: FlowNetwork, num_cores: int) -> list[np.ndarray]:
+    """Split vertices into contiguous blocks with ~equal arc counts.
+
+    HyPC-Map's static edge-balanced distribution: block boundaries are
+    chosen on the cumulative out-degree so every core sweeps a similar
+    number of arcs.
+    """
+    arcs = np.diff(net.indptr)
+    cum = np.cumsum(arcs)
+    total = cum[-1] if len(cum) else 0
+    bounds = [0]
+    for p in range(1, num_cores):
+        target = total * p / num_cores
+        bounds.append(int(np.searchsorted(cum, target)))
+    bounds.append(net.num_vertices)
+    blocks = []
+    for p in range(num_cores):
+        lo, hi = bounds[p], max(bounds[p], bounds[p + 1])
+        blocks.append(np.arange(lo, hi, dtype=np.int64))
+    return blocks
+
+
+def active_neighborhood(
+    ws: Workspace, net: FlowNetwork, moved: np.ndarray
+) -> np.ndarray:
+    """Vertices to revisit next pass: movers plus their neighbourhoods.
+
+    Vectorized equivalent of the sequential engine's ``_active_set`` (one
+    arc-mask instead of a per-mover Python loop), shared by both BSP
+    engines so their worklists are identical.
+    """
+    if len(moved) == 0:
+        return np.empty(0, dtype=np.int64)
+    flags = np.zeros(net.num_vertices, dtype=bool)
+    flags[moved] = True
+    parts = [moved, ws.dst_all[flags[ws.src_all]]]
+    if net.directed:
+        t_src = np.repeat(
+            np.arange(net.num_vertices, dtype=np.int64), np.diff(net.t_indptr)
+        )
+        parts.append(net.t_indices[flags[t_src]])
+    return np.unique(np.concatenate(parts))
+
+
+def split_active_by_block(
+    active: np.ndarray, blocks: list[np.ndarray]
+) -> list[np.ndarray]:
+    """Each core revisits its contiguous block's share of the active set."""
+    out: list[np.ndarray] = []
+    for block in blocks:
+        if len(block):
+            lo, hi = block[0], block[-1]
+            out.append(active[(active >= lo) & (active <= hi)])
+        else:
+            out.append(np.empty(0, dtype=np.int64))
+    return out
+
+
+def commit_proposals(
+    ws: Workspace,
+    net: FlowNetwork,
+    module: np.ndarray,
+    length: float,
+    verts: np.ndarray,
+    targets: np.ndarray,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, float, np.ndarray]:
+    """The deterministic merge behind the barrier.
+
+    Applies all proposed moves at once, recomputes module state, and
+    accepts the batch iff the codelength strictly improved; otherwise the
+    proposal set is halved with the seeded RNG and retried (at most
+    :data:`BACKOFF_TRIES` times).  Returns the (possibly unchanged) state
+    ``(module, enter, exit, flow, length, applied_verts)``.
+
+    This is a pure function of its inputs plus the RNG stream — the
+    determinism anchor of the whole schedule.
+    """
+    n = net.num_vertices
+    accepted = np.ones(len(verts), dtype=bool)
+    for _backoff in range(BACKOFF_TRIES):
+        trial = module.copy()
+        trial[verts[accepted]] = targets[accepted]
+        e2, x2, f2 = ws.module_state(trial, n)
+        l2 = MapEquation.codelength(e2, x2, f2, net.node_flow)
+        if l2 < length - MIN_IMPROVEMENT:
+            return trial, e2, x2, f2, l2, verts[accepted]
+        # conflicting simultaneous moves: keep a random half and retry
+        keep = rng.random(len(verts)) < 0.5
+        accepted &= keep
+        if not np.any(accepted):
+            break
+    enter, exit_, flow = ws.module_state(module, n)
+    return module, enter, exit_, flow, length, np.empty(0, dtype=np.int64)
+
+
+class ProposeBackend:
+    """What an engine plugs into the shared schedule.
+
+    The driver calls the hooks in this order per run::
+
+        on_flow(net)                          # once, after PageRank
+        for level:
+            begin_level(net, level, blocks, ws)
+            for pass:
+                begin_pass(module)
+                for round:                     # chunk slices of each block
+                    propose(shards, module, enter, exit, flow)
+                    on_commit(applied_verts)   # after the merge
+                end_pass(rounds) -> sim seconds | None
+            on_update_members(mapping, dense) -> mapping
+            coarsen(net, dense, k, ws) -> coarser net
+        close()
+
+    Only :meth:`propose` is mandatory; the accounting hooks default to
+    no-ops so the parallel engine implements nothing but the propose.
+    ``propose`` receives ``shards`` as ``[(core_id, vertex_array), ...]``
+    in ascending core order and must return ``(verts, targets)``
+    concatenated in that order — the merge order the commit relies on.
+    """
+
+    #: engine label for telemetry/metrics
+    engine = "bsp"
+
+    def on_flow(self, net: FlowNetwork) -> None:  # pragma: no cover - hook
+        pass
+
+    def begin_level(
+        self,
+        net: FlowNetwork,
+        level: int,
+        blocks: list[np.ndarray],
+        ws: Workspace,
+    ) -> None:
+        pass
+
+    def begin_pass(self, module: np.ndarray) -> None:
+        pass
+
+    def propose(
+        self,
+        shards: list[tuple[int, np.ndarray]],
+        module: np.ndarray,
+        enter: np.ndarray,
+        exit_: np.ndarray,
+        flow: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+    def end_pass(self, rounds: int) -> float | None:
+        """Simulated pass seconds (multicore) or ``None`` for wall time."""
+        return None
+
+    def on_commit(self, applied: np.ndarray) -> None:
+        pass
+
+    def on_update_members(
+        self, mapping: np.ndarray, dense: np.ndarray
+    ) -> np.ndarray:
+        return dense[mapping]
+
+    def coarsen(
+        self, net: FlowNetwork, dense: np.ndarray, k: int, ws: Workspace
+    ) -> FlowNetwork:
+        return convert_to_supernodes(net, dense, k, src=ws.src_all)
+
+    def metrics_kwargs(self) -> dict:
+        """Extra key/values for :func:`publish_run_metrics`."""
+        return {}
+
+    def close(self) -> None:
+        pass
+
+
+@dataclass(frozen=True)
+class BSPPassRecord:
+    """One barrier-synchronous pass (telemetry-grade record)."""
+
+    level: int
+    pass_in_level: int
+    vertices: int  #: (super)nodes at this level
+    rounds: int
+    active_vertices: int
+    proposed: int
+    applied: int
+    codelength: float
+    wall_seconds: float
+    seconds: float  #: simulated parallel seconds (multicore) or wall
+
+
+@dataclass
+class BSPOutcome:
+    """What :func:`run_bsp_infomap` hands back to the engine wrapper."""
+
+    modules: np.ndarray
+    num_modules: int
+    codelength: float
+    one_level_codelength: float
+    levels: int
+    passes: list[BSPPassRecord] = field(default_factory=list)
+    telemetry: object = None
+    pagerank_iterations: int = 0
+
+
+def run_bsp_infomap(
+    graph: CSRGraph,
+    backend: ProposeBackend,
+    num_cores: int,
+    seed: int = 0,
+    tau: float = 0.15,
+    max_levels: int = 20,
+    max_passes_per_level: int = 10,
+    chunk: int | None = None,
+    recorder: TelemetryRecorder | None = None,
+) -> BSPOutcome:
+    """Run the shared multilevel BSP schedule.
+
+    Parameters
+    ----------
+    backend:
+        Engine-specific :class:`ProposeBackend` (where propose executes).
+    num_cores:
+        Shard count ``P``.  Partitions are a function of ``P`` — the
+        conformance contract is *equal engines at equal P/seed/chunk*,
+        not equality across different ``P``.
+    seed:
+        Seeds the commit's conflict-backoff RNG.  Same seed (and same
+        ``P``/``chunk``) ⇒ identical partition, for every BSP engine.
+    chunk:
+        Round granularity: each round every core proposes over its next
+        ``chunk`` shard vertices, then the merge commits.  ``None``
+        (default) processes each core's whole shard per round — one
+        barrier per pass, the standard batch-parallel schedule.  Small
+        chunks emulate a finer-grained concurrent interleaving (more
+        commits per pass) at higher merge cost.
+    """
+    if num_cores < 1:
+        raise ValueError("num_cores must be >= 1")
+    if chunk is not None and chunk < 1:
+        raise ValueError("chunk must be >= 1 (or None for whole shards)")
+
+    rng = make_rng(seed)
+    if recorder is None:
+        recorder = TelemetryRecorder(backend.engine, num_cores=num_cores)
+    ws = Workspace()
+
+    with trace_span("pagerank", vertices=graph.num_vertices), \
+            recorder.kernel("pagerank"):
+        net = FlowNetwork.from_graph(graph, tau=tau)
+        backend.on_flow(net)
+    pagerank_iterations = net.pagerank_iterations
+
+    one_level = MapEquation.one_level_codelength(net.node_flow)
+    node_flow_log0 = -one_level
+    n0 = graph.num_vertices
+    mapping = np.arange(n0, dtype=np.int64)
+
+    passes: list[BSPPassRecord] = []
+    levels = 0
+    flat_length = one_level
+    converged = False
+
+    for level in range(max_levels):
+        levels = level + 1
+        n = net.num_vertices
+        ws.bind(net)
+        blocks = edge_balanced_blocks(net, num_cores)
+        backend.begin_level(net, level, blocks, ws)
+        recorder.begin_level(level, n)
+        flat_offset = float(plogp_array(net.node_flow).sum()) - node_flow_log0
+
+        module = np.arange(n, dtype=np.int64)
+        enter, exit_, flow = ws.module_state(module, n)
+        length = MapEquation.codelength(enter, exit_, flow, net.node_flow)
+
+        active_sets: list[np.ndarray | None] = [None] * num_cores
+        for pass_idx in range(max_passes_per_level):
+            wall0 = time.perf_counter()
+            backend.begin_pass(module)
+            core_orders = [
+                blocks[p] if active_sets[p] is None else active_sets[p]
+                for p in range(num_cores)
+            ]
+            offsets = [0] * num_cores
+            rounds = 0
+            proposed_total = 0
+            applied_all: list[np.ndarray] = []
+            with trace_span("findbest", level=level, pass_=pass_idx):
+                while any(
+                    offsets[p] < len(core_orders[p]) for p in range(num_cores)
+                ):
+                    rounds += 1
+                    shards: list[tuple[int, np.ndarray]] = []
+                    for p in range(num_cores):
+                        order = core_orders[p]
+                        lo = offsets[p]
+                        hi = len(order) if chunk is None else min(
+                            lo + chunk, len(order)
+                        )
+                        offsets[p] = hi
+                        shards.append((p, order[lo:hi]))
+                    verts, targets = backend.propose(
+                        shards, module, enter, exit_, flow
+                    )
+                    proposed_total += len(verts)
+                    if len(verts) == 0:
+                        continue
+                    module, enter, exit_, flow, length, applied = (
+                        commit_proposals(
+                            ws, net, module, length, verts, targets, rng
+                        )
+                    )
+                    if len(applied):
+                        applied_all.append(applied)
+                        backend.on_commit(applied)
+            wall = time.perf_counter() - wall0
+            sim = backend.end_pass(rounds)
+            movers = (
+                np.concatenate(applied_all)
+                if applied_all
+                else np.empty(0, dtype=np.int64)
+            )
+            recorder.record_kernel("findbest", wall)
+            recorder.record_pass(
+                level=level,
+                pass_in_level=pass_idx,
+                active_vertices=sum(len(o) for o in core_orders),
+                moves=len(movers),
+                num_modules=ws.num_modules(module),
+                codelength=length + flat_offset,
+                wall_seconds=wall,
+            )
+            passes.append(
+                BSPPassRecord(
+                    level=level,
+                    pass_in_level=pass_idx,
+                    vertices=n,
+                    rounds=rounds,
+                    active_vertices=sum(len(o) for o in core_orders),
+                    proposed=proposed_total,
+                    applied=len(movers),
+                    codelength=length + flat_offset,
+                    wall_seconds=wall,
+                    seconds=sim if sim is not None else wall,
+                )
+            )
+            if len(movers) == 0:
+                break
+            active = active_neighborhood(ws, net, movers)
+            active_sets = list(split_active_by_block(active, blocks))
+
+        flat_length = length + flat_offset
+        uniq = np.unique(module)
+        k = len(uniq)
+        dense = np.searchsorted(uniq, module).astype(np.int64)
+        recorder.end_level(k, flat_length)
+        if k == n:
+            converged = True
+            break
+        with trace_span("updatemembers", level=level), \
+                recorder.kernel("updatemembers"):
+            mapping = backend.on_update_members(mapping, dense)
+        with trace_span("convert2supernode", level=level, modules=k), \
+                recorder.kernel("convert2supernode"):
+            net = backend.coarsen(net, dense, k, ws)
+
+    telemetry = recorder.finish(converged)
+    publish_run_metrics(telemetry, **backend.metrics_kwargs())
+
+    uniq, final = np.unique(mapping, return_inverse=True)
+    return BSPOutcome(
+        modules=final.astype(np.int64),
+        num_modules=len(uniq),
+        codelength=flat_length,
+        one_level_codelength=one_level,
+        levels=levels,
+        passes=passes,
+        telemetry=telemetry,
+        pagerank_iterations=pagerank_iterations,
+    )

@@ -45,13 +45,14 @@ def find_best_pass(
     ctx: HardwareContext,
     stats: KernelStats,
     order: np.ndarray | None = None,
+    apply: bool = True,
 ) -> tuple[int, list[int]]:
     """Run one greedy sweep; returns ``(num_moves, moved_vertices)``.
 
     Parameters
     ----------
     partition:
-        Current module state (mutated in place).
+        Current module state (mutated in place when ``apply`` is true).
     accumulator:
         Backend used for the per-vertex flow accumulation.  For directed
         networks it is reused sequentially for the out- and in-flow maps,
@@ -62,6 +63,14 @@ def find_best_pass(
         worklist optimization (only vertices whose neighbourhood changed
         are revisited), which is what makes successive iterations of
         Tables III/IV progressively cheaper.
+    apply:
+        When false the sweep *proposes* only: each vertex is evaluated
+        against the partition as given (accumulation, candidate
+        evaluation, and their hardware accounting all run as usual) but
+        no move is applied and no UpdateMembers work is charged.  The
+        barrier-synchronous engines use this mode as the per-core
+        accounting sweep; move application is charged separately at
+        commit time.
     """
     net = partition.net
     n = net.num_vertices
@@ -69,7 +78,7 @@ def find_best_pass(
         order = np.arange(n, dtype=np.int64)
 
     with trace_span("findbest.sweep", vertices=len(order)):
-        return _sweep(partition, accumulator, ctx, stats, order)
+        return _sweep(partition, accumulator, ctx, stats, order, apply)
 
 
 def _sweep(
@@ -78,6 +87,7 @@ def _sweep(
     ctx: HardwareContext,
     stats: KernelStats,
     order: np.ndarray,
+    apply: bool = True,
 ) -> tuple[int, list[int]]:
     net = partition.net
     n = net.num_vertices
@@ -195,6 +205,10 @@ def _sweep(
 
         # ---- apply the best move (UpdateMembers kernel) ------------------
         if best_m != cur and best_dl < -MIN_IMPROVEMENT:
+            if not apply:
+                moves += 1
+                moved.append(v)
+                continue
             partition.apply_move(
                 v,
                 best_m,

@@ -142,6 +142,7 @@ def run_infomap(
     worklist: bool = True,
     accumulator_kwargs: dict | None = None,
     engine: str = "sequential",
+    workers: int | None = None,
 ):
     """Run multilevel Infomap on ``graph`` — the single engine entry point.
 
@@ -156,14 +157,26 @@ def run_infomap(
         returns a :class:`~repro.core.vectorized.VectorizedResult` — no
         hardware accounting, but 1–2 orders of magnitude faster wall
         clock, which is what the CLI and harness want on large graphs.
-        Both engines minimize the same map equation; partitions can
-        differ slightly because move schedules differ.
+        ``"multicore"`` runs the HyPC-Map-style engine on ``workers``
+        *simulated* cores with per-core hardware accounting
+        (:func:`repro.core.multicore.run_infomap_multicore`, a
+        :class:`~repro.core.multicore.MulticoreResult`).  ``"parallel"``
+        runs the same barrier-synchronous schedule on ``workers`` *real*
+        worker processes over shared memory
+        (:func:`repro.core.parallel.run_infomap_parallel`, a
+        :class:`~repro.core.parallel.ParallelResult`) — bit-identical
+        partitions to ``multicore`` at equal worker count and seed.
+        All engines minimize the same map equation; partitions can
+        differ slightly across *schedules* (sequential vs batched).
+    workers:
+        Core/worker count for the ``multicore`` and ``parallel`` engines
+        (default 2).  Rejected for the single-core engines.
     backend:
         ``"plain"`` (uninstrumented dict), ``"softhash"`` (the paper's
-        Baseline), or ``"asa"``.  Sequential engine only: the vectorized
-        engine performs the paper's hash accumulation as whole-sweep
-        numpy segment sums instead of per-vertex
-        :class:`~repro.accum.base.Accumulator` calls.
+        Baseline), or ``"asa"``.  Instrumented engines (``sequential``,
+        ``multicore``) only: the batched engines perform the paper's
+        hash accumulation as whole-sweep numpy segment sums instead of
+        per-vertex :class:`~repro.accum.base.Accumulator` calls.
     machine:
         Machine configuration; defaults to the Table II Baseline machine
         (ASA-augmented when ``backend == "asa"``).
@@ -172,8 +185,9 @@ def run_infomap(
         core); created internally by default.
     shuffle_seed:
         When given, vertices are visited in a seeded random order per pass
-        instead of natural order.  For the vectorized engine this seeds
-        the conflict-backoff RNG.
+        instead of natural order.  For the batch-synchronous engines
+        (``vectorized``, ``multicore``, ``parallel``) this seeds the
+        conflict-backoff RNG instead.
     worklist:
         HyPC-Map's active-set optimization: after the first pass, only
         vertices adjacent to a move are revisited.  Successive iterations
@@ -182,11 +196,15 @@ def run_infomap(
 
     Returns
     -------
-    InfomapResult | VectorizedResult
-        Per the ``engine`` choice; both expose ``modules``,
-        ``num_modules``, ``codelength``, ``one_level_codelength``,
-        ``levels``, ``telemetry``, and ``summary()``.
+    InfomapResult | VectorizedResult | MulticoreResult | ParallelResult
+        Per the ``engine`` choice; all expose ``modules``,
+        ``num_modules``, ``codelength``, and ``telemetry``.
     """
+    if workers is not None and engine not in ("multicore", "parallel"):
+        raise ValueError(
+            f"workers= applies to the 'multicore' and 'parallel' engines, "
+            f"not {engine!r}"
+        )
     if engine == "vectorized":
         from repro.core.vectorized import run_infomap_vectorized
 
@@ -196,9 +214,34 @@ def run_infomap(
             max_levels=max_levels,
             seed=shuffle_seed if shuffle_seed is not None else 0,
         )
+    if engine == "multicore":
+        from repro.core.multicore import run_infomap_multicore
+
+        return run_infomap_multicore(
+            graph,
+            num_cores=workers if workers is not None else 2,
+            backend=backend if backend != "plain" else "softhash",
+            machine=machine,
+            tau=tau,
+            max_levels=max_levels,
+            max_passes_per_level=max_passes_per_level,
+            seed=shuffle_seed if shuffle_seed is not None else 0,
+        )
+    if engine == "parallel":
+        from repro.core.parallel import run_infomap_parallel
+
+        return run_infomap_parallel(
+            graph,
+            workers=workers if workers is not None else 2,
+            tau=tau,
+            max_levels=max_levels,
+            max_passes_per_level=max_passes_per_level,
+            seed=shuffle_seed if shuffle_seed is not None else 0,
+        )
     if engine != "sequential":
         raise ValueError(
-            f"unknown engine {engine!r}: choose 'sequential' or 'vectorized'"
+            f"unknown engine {engine!r}: choose 'sequential', 'vectorized', "
+            f"'multicore', or 'parallel'"
         )
     with trace_span("infomap.run", engine="sequential", backend=backend):
         return _run_infomap(

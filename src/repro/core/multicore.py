@@ -1,54 +1,62 @@
 """Simulated multicore (HyPC-Map-style) Infomap engine.
 
 HyPC-Map partitions vertices across OpenMP threads; each thread greedily
-moves its own vertices while reading the shared (relaxed-consistency)
-module assignment, with a barrier per pass.  This engine reproduces that
-execution model on ``P`` simulated cores:
+moves its own vertices while reading the shared module assignment, with a
+barrier per pass.  This engine reproduces that execution model on ``P``
+simulated cores by running the shared barrier-synchronous schedule of
+:mod:`repro.core.bsp`:
 
 * vertices are partitioned into ``P`` contiguous blocks balanced by arc
   count (HyPC-Map's static edge-balanced distribution);
-* within a pass, cores process their blocks in interleaved chunks so the
-  relaxed sharing of module state matches a concurrent schedule while
-  staying deterministic;
+* per round, each core *proposes* the best move of every vertex in its
+  shard against the round-start snapshot; the driver *commits* the merged
+  proposal set deterministically behind the barrier (the same propose /
+  commit cycle the real process-parallel engine runs, which is why
+  ``multicore(P=k)`` and ``parallel(P=k)`` are bit-identical at equal
+  seeds — see ``core/bsp.py``);
 * each core owns a :class:`~repro.sim.context.HardwareContext` (private
   L1/L2, shared L3 in detailed mode) and — for the ASA backend — its own
-  CAM ("each thread has its own core-local CAM", Section III-A);
+  CAM ("each thread has its own core-local CAM", Section III-A).  The
+  paper's hardware counters come from an *accounting sweep*: per pass,
+  each core replays its shard through the instrumented per-vertex kernel
+  (:func:`~repro.core.findbest.find_best_pass` in propose-only mode)
+  against the pass-start partition, charging hash/gather/calc work to the
+  per-core counters exactly as the sequential engine would, while the
+  authoritative proposals come from the batched sweep;
 * the pass's parallel time is the *maximum* over cores of the cycles that
-  core spent, plus a barrier cost; per-core metrics (Figs 9–11) come from
-  the per-core counters.
+  core spent, plus a barrier cost per commit round; per-core metrics
+  (Figs 9–11) come from the per-core counters.
 
 PageRank, Convert2SuperNode, and UpdateMembers are parallelized in
-HyPC-Map as well; their (bulk-counted) work is split evenly across cores.
+HyPC-Map as well; their (bulk-counted) work is split evenly across cores,
+except move application (UpdateMembers), which is charged to the core
+that owns each applied vertex.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.accum.factory import make_accumulator
+from repro.core.bsp import ProposeBackend, run_bsp_infomap
 from repro.core.findbest import find_best_pass
 from repro.core.flow import FlowNetwork
 from repro.core.infomap import IterationRecord, _charge_pagerank
-from repro.core.mapequation import MapEquation
 from repro.core.partition import Partition
 from repro.core.supernode import convert_to_supernodes
 from repro.core.update import update_members
+from repro.core.vectorized import Workspace
 from repro.graph.csr import CSRGraph
 from repro.obs import spans as obs_spans
 from repro.obs.logging import get_logger
 from repro.obs.spans import trace_span
-from repro.obs.telemetry import (
-    ConvergenceTelemetry,
-    TelemetryRecorder,
-    publish_run_metrics,
-)
+from repro.obs.telemetry import ConvergenceTelemetry, TelemetryRecorder
 from repro.sim.cache import SetAssociativeCache
 from repro.sim.context import HardwareContext
 from repro.sim.costmodel import CycleModel
-from repro.sim.counters import Counters, KernelStats
+from repro.sim.counters import KernelStats
 from repro.sim.machine import MachineConfig, asa_machine, baseline_machine
 
 log = get_logger("core.multicore")
@@ -125,25 +133,6 @@ class MulticoreResult:
         return float(np.mean(vals))
 
 
-def _edge_balanced_blocks(
-    net: FlowNetwork, num_cores: int
-) -> list[np.ndarray]:
-    """Split vertices into contiguous blocks with ~equal arc counts."""
-    arcs = np.diff(net.indptr)
-    cum = np.cumsum(arcs)
-    total = cum[-1] if len(cum) else 0
-    bounds = [0]
-    for p in range(1, num_cores):
-        target = total * p / num_cores
-        bounds.append(int(np.searchsorted(cum, target)))
-    bounds.append(net.num_vertices)
-    blocks = []
-    for p in range(num_cores):
-        lo, hi = bounds[p], max(bounds[p], bounds[p + 1])
-        blocks.append(np.arange(lo, hi, dtype=np.int64))
-    return blocks
-
-
 def _distribute(stats_list: list[KernelStats], temp: KernelStats) -> None:
     """Add an even share of ``temp``'s counters to every core's stats."""
     p = len(stats_list)
@@ -151,6 +140,145 @@ def _distribute(stats_list: list[KernelStats], temp: KernelStats) -> None:
         share = c.scaled(1.0 / p)
         for ks in stats_list:
             ks.components()[name].add(share)
+
+
+class _SimulatedCores(ProposeBackend):
+    """BSP backend: in-process propose + per-core hardware accounting."""
+
+    engine = "multicore"
+
+    def __init__(
+        self, num_cores: int, backend: str, machine: MachineConfig
+    ) -> None:
+        self.num_cores = num_cores
+        self.backend = backend
+        self.machine = machine
+        shared_l3 = (
+            SetAssociativeCache(machine.l3)
+            if machine.fidelity == "detailed"
+            else None
+        )
+        self.ctxs = [
+            HardwareContext(machine, core_id=p, shared_l3=shared_l3)
+            for p in range(num_cores)
+        ]
+        self.stats = [KernelStats() for _ in range(num_cores)]
+        self.accumulators = [
+            make_accumulator(
+                backend, self.ctxs[p], self.stats[p].findbest_hash,
+                self.stats[p].findbest_overflow,
+            )
+            for p in range(num_cores)
+        ]
+        self._cm = CycleModel(machine)
+        self._barrier_s = machine.barrier_cycles / machine.freq_hz
+        self._temp_ctx = HardwareContext(machine, core_id=num_cores)
+        self.net: FlowNetwork | None = None
+        self.ws: Workspace | None = None
+        self._block_bounds: np.ndarray | None = None
+        self._acct: Partition | None = None
+        self._pass_before: list[float] = []
+
+    # ------------------------------------------------------------ hooks
+    def on_flow(self, net: FlowNetwork) -> None:
+        # parallel PageRank: each core does 1/P of the work
+        temp_stats = KernelStats()
+        _charge_pagerank(self._temp_ctx, temp_stats, net)
+        _distribute(self.stats, temp_stats)
+
+    def begin_level(self, net, level, blocks, ws) -> None:
+        self.net = net
+        self.ws = ws
+        # right edge (exclusive) of each core's contiguous vertex block,
+        # for attributing committed moves to their owning core
+        bounds = []
+        prev = 0
+        for b in blocks:
+            if len(b):
+                prev = int(b[-1]) + 1
+            bounds.append(prev)
+        self._block_bounds = np.array(bounds, dtype=np.int64)
+
+    def begin_pass(self, module: np.ndarray) -> None:
+        # pass-start snapshot the accounting sweeps replay against
+        self._acct = Partition.from_assignment(self.net, module)
+        self._pass_before = [
+            self._cm.cycles(s.findbest).seconds for s in self.stats
+        ]
+
+    def propose(self, shards, module, enter, exit_, flow):
+        tracing = obs_spans.is_enabled()
+        verts_parts: list[np.ndarray] = []
+        targ_parts: list[np.ndarray] = []
+        for p, shard in shards:
+            if len(shard) == 0:
+                continue
+            if tracing:
+                # attribute this shard's spans to simulated core p
+                obs_spans.set_current_core(p)
+            # instrumented replay: charges this core's hash/gather/calc
+            # counters for sweeping its shard (moves are proposed by the
+            # batched sweep below, so the replay applies nothing)
+            find_best_pass(
+                self._acct, self.accumulators[p], self.ctxs[p],
+                self.stats[p], order=shard, apply=False,
+            )
+            v, t, _ = self.ws.best_moves(module, enter, exit_, flow, verts=shard)
+            verts_parts.append(v)
+            targ_parts.append(t)
+        if tracing:
+            obs_spans.set_current_core(0)
+        if not verts_parts:
+            return np.empty(0, np.int64), np.empty(0, np.int64)
+        return np.concatenate(verts_parts), np.concatenate(targ_parts)
+
+    def end_pass(self, rounds: int) -> float:
+        after = [self._cm.cycles(s.findbest).seconds for s in self.stats]
+        core_secs = [a - b for a, b in zip(after, self._pass_before)]
+        return max(core_secs) + self._barrier_s * max(1, rounds)
+
+    def on_commit(self, applied: np.ndarray) -> None:
+        # UpdateMembers: each applied move is charged to its owning core
+        counts = np.bincount(
+            np.searchsorted(self._block_bounds, applied, side="right"),
+            minlength=self.num_cores,
+        )
+        n = self.net.num_vertices
+        for p in range(self.num_cores):
+            cnt = int(counts[p])
+            if cnt == 0:
+                continue
+            ctx, stats = self.ctxs[p], self.stats[p]
+            kc = ctx.machine.kernel
+            ctx.use(stats.update_members)
+            ctx.instr(
+                int_alu=kc.update_int_alu * cnt,
+                load=kc.update_load * cnt,
+                store=kc.update_store * cnt,
+            )
+            ctx.mem_agg(cnt, footprint_bytes=n * ctx.layout.node_bytes)
+
+    def on_update_members(self, mapping, dense):
+        temp_stats = KernelStats()
+        mapping = update_members(mapping, dense, self._temp_ctx, temp_stats)
+        _distribute(self.stats, temp_stats)
+        return mapping
+
+    def coarsen(self, net, dense, k, ws):
+        temp_stats = KernelStats()
+        out = convert_to_supernodes(net, dense, k, self._temp_ctx, temp_stats)
+        _distribute(self.stats, temp_stats)
+        return out
+
+    def metrics_kwargs(self) -> dict:
+        return {
+            "overflow_evictions": sum(
+                getattr(a, "total_evictions", 0) for a in self.accumulators
+            ),
+            "rehashes": sum(
+                getattr(a, "total_rehashes", 0) for a in self.accumulators
+            ),
+        }
 
 
 def run_infomap_multicore(
@@ -161,213 +289,75 @@ def run_infomap_multicore(
     tau: float = 0.15,
     max_levels: int = 20,
     max_passes_per_level: int = 10,
-    chunk: int = 64,
+    chunk: int | None = None,
+    seed: int = 0,
 ) -> MulticoreResult:
     """Run Infomap on ``num_cores`` simulated cores.
 
-    ``chunk`` is the interleaving granularity: cores take turns processing
-    ``chunk`` vertices of their block, emulating a concurrent schedule
-    deterministically.
+    Parameters
+    ----------
+    chunk:
+        Round granularity of the shared BSP schedule: each commit round
+        covers the next ``chunk`` vertices of every core's shard.
+        ``None`` (default) processes whole shards per round — one barrier
+        per pass.  Smaller chunks emulate a finer-grained concurrent
+        interleaving at a higher (simulated) barrier cost.
+    seed:
+        Seeds the commit's conflict-backoff RNG.  ``multicore(P=k)`` and
+        ``parallel(P=k)`` are bit-identical at equal ``seed``/``chunk``.
     """
     if num_cores < 1:
         raise ValueError("num_cores must be >= 1")
     if machine is None:
         machine = asa_machine() if backend == "asa" else baseline_machine()
 
-    with trace_span(
-        "infomap.run", engine="multicore", backend=backend, cores=num_cores
-    ):
-        return _run_multicore(
-            graph, num_cores, backend, machine, tau, max_levels,
-            max_passes_per_level, chunk,
-        )
-
-
-def _run_multicore(
-    graph: CSRGraph,
-    num_cores: int,
-    backend: str,
-    machine: MachineConfig,
-    tau: float,
-    max_levels: int,
-    max_passes_per_level: int,
-    chunk: int,
-) -> MulticoreResult:
+    sim = _SimulatedCores(num_cores, backend, machine)
     recorder = TelemetryRecorder(
         "multicore", backend=backend, num_cores=num_cores
     )
-    shared_l3 = (
-        SetAssociativeCache(machine.l3) if machine.fidelity == "detailed" else None
-    )
-    ctxs = [
-        HardwareContext(machine, core_id=p, shared_l3=shared_l3)
-        for p in range(num_cores)
-    ]
-    stats_list = [KernelStats() for _ in range(num_cores)]
-
-    with trace_span("pagerank", vertices=graph.num_vertices), \
-            recorder.kernel("pagerank"):
-        net = FlowNetwork.from_graph(graph, tau=tau)
-
-        # parallel PageRank: each core does 1/P of the work
-        temp_ctx = HardwareContext(machine, core_id=num_cores)
-        temp_stats = KernelStats()
-        _charge_pagerank(temp_ctx, temp_stats, net)
-        _distribute(stats_list, temp_stats)
-
-    accumulators = [
-        make_accumulator(
-            backend, ctxs[p], stats_list[p].findbest_hash,
-            stats_list[p].findbest_overflow,
+    with trace_span(
+        "infomap.run", engine="multicore", backend=backend, cores=num_cores
+    ):
+        outcome = run_bsp_infomap(
+            graph,
+            sim,
+            num_cores,
+            seed=seed,
+            tau=tau,
+            max_levels=max_levels,
+            max_passes_per_level=max_passes_per_level,
+            chunk=chunk,
+            recorder=recorder,
         )
-        for p in range(num_cores)
-    ]
 
-    cm = CycleModel(machine)
-    n0 = graph.num_vertices
-    mapping = np.arange(n0, dtype=np.int64)
-    node_flow_log0 = -MapEquation.one_level_codelength(net.node_flow)
-    iterations: list[IterationRecord] = []
-    pass_seconds: list[float] = []
-    levels = 0
-    iteration_no = 0
-    partition = Partition(net)
-
-    converged = False
-    for level in range(max_levels):
-        levels = level + 1
-        partition = Partition(net)
-        recorder.begin_level(level, net.num_vertices)
-        blocks = _edge_balanced_blocks(net, num_cores)
-        active_sets: list[np.ndarray | None] = [None] * num_cores
-        for pass_idx in range(max_passes_per_level):
-            before = [cm.cycles(s.findbest).seconds for s in stats_list]
-            wall0 = time.perf_counter()
-            tracing = obs_spans.is_enabled()
-            moves = 0
-            all_moved: list[int] = []
-            # interleaved chunks: deterministic emulation of concurrency
-            core_orders = [
-                blocks[p] if active_sets[p] is None else active_sets[p]
-                for p in range(num_cores)
-            ]
-            offsets = [0] * num_cores
-            running = True
-            while running:
-                running = False
-                for p in range(num_cores):
-                    block = core_orders[p]
-                    lo = offsets[p]
-                    if lo >= len(block):
-                        continue
-                    hi = min(lo + chunk, len(block))
-                    offsets[p] = hi
-                    running = True
-                    if tracing:
-                        # attribute this chunk's spans to simulated core p
-                        obs_spans.set_current_core(p)
-                    m, moved = find_best_pass(
-                        partition,
-                        accumulators[p],
-                        ctxs[p],
-                        stats_list[p],
-                        order=block[lo:hi],
-                    )
-                    moves += m
-                    all_moved.extend(moved)
-            if tracing:
-                obs_spans.set_current_core(0)
-            wall = time.perf_counter() - wall0
-            after = [cm.cycles(s.findbest).seconds for s in stats_list]
-            core_secs = [a - b for a, b in zip(after, before)]
-            barrier_s = machine.barrier_cycles / machine.freq_hz
-            pass_s = max(core_secs) + barrier_s
-            pass_seconds.append(pass_s)
-            codelength = partition.flat_codelength(node_flow_log0)
-            recorder.record_kernel("findbest", wall)
-            recorder.record_pass(
-                level=level,
-                pass_in_level=pass_idx,
-                active_vertices=sum(len(o) for o in core_orders),
-                moves=moves,
-                num_modules=partition.num_modules,
-                codelength=codelength,
-                wall_seconds=wall,
-            )
-            iteration_no += 1
-            iterations.append(
-                IterationRecord(
-                    iteration=iteration_no,
-                    level=level,
-                    pass_in_level=pass_idx,
-                    nodes=net.num_vertices,
-                    moves=moves,
-                    codelength=codelength,
-                    seconds=pass_s,
-                )
-            )
-            if moves == 0:
-                break
-            # worklist: each core revisits its block's share of the active set
-            from repro.core.infomap import _active_set
-
-            active = _active_set(net, all_moved)
-            for p in range(num_cores):
-                block = blocks[p]
-                if len(block):
-                    lo, hi = block[0], block[-1]
-                    active_sets[p] = active[(active >= lo) & (active <= hi)]
-                else:
-                    active_sets[p] = np.empty(0, dtype=np.int64)
-
-        dense, k = partition.dense_assignment()
-        recorder.end_level(k, partition.flat_codelength(node_flow_log0))
-        log.debug(
-            "level %d (%d cores): %d -> %d modules",
-            level, num_cores, net.num_vertices, k,
+    iterations = [
+        IterationRecord(
+            iteration=i + 1,
+            level=p.level,
+            pass_in_level=p.pass_in_level,
+            nodes=p.vertices,
+            moves=p.applied,
+            codelength=p.codelength,
+            seconds=p.seconds,
         )
-        if k == net.num_vertices:
-            converged = True
-            break
-        temp_stats = KernelStats()
-        with trace_span("updatemembers", level=level), \
-                recorder.kernel("updatemembers"):
-            mapping = update_members(mapping, dense, temp_ctx, temp_stats)
-        with trace_span("convert2supernode", level=level, modules=k), \
-                recorder.kernel("convert2supernode"):
-            net = convert_to_supernodes(net, dense, k, temp_ctx, temp_stats)
-        _distribute(stats_list, temp_stats)
-
-    level_dense, _ = partition.dense_assignment()
-    final = level_dense[mapping]
-    uniq, final_dense = np.unique(final, return_inverse=True)
+        for i, p in enumerate(outcome.passes)
+    ]
     overflowed = sum(
-        getattr(acc, "overflowed_vertices", 0) for acc in accumulators
+        getattr(a, "overflowed_vertices", 0) for a in sim.accumulators
     )
-
-    telemetry = recorder.finish(converged)
-    publish_run_metrics(
-        telemetry,
-        overflow_evictions=sum(
-            getattr(acc, "total_evictions", 0) for acc in accumulators
-        ),
-        rehashes=sum(
-            getattr(acc, "total_rehashes", 0) for acc in accumulators
-        ),
-    )
-    log.debug("run done: %s", telemetry.summary())
+    log.debug("run done: %s", outcome.telemetry.summary())
 
     return MulticoreResult(
-        modules=final_dense.astype(np.int64),
-        num_modules=len(uniq),
-        codelength=partition.flat_codelength(node_flow_log0),
-        levels=levels,
+        modules=outcome.modules,
+        num_modules=outcome.num_modules,
+        codelength=outcome.codelength,
+        levels=outcome.levels,
         iterations=iterations,
-        per_core_stats=stats_list,
+        per_core_stats=sim.stats,
         machine=machine,
         backend=backend,
         num_cores=num_cores,
-        pass_seconds=pass_seconds,
+        pass_seconds=[p.seconds for p in outcome.passes],
         overflowed_vertices=overflowed,
-        telemetry=telemetry,
+        telemetry=outcome.telemetry,
     )

@@ -1,0 +1,441 @@
+"""Real process-parallel Infomap engine (multiprocessing + shared memory).
+
+The repo's first engine that uses more than one OS core.  It runs the
+exact barrier-synchronous schedule of :mod:`repro.core.bsp` — the one the
+simulated multicore engine runs — but executes each core's propose step
+on a real worker process:
+
+* ``P`` persistent workers are forked once per run and fed over duplex
+  pipes; no pool re-spawn per sweep;
+* the level's CSR flow network and the round-start module state live in
+  one :class:`multiprocessing.shared_memory.SharedMemory` arena — workers
+  map them as zero-copy numpy views, so the only per-round traffic is the
+  shard's vertex ids out and the proposed ``(vertices, targets)`` back;
+* each worker binds its own batched
+  :class:`~repro.core.vectorized.Workspace` to the shared arrays and runs
+  the shard-restricted sweep
+  (:meth:`~repro.core.vectorized.Workspace.best_moves` with ``verts=``);
+* the master gathers proposals in fixed worker order and commits them
+  with the shared deterministic merge (:func:`repro.core.bsp.commit_proposals`).
+
+Because propose is a pure deterministic function of the snapshot and the
+merge is driver-side, ``parallel(P=k)`` is **bit-identical** to
+``multicore(P=k)`` at the same seed/chunk — the conformance suite pins
+this.  Observability: each worker reports its sweep wall time per round;
+the master records one ``parallel.propose`` span per worker per round
+with ``core=worker_id``, so the trace viewer shows one track per real
+worker.
+
+The start method defaults to ``fork`` where available (cheapest; workers
+inherit the interpreter state) and can be overridden with the
+``REPRO_MP_START`` environment variable (``fork`` | ``spawn`` |
+``forkserver``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+
+import multiprocessing as mp
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.core.bsp import BSPPassRecord, ProposeBackend, run_bsp_infomap
+from repro.core.flow import FlowNetwork
+from repro.core.vectorized import Workspace
+from repro.graph.csr import CSRGraph
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import get_logger
+from repro.obs.spans import record_span, trace_span
+from repro.obs.telemetry import ConvergenceTelemetry, TelemetryRecorder
+
+log = get_logger("core.parallel")
+
+__all__ = ["run_infomap_parallel", "ParallelResult"]
+
+
+@dataclass
+class ParallelResult:
+    """Outcome of a real ``P``-worker run."""
+
+    modules: np.ndarray
+    num_modules: int
+    codelength: float
+    one_level_codelength: float
+    levels: int
+    num_workers: int
+    passes: list[BSPPassRecord]
+    #: total worker-side sweep wall seconds, per worker
+    worker_propose_seconds: list[float] = field(default_factory=list)
+    #: total master-side propose wall (dispatch -> all gathered), all rounds
+    propose_seconds: float = 0.0
+    #: total shard vertices dispatched to workers, all rounds
+    proposed_vertices: int = 0
+    #: measured-wall-time convergence record (see repro.obs.telemetry)
+    telemetry: ConvergenceTelemetry | None = None
+
+    @property
+    def sweep_throughput(self) -> float:
+        """Shard vertices proposed per master-side propose second.
+
+        The quantity ``benchmarks/bench_parallel_scaling.py`` gates: it
+        captures exactly the work the workers parallelize (the sweeps),
+        excluding the serial commit/merge.
+        """
+        if self.propose_seconds <= 0:
+            return 0.0
+        return self.proposed_vertices / self.propose_seconds
+
+    def summary(self) -> str:
+        return (
+            f"ParallelResult({self.num_workers} workers: "
+            f"{self.num_modules} modules, L={self.codelength:.4f} bits, "
+            f"{self.levels} levels, {len(self.passes)} passes, "
+            f"{self.sweep_throughput:,.0f} sweep verts/s)"
+        )
+
+
+# --------------------------------------------------------------- shm arena
+
+def _layout(
+    fields: list[tuple[str, tuple[int, ...], np.dtype]]
+) -> tuple[dict[str, tuple[int, tuple[int, ...], str]], int]:
+    """8-byte-aligned offsets for the arena's arrays."""
+    descr: dict[str, tuple[int, tuple[int, ...], str]] = {}
+    off = 0
+    for name, shape, dtype in fields:
+        dtype = np.dtype(dtype)
+        off = (off + 7) & ~7
+        descr[name] = (off, shape, dtype.str)
+        off += int(np.prod(shape)) * dtype.itemsize
+    return descr, max(off, 1)
+
+
+def _views(
+    buf, descr: dict[str, tuple[int, tuple[int, ...], str]]
+) -> dict[str, np.ndarray]:
+    return {
+        name: np.ndarray(shape, dtype=np.dtype(ds), buffer=buf, offset=off)
+        for name, (off, shape, ds) in descr.items()
+    }
+
+
+def _net_fields(net: FlowNetwork) -> list[tuple[str, tuple[int, ...], np.dtype]]:
+    n, e = net.num_vertices, net.num_arcs
+    fields = [
+        ("indptr", (n + 1,), np.int64),
+        ("indices", (e,), np.int64),
+        ("arc_flow", (e,), np.float64),
+        ("node_flow", (n,), np.float64),
+        ("node_out", (n,), np.float64),
+        ("node_in", (n,), np.float64),
+        # round-start snapshot state, rewritten by the master per round
+        ("module", (n,), np.int64),
+        ("enter", (n,), np.float64),
+        ("exit", (n,), np.float64),
+        ("flow", (n,), np.float64),
+    ]
+    if net.directed:
+        te = len(net.t_indices)
+        fields += [
+            ("t_indptr", (n + 1,), np.int64),
+            ("t_indices", (te,), np.int64),
+            ("t_arc_flow", (te,), np.float64),
+        ]
+    return fields
+
+
+def _net_from_views(views: dict[str, np.ndarray], directed: bool) -> FlowNetwork:
+    if directed:
+        t_indptr = views["t_indptr"]
+        t_indices = views["t_indices"]
+        t_arc_flow = views["t_arc_flow"]
+    else:
+        t_indptr = views["indptr"]
+        t_indices = views["indices"]
+        t_arc_flow = views["arc_flow"]
+    return FlowNetwork(
+        indptr=views["indptr"],
+        indices=views["indices"],
+        arc_flow=views["arc_flow"],
+        t_indptr=t_indptr,
+        t_indices=t_indices,
+        t_arc_flow=t_arc_flow,
+        node_flow=views["node_flow"],
+        directed=directed,
+        node_out=views["node_out"],
+        node_in=views["node_in"],
+    )
+
+
+# ------------------------------------------------------------ worker side
+
+def _disable_shm_tracking() -> None:
+    """Stop this process's resource tracker from claiming attached segments.
+
+    Workers only ever *attach* to arenas the master owns (and unlinks);
+    letting the shared resource tracker also register them produces
+    double-unregister noise at exit (and, under ``spawn``, spurious
+    leaked-segment warnings).  Python 3.13 has ``track=False`` for this;
+    we support 3.10+ so we patch the register call instead.
+    """
+    from multiprocessing import resource_tracker
+
+    orig = resource_tracker.register
+
+    def register(name: str, rtype: str) -> None:
+        if rtype == "shared_memory":
+            return
+        orig(name, rtype)
+
+    resource_tracker.register = register
+
+
+def _worker_main(conn, worker_id: int) -> None:
+    """Persistent worker loop: bind arenas, answer propose rounds."""
+    _disable_shm_tracking()
+    shm: shared_memory.SharedMemory | None = None
+    views: dict[str, np.ndarray] = {}
+    ws = Workspace()
+    net: FlowNetwork | None = None
+    try:
+        while True:
+            msg = conn.recv()
+            kind = msg[0]
+            if kind == "bind":
+                _, shm_name, descr, directed = msg
+                new = shared_memory.SharedMemory(name=shm_name)
+                old_shm, shm = shm, new
+                views = _views(shm.buf, descr)
+                net = _net_from_views(views, directed)
+                ws.bind(net)
+                conn.send(("bound", worker_id))
+                if old_shm is not None:
+                    old_shm.close()
+            elif kind == "round":
+                verts = msg[1]
+                t0 = time.perf_counter()
+                v, t, _ = ws.best_moves(
+                    views["module"], views["enter"], views["exit"],
+                    views["flow"], verts=verts,
+                )
+                conn.send((v, t, time.perf_counter() - t0))
+            elif kind == "close":
+                break
+    except EOFError:
+        pass
+    except Exception:
+        try:
+            conn.send(("error", worker_id, traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        views.clear()
+        ws = net = None
+        if shm is not None:
+            shm.close()
+        conn.close()
+
+
+# ------------------------------------------------------------ master side
+
+def _start_method() -> str:
+    env = os.environ.get("REPRO_MP_START")
+    if env:
+        return env
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+class _WorkerPool(ProposeBackend):
+    """BSP backend that ships propose to real worker processes."""
+
+    engine = "parallel"
+
+    def __init__(self, workers: int, start_method: str | None = None) -> None:
+        self.workers = workers
+        ctx = mp.get_context(start_method or _start_method())
+        self._conns = []
+        self._procs = []
+        for p in range(workers):
+            parent, child = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_worker_main, args=(child, p), daemon=True,
+                name=f"repro-worker-{p}",
+            )
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+        self._shm: shared_memory.SharedMemory | None = None
+        self._state: dict[str, np.ndarray] = {}
+        self.worker_propose_seconds = [0.0] * workers
+        self.propose_seconds = 0.0
+        self.proposed_vertices = 0
+
+    # ------------------------------------------------------------ hooks
+    def begin_level(self, net, level, blocks, ws) -> None:
+        fields = _net_fields(net)
+        descr, size = _layout(fields)
+        new = shared_memory.SharedMemory(create=True, size=size)
+        views = _views(new.buf, descr)
+        for name in views:
+            if name in ("module", "enter", "exit", "flow"):
+                continue
+            views[name][:] = getattr(net, name)
+        for conn in self._conns:
+            conn.send(("bind", new.name, descr, net.directed))
+        for p in range(self.workers):
+            self._recv(p)  # "bound" acks (workers have dropped the old arena)
+        old, self._shm = self._shm, new
+        self._state = views
+        if old is not None:
+            old.close()
+            old.unlink()
+
+    def propose(self, shards, module, enter, exit_, flow):
+        st = self._state
+        st["module"][:] = module
+        st["enter"][:] = enter
+        st["exit"][:] = exit_
+        st["flow"][:] = flow
+        t0 = time.perf_counter()
+        dispatched = []
+        for p, shard in shards:
+            if len(shard) == 0:
+                continue
+            self._conns[p].send(("round", shard))
+            dispatched.append((p, len(shard)))
+        verts_parts: list[np.ndarray] = []
+        targ_parts: list[np.ndarray] = []
+        for p, nverts in dispatched:
+            v, t, worker_wall = self._recv(p)
+            self.worker_propose_seconds[p] += worker_wall
+            record_span(
+                "parallel.propose", worker_wall, core=p,
+                worker=p, verts=nverts, proposals=len(v),
+            )
+            verts_parts.append(v)
+            targ_parts.append(t)
+        self.propose_seconds += time.perf_counter() - t0
+        self.proposed_vertices += sum(nv for _, nv in dispatched)
+        if not verts_parts:
+            return np.empty(0, np.int64), np.empty(0, np.int64)
+        return np.concatenate(verts_parts), np.concatenate(targ_parts)
+
+    def _recv(self, p: int):
+        try:
+            msg = self._conns[p].recv()
+        except EOFError:
+            raise RuntimeError(
+                f"parallel worker {p} exited unexpectedly "
+                f"(exitcode={self._procs[p].exitcode})"
+            ) from None
+        if isinstance(msg[0], str) and msg[0] == "error":
+            raise RuntimeError(
+                f"parallel worker {msg[1]} failed:\n{msg[2]}"
+            )
+        return msg
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in self._conns:
+            conn.close()
+        self._state = {}
+        if self._shm is not None:
+            self._shm.close()
+            self._shm.unlink()
+            self._shm = None
+
+
+def run_infomap_parallel(
+    graph: CSRGraph,
+    workers: int = 2,
+    tau: float = 0.15,
+    max_levels: int = 20,
+    max_passes_per_level: int = 10,
+    seed: int = 0,
+    chunk: int | None = None,
+    start_method: str | None = None,
+) -> ParallelResult:
+    """Run Infomap with ``workers`` real worker processes.
+
+    Bit-identical to ``run_infomap_multicore(num_cores=workers)`` at
+    equal ``seed``/``chunk`` (both run the :mod:`repro.core.bsp`
+    schedule; only where the propose executes differs).  Deterministic
+    for a fixed seed and worker count.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes (each owns one shard of the vertices,
+        edge-balanced).  Must be >= 1; a single worker still runs in a
+        separate process.
+    seed:
+        Seeds the commit's conflict-backoff RNG.
+    chunk:
+        Round granularity (see :func:`repro.core.bsp.run_bsp_infomap`);
+        ``None`` — whole shards per round — keeps per-round IPC minimal
+        and is the default for both BSP engines.
+    start_method:
+        ``fork`` / ``spawn`` / ``forkserver``; defaults to ``fork`` where
+        available, overridable via ``REPRO_MP_START``.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+
+    pool = _WorkerPool(workers, start_method)
+    recorder = TelemetryRecorder("parallel", num_cores=workers)
+    try:
+        with trace_span("infomap.run", engine="parallel", workers=workers):
+            outcome = run_bsp_infomap(
+                graph,
+                pool,
+                workers,
+                seed=seed,
+                tau=tau,
+                max_levels=max_levels,
+                max_passes_per_level=max_passes_per_level,
+                chunk=chunk,
+                recorder=recorder,
+            )
+    finally:
+        pool.close()
+
+    if obs_metrics.is_enabled():
+        reg = obs_metrics.get_registry()
+        for p, s in enumerate(pool.worker_propose_seconds):
+            reg.gauge(
+                "parallel.worker_propose_seconds", engine="parallel", worker=p
+            ).set(s)
+        reg.gauge("parallel.workers", engine="parallel").set(workers)
+        reg.gauge("parallel.propose_seconds", engine="parallel").set(
+            pool.propose_seconds
+        )
+    log.debug("run done: %s", outcome.telemetry.summary())
+
+    return ParallelResult(
+        modules=outcome.modules,
+        num_modules=outcome.num_modules,
+        codelength=outcome.codelength,
+        one_level_codelength=outcome.one_level_codelength,
+        levels=outcome.levels,
+        num_workers=workers,
+        passes=outcome.passes,
+        worker_propose_seconds=pool.worker_propose_seconds,
+        propose_seconds=pool.propose_seconds,
+        proposed_vertices=pool.proposed_vertices,
+        telemetry=outcome.telemetry,
+    )

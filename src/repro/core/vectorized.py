@@ -213,6 +213,7 @@ class Workspace:
         enter: np.ndarray,
         exit_: np.ndarray,
         flow: np.ndarray,
+        verts: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Batched best-move search for every vertex (one sweep).
 
@@ -220,10 +221,42 @@ class Workspace:
         improving candidate — identical to the reference
         :func:`_best_moves` output, computed with the segment-sum
         formulation described in the module docstring.
+
+        When ``verts`` is given, only pairs whose source vertex is in
+        ``verts`` are evaluated — the shard-restricted sweep the
+        barrier-synchronous engines (``multicore``, ``parallel``) run per
+        core.  Per-vertex results are independent of the restriction
+        (grouping, segment sums, and the argmin are all per-vertex, and
+        the stable sort preserves relative pair order), so the restricted
+        sweep returns exactly the full sweep's rows filtered to ``verts``
+        — ``tests/test_engine_conformance.py`` pins this.
         """
         net = self.net
         n = self.n
-        pair_src, pair_dst = self.pair_src, self.pair_dst
+        if verts is None:
+            pair_src, pair_dst = self.pair_src, self.pair_dst
+            w_out_all, w_in_all = self.pair_w_out, self.pair_w_in
+        else:
+            flags = self._buf("bm_flags", n, bool)
+            flags.fill(False)
+            flags[verts] = True
+            sel_idx = np.flatnonzero(flags[self.pair_src])
+            m = len(sel_idx)
+            pair_src = np.take(
+                self.pair_src, sel_idx, out=self._buf("bm_ssrc", m, np.int64)
+            )
+            pair_dst = np.take(
+                self.pair_dst, sel_idx, out=self._buf("bm_sdst", m, np.int64)
+            )
+            w_out_all = np.take(
+                self.pair_w_out, sel_idx, out=self._buf("bm_swo", m)
+            )
+            if net.directed:
+                w_in_all = np.take(
+                    self.pair_w_in, sel_idx, out=self._buf("bm_swi", m)
+                )
+            else:
+                w_in_all = None
         P = len(pair_src)
         if P == 0:
             return _EMPTY_MOVES
@@ -243,12 +276,12 @@ class Workspace:
 
         # 3. segment sums: the sparse accumulation
         w_sorted = np.take(
-            self.pair_w_out, order, out=self._buf("bm_wo", P)
+            w_out_all, order, out=self._buf("bm_wo", P)
         )
         out_to = np.add.reduceat(w_sorted, starts)
         if net.directed:
             wi_sorted = np.take(
-                self.pair_w_in, order, out=self._buf("bm_wi", P)
+                w_in_all, order, out=self._buf("bm_wi", P)
             )
             in_from = np.add.reduceat(wi_sorted, starts)
         else:

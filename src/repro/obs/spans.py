@@ -41,6 +41,7 @@ from typing import Any
 
 __all__ = [
     "trace_span",
+    "record_span",
     "enable",
     "disable",
     "is_enabled",
@@ -195,6 +196,36 @@ def trace_span(name: str, **attrs: Any) -> "Span | _NoopSpan":
     if not _enabled:
         return NOOP_SPAN
     return Span(name, attrs)
+
+
+def record_span(
+    name: str, seconds: float, core: int | None = None, **attrs: Any
+) -> None:
+    """Record an already-finished span with an explicit duration.
+
+    For work that ran where ``trace_span`` could not wrap it — notably the
+    parallel engine's worker processes: each worker measures its sweep
+    wall time, the master records one span per worker per round, with
+    ``core`` carrying the worker id so every real worker gets its own
+    ``tid`` row in the trace viewer.  The span is placed on the timeline
+    ending *now* (the workers finished just before the master gathered
+    their results).  No-op when tracing is disabled.
+    """
+    if not _enabled:
+        return
+    end = time.perf_counter()
+    dur_us = max(0.0, float(seconds)) * 1e6
+    ev = SpanEvent(
+        name=name,
+        start_us=end * 1e6 - dur_us,
+        dur_us=dur_us,
+        self_us=dur_us,
+        core=_state.core if core is None else int(core),
+        depth=len(_state.stack),
+        args=attrs,
+    )
+    with _lock:
+        _events.append(ev)
 
 
 # ------------------------------------------------------------------ export

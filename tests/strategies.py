@@ -1,0 +1,50 @@
+"""Shared hypothesis strategies for the property-based suites.
+
+One home for the generators that were previously copy-pasted across
+``test_property_invariants.py``, ``test_csr.py``, and ``test_spgemm.py``:
+
+* :func:`edge_lists` — arbitrary small edge lists (duplicates and
+  self-loops included), the adversarial graph-construction input;
+* :data:`seeds` / :data:`small_seeds` — integer seeds for the seeded
+  generators (full-range for cheap properties, a small range where each
+  example runs a whole Infomap pipeline);
+* :data:`directedness` — the directed/undirected flag.
+
+Keep strategies *here* and tolerances/invariants in the tests: a strategy
+describes the input space, a test describes what must hold on it.  See
+``docs/testing.md`` for the guide.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+__all__ = ["edge_lists", "seeds", "small_seeds", "directedness"]
+
+
+def edge_lists(
+    max_vertex: int = 9, min_size: int = 1, max_size: int = 40
+) -> st.SearchStrategy[list[tuple[int, int]]]:
+    """Arbitrary ``(src, dst)`` edge lists over ``[0, max_vertex]``.
+
+    Deliberately adversarial for graph construction: duplicates merge
+    weights, self-loops survive the pipeline, isolated vertices appear
+    (the vertex count is fixed at ``max_vertex + 1`` by the caller).
+    """
+    return st.lists(
+        st.tuples(
+            st.integers(0, max_vertex), st.integers(0, max_vertex)
+        ),
+        min_size=min_size,
+        max_size=max_size,
+    )
+
+
+#: full-range seeds for seeded generators (cheap per-example properties)
+seeds = st.integers(0, 10**6)
+
+#: small seed range for properties whose examples run a full pipeline
+small_seeds = st.integers(0, 1000)
+
+#: directed / undirected construction flag
+directedness = st.booleans()

@@ -2,10 +2,12 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.graph.build import coalesce_arcs, from_edge_array, from_edges
 from repro.graph.csr import CSRGraph
+
+from tests.strategies import directedness, edge_lists
 
 
 def triangle():
@@ -139,14 +141,7 @@ class TestInvariants:
             )
 
     @settings(max_examples=30, deadline=None)
-    @given(
-        st.lists(
-            st.tuples(st.integers(0, 15), st.integers(0, 15)),
-            min_size=1,
-            max_size=60,
-        ),
-        st.booleans(),
-    )
+    @given(edge_lists(max_vertex=15, max_size=60), directedness)
     def test_property_construction_invariants(self, edges, directed):
         g = from_edges(edges, num_vertices=16, directed=directed)
         g.validate()

@@ -1,0 +1,302 @@
+"""Cross-engine conformance suite.
+
+The repo ships four Infomap engines that all minimize the same map
+equation over the same flow model:
+
+==============  =====================================================
+engine          schedule
+==============  =====================================================
+``sequential``  per-vertex greedy, immediate apply, hardware counters
+``vectorized``  batch-synchronous numpy sweep (single rank)
+``multicore``   BSP propose/commit on P *simulated* cores (counters)
+``parallel``    same BSP schedule on P *real* processes (shared mem)
+==============  =====================================================
+
+This suite pins the contract between them:
+
+* every engine's codelength agrees within a small factor on each graph
+  family (undirected / directed / weighted / pathological);
+* every engine recovers planted community structure (NMI / ARI floors);
+* ``parallel(P=k)`` is **bit-identical** to ``multicore(P=k)`` at the
+  same seed — the two backends share the driver in
+  :mod:`repro.core.bsp`, so any divergence is a real bug;
+* the shard-restricted sweep ``Workspace.best_moves(verts=...)`` equals
+  the full sweep filtered to the shard (the property the BSP engines'
+  correctness rests on);
+* every engine is deterministic at a fixed seed (hypothesis property).
+
+See ``docs/testing.md`` for how this matrix fits the wider test tiers.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.flow import FlowNetwork
+from repro.core.infomap import run_infomap
+from repro.core.multicore import run_infomap_multicore
+from repro.core.parallel import run_infomap_parallel
+from repro.core.vectorized import Workspace, run_infomap_vectorized
+from repro.graph.build import from_edge_array, from_edges
+from repro.graph.generators import planted_partition
+from repro.quality.ari import adjusted_rand_index
+from repro.quality.nmi import normalized_mutual_information
+
+from tests.strategies import small_seeds
+
+# ---------------------------------------------------------------------------
+# graph families
+
+
+def _undirected(seed):
+    return planted_partition(4, 20, 0.45, 0.02, seed=seed)
+
+
+def _directed(seed):
+    """Planted communities with every edge materialized as two arcs.
+
+    The flow solution matches the undirected family, but the run takes
+    the directed code path end to end (teleportation, separate in/out
+    CSR, transpose pair arrays in the vectorized sweep).
+    """
+    g, truth = planted_partition(4, 20, 0.45, 0.02, seed=seed)
+    src, dst, w = g.edge_array()
+    return (
+        from_edge_array(
+            np.concatenate([src, dst]),
+            np.concatenate([dst, src]),
+            np.concatenate([w, w]),
+            num_vertices=g.num_vertices,
+            directed=True,
+        ),
+        truth,
+    )
+
+
+def _weighted(seed):
+    """Planted communities where weights carry most of the signal:
+    intra-community edges weigh 4x inter-community ones."""
+    g, truth = planted_partition(4, 20, 0.40, 0.03, seed=seed)
+    src, dst, w = g.edge_array()
+    intra = truth[src] == truth[dst]
+    w = np.where(intra, 2.0, 0.5)
+    return (
+        from_edge_array(src, dst, w, num_vertices=g.num_vertices),
+        truth,
+    )
+
+
+def _pathological(seed):
+    """Self-loops, multi-edges, and isolated vertices around two small
+    communities.  No planted truth — only agreement is checked."""
+    rng = np.random.default_rng(seed)
+    edges = [(0, 0, 2.0), (5, 5, 1.0), (0, 1), (0, 1), (1, 2, 3.0)]
+    for block in (range(0, 6), range(6, 12)):
+        block = list(block)
+        for i in block:
+            for j in block:
+                if i < j and rng.random() < 0.8:
+                    edges.append((i, j))
+    edges.append((2, 8, 0.2))  # single weak bridge
+    return from_edges(edges, num_vertices=14), None  # 12..13 isolated
+
+
+FAMILIES = {
+    "undirected": _undirected,
+    "directed": _directed,
+    "weighted": _weighted,
+    "pathological": _pathological,
+}
+
+# ---------------------------------------------------------------------------
+# engines — uniform (graph, seed) -> result interface
+
+ENGINES = {
+    "sequential": lambda g, seed: run_infomap(
+        g, backend="softhash", shuffle_seed=seed
+    ),
+    "vectorized": lambda g, seed: run_infomap_vectorized(g, seed=seed),
+    "multicore": lambda g, seed: run_infomap_multicore(
+        g, num_cores=2, seed=seed
+    ),
+    "parallel": lambda g, seed: run_infomap_parallel(
+        g, workers=2, seed=seed
+    ),
+}
+
+SEEDS = (0, 1)
+
+
+def _results(family, seed):
+    g, truth = FAMILIES[family](seed)
+    return {name: run(g, seed) for name, run in ENGINES.items()}, g, truth
+
+
+# ---------------------------------------------------------------------------
+# codelength agreement across the full grid
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_engines_agree_on_codelength(family, seed):
+    results, g, _ = _results(family, seed)
+    lengths = {name: r.codelength for name, r in results.items()}
+    for name, r in results.items():
+        assert np.isfinite(r.codelength), name
+        assert len(r.modules) == g.num_vertices, name
+        # dense labels in [0, num_modules)
+        assert set(np.unique(r.modules)) == set(range(r.num_modules)), name
+    lo, hi = min(lengths.values()), max(lengths.values())
+    assert hi <= lo * 1.10 + 1e-9, f"codelength spread too wide: {lengths}"
+
+
+# ---------------------------------------------------------------------------
+# quality floors against planted truth
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize(
+    "family", ["undirected", "directed", "weighted"]
+)
+def test_engines_recover_planted_truth(family, seed):
+    results, _, truth = _results(family, seed)
+    for name, r in results.items():
+        nmi = normalized_mutual_information(r.modules, truth)
+        ari = adjusted_rand_index(r.modules, truth)
+        assert nmi > 0.9, f"{name}: NMI {nmi:.3f}"
+        assert ari > 0.8, f"{name}: ARI {ari:.3f}"
+
+
+# ---------------------------------------------------------------------------
+# parallel(P) is bit-identical to multicore(P): the tentpole guarantee
+
+
+@pytest.mark.parametrize("seed", (0, 1, 7))
+@pytest.mark.parametrize("workers", (1, 2, 4))
+def test_parallel_bit_identical_to_multicore(workers, seed):
+    g, _ = _undirected(seed)
+    rm = run_infomap_multicore(g, num_cores=workers, seed=seed)
+    rp = run_infomap_parallel(g, workers=workers, seed=seed)
+    assert np.array_equal(rp.modules, rm.modules)
+    assert rp.codelength == rm.codelength
+    assert rp.num_modules == rm.num_modules
+    assert rp.levels == rm.levels
+
+
+@pytest.mark.parametrize("family", ["directed", "weighted", "pathological"])
+def test_parallel_bit_identical_all_families(family):
+    g, _ = FAMILIES[family](3)
+    rm = run_infomap_multicore(g, num_cores=2, seed=3)
+    rp = run_infomap_parallel(g, workers=2, seed=3)
+    assert np.array_equal(rp.modules, rm.modules)
+    assert rp.codelength == rm.codelength
+
+
+def test_parallel_bit_identical_with_chunked_rounds():
+    # chunked shards exercise multi-round passes (several barriers per
+    # pass) — the commit order must still match the simulated engine
+    g, _ = _undirected(5)
+    rm = run_infomap_multicore(g, num_cores=2, seed=5, chunk=16)
+    rp = run_infomap_parallel(g, workers=2, seed=5, chunk=16)
+    assert np.array_equal(rp.modules, rm.modules)
+    assert rp.codelength == rm.codelength
+
+
+# ---------------------------------------------------------------------------
+# shard-restriction parity: best_moves(verts=S) == full sweep filtered to S
+
+
+@pytest.mark.parametrize("family", ["undirected", "directed", "weighted"])
+def test_shard_restricted_sweep_matches_filtered_full_sweep(family):
+    g, _ = FAMILIES[family](2)
+    net = FlowNetwork.from_graph(g)
+    n = net.num_vertices
+    ws = Workspace()
+    ws.bind(net)
+    rng = np.random.default_rng(0)
+    module = rng.integers(0, 5, n).astype(np.int64)
+    _, module = np.unique(module, return_inverse=True)
+    enter, exit_, flow = ws.module_state(module, n)
+    fv, ft, fd = ws.best_moves(module, enter, exit_, flow)
+    for shard in (
+        np.arange(0, n, 2),
+        np.arange(n // 3, 2 * n // 3),
+        np.array([0, n - 1]),
+        np.arange(n),
+    ):
+        sv, st_, sd = ws.best_moves(module, enter, exit_, flow, verts=shard)
+        keep = np.isin(fv, shard)
+        assert np.array_equal(sv, fv[keep])
+        assert np.array_equal(st_, ft[keep])
+        assert np.array_equal(sd, fd[keep])
+
+
+def test_shard_restricted_sweep_empty_shard():
+    g, _ = _undirected(0)
+    net = FlowNetwork.from_graph(g)
+    n = net.num_vertices
+    ws = Workspace()
+    ws.bind(net)
+    module = np.arange(n, dtype=np.int64)
+    enter, exit_, flow = ws.module_state(module, n)
+    sv, st_, sd = ws.best_moves(
+        module, enter, exit_, flow, verts=np.empty(0, np.int64)
+    )
+    assert len(sv) == len(st_) == len(sd) == 0
+
+
+# ---------------------------------------------------------------------------
+# engine dispatch: run_infomap(engine=...) matches the direct entry points
+
+
+def test_dispatch_matches_direct_calls():
+    g, _ = _undirected(0)
+    rm = run_infomap(g, engine="multicore", workers=2)
+    assert np.array_equal(
+        rm.modules, run_infomap_multicore(g, num_cores=2).modules
+    )
+    rp = run_infomap(g, engine="parallel", workers=2)
+    assert np.array_equal(
+        rp.modules, run_infomap_parallel(g, workers=2).modules
+    )
+
+
+def test_workers_rejected_for_single_rank_engines():
+    g, _ = _undirected(0)
+    for engine in ("sequential", "vectorized"):
+        with pytest.raises(ValueError):
+            run_infomap(g, engine=engine, workers=2)
+
+
+def test_unknown_engine_names_all_four():
+    g, _ = _undirected(0)
+    with pytest.raises(ValueError, match="parallel"):
+        run_infomap(g, engine="bogus")
+
+
+# ---------------------------------------------------------------------------
+# seed determinism: same seed => identical partition, for every engine
+
+
+@pytest.mark.parametrize(
+    "engine", ["sequential", "vectorized", "multicore"]
+)
+@settings(max_examples=8, deadline=None)
+@given(small_seeds)
+def test_seed_determinism(engine, seed):
+    g, _ = planted_partition(3, 12, 0.5, 0.03, seed=seed % 100)
+    run = ENGINES[engine]
+    a, b = run(g, seed), run(g, seed)
+    assert np.array_equal(a.modules, b.modules)
+    assert a.codelength == b.codelength
+
+
+@settings(max_examples=3, deadline=None)
+@given(small_seeds)
+def test_seed_determinism_parallel(seed):
+    # fewer examples: each one spawns a real worker pool twice
+    g, _ = planted_partition(3, 12, 0.5, 0.03, seed=seed % 100)
+    a = run_infomap_parallel(g, workers=2, seed=seed)
+    b = run_infomap_parallel(g, workers=2, seed=seed)
+    assert np.array_equal(a.modules, b.modules)
+    assert a.codelength == b.codelength

@@ -123,6 +123,33 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "Infomap" in out
 
+    def test_run_engine_multicore_workers(self, tmp_path, capsys):
+        from repro.graph.io import write_edge_list
+
+        g, _ = ring_of_cliques(4, 5)
+        path = tmp_path / "ring.txt"
+        write_edge_list(g, path)
+        assert main(
+            ["run", "--edge-list", str(path), "--engine", "multicore",
+             "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 simulated cores" in out
+
+    def test_run_engine_parallel_workers(self, tmp_path, capsys):
+        from repro.graph.io import write_edge_list
+
+        g, _ = ring_of_cliques(4, 5)
+        path = tmp_path / "ring.txt"
+        write_edge_list(g, path)
+        assert main(
+            ["run", "--edge-list", str(path), "--engine", "parallel",
+             "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 workers" in out
+        assert "Module sizes" in out
+
     def test_invalid_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "fig99"])
@@ -130,6 +157,30 @@ class TestCLI:
     def test_invalid_backend_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "--dataset", "amazon", "--backend", "cuckoo"])
+
+    @pytest.mark.parametrize("argv", [
+        # --workers needs a multi-rank engine
+        ["run", "--dataset", "amazon", "--workers", "2"],
+        ["run", "--dataset", "amazon", "--engine", "vectorized",
+         "--workers", "2"],
+        # --cores is the legacy sequential-engine spelling only
+        ["run", "--dataset", "amazon", "--engine", "parallel",
+         "--cores", "2"],
+        ["run", "--dataset", "amazon", "--engine", "multicore",
+         "--cores", "2"],
+        # mutually exclusive / out of range
+        ["run", "--dataset", "amazon", "--engine", "multicore",
+         "--workers", "2", "--cores", "2"],
+        ["run", "--dataset", "amazon", "--engine", "parallel",
+         "--workers", "0"],
+        ["run", "--dataset", "amazon", "--cores", "0"],
+    ])
+    def test_invalid_engine_worker_combos_rejected(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2  # argparse usage error
+        err = capsys.readouterr().err
+        assert "--workers" in err or "--cores" in err
 
 
 class TestCLIObservability:

@@ -2,10 +2,12 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.spgemm.gustavson import spgemm
 from repro.spgemm.matrix import CSRMatrix, random_sparse_matrix
+
+from tests.strategies import seeds
 
 
 class TestCSRMatrix:
@@ -97,7 +99,7 @@ class TestSpGEMM:
         assert r.flops == 5
 
     @settings(max_examples=20, deadline=None)
-    @given(st.integers(0, 10**6))
+    @given(seeds)
     def test_property_matches_scipy(self, seed):
         import scipy.sparse as sp
 
