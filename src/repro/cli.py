@@ -90,6 +90,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="core/worker count for --engine multicore|parallel "
         "(default 2); rejected for single-rank engines",
     )
+    runp.add_argument(
+        "--fault-plan", default=None, metavar="PLAN",
+        help="chaos testing, --engine parallel only: inject worker "
+        "faults, e.g. 'kill@w0:b1,hang@w1:b3' "
+        "(kind@wWORKER:bBARRIER[:lLEVEL], kinds kill|hang|slow|corrupt) "
+        "or 'random:SEED[:N]' for N seeded random faults; the "
+        "supervisor respawns the worker and replays the barrier, so "
+        "the partition matches the fault-free run (docs/testing.md)",
+    )
+    runp.add_argument(
+        "--worker-timeout", type=float, default=None, metavar="SECONDS",
+        help="--engine parallel only: reply deadline per worker; a "
+        "worker silent past it is treated as hung and respawned "
+        "(default: wait forever, or 30s when --fault-plan is given)",
+    )
     runp.add_argument("--directed", action="store_true")
     runp.add_argument("--tau", type=float, default=0.15)
     runp.add_argument(
@@ -148,6 +163,26 @@ def _validate_run_args(
         )
     if args.cores < 1:
         parser.error("--cores must be >= 1")
+    if args.engine != "parallel":
+        if args.fault_plan is not None:
+            parser.error(
+                f"--fault-plan requires --engine parallel "
+                f"(got --engine {args.engine})"
+            )
+        if args.worker_timeout is not None:
+            parser.error(
+                f"--worker-timeout requires --engine parallel "
+                f"(got --engine {args.engine})"
+            )
+    if args.worker_timeout is not None and args.worker_timeout <= 0:
+        parser.error("--worker-timeout must be positive seconds")
+    if args.fault_plan is not None:
+        from repro.core.faults import FaultPlan
+
+        try:
+            FaultPlan.parse(args.fault_plan, workers=args.workers or 2)
+        except ValueError as exc:
+            parser.error(f"--fault-plan: {exc}")
 
 
 def _add_obs_arguments(p: argparse.ArgumentParser, trace: bool = True) -> None:
@@ -236,9 +271,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
             r = run_infomap(graph, engine="vectorized", tau=args.tau)
         else:
             r = run_infomap(
-                graph, engine="parallel", workers=args.workers, tau=args.tau
+                graph, engine="parallel", workers=args.workers, tau=args.tau,
+                fault_plan=args.fault_plan,
+                worker_timeout=args.worker_timeout,
             )
         print(r.summary())
+        if args.fault_plan is not None:
+            injected = sum(r.faults_injected.values())
+            print(f"fault plan '{args.fault_plan}': {injected} fault(s) "
+                  f"fired, {r.respawns} worker respawn(s); partition is "
+                  f"bit-identical to the fault-free run at this seed")
         if r.telemetry is not None:
             print(r.telemetry.summary())
         sizes = np.bincount(r.modules)

@@ -1,0 +1,164 @@
+"""Guaranteed shared-memory arena lifecycle for the parallel engine.
+
+The parallel engine's per-level arenas are
+:class:`multiprocessing.shared_memory.SharedMemory` segments, which on
+Linux are *files* under ``/dev/shm`` — they outlive the processes that
+map them and survive crashes unless someone unlinks them.  Before this
+module, unlinking was best-effort inside the worker pool's shutdown; an
+exception or interrupt on the wrong line orphaned the segment for the
+host's lifetime.
+
+This registry makes the unlink guaranteed on every exit path:
+
+* **normal path** — the pool releases each arena as it rebinds or
+  closes (:func:`release_arena`, idempotent);
+* **exception / KeyboardInterrupt path** — every arena created through
+  :func:`create_arena` is tracked process-wide, and a single ``atexit``
+  hook unlinks whatever is still registered when the interpreter exits;
+* **SIGKILL path** — nothing in-process can run, so segment names embed
+  the owning pid (``repro-<pid>-<counter>-<nonce>``) and
+  :func:`sweep_orphans` — called whenever a new worker pool starts —
+  unlinks any segment whose owner is no longer alive.
+
+``tests/test_shm_lifecycle.py`` asserts all three paths leave
+``/dev/shm`` clean.  Workers never own segments (they attach by name
+and disable their resource-tracker registration), so ownership is
+always the master pid in the name.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import threading
+from multiprocessing import shared_memory
+
+__all__ = [
+    "SHM_PREFIX",
+    "create_arena",
+    "release_arena",
+    "live_segments",
+    "sweep_orphans",
+    "segment_prefix",
+    "shm_dir_available",
+]
+
+#: leading tag of every segment this repo creates
+SHM_PREFIX = "repro"
+
+_SHM_DIR = "/dev/shm"
+
+_lock = threading.Lock()
+_registry: dict[str, shared_memory.SharedMemory] = {}
+_counter = itertools.count()
+_atexit_installed = False
+
+
+def segment_prefix(pid: int | None = None) -> str:
+    """The name prefix of segments owned by ``pid`` (default: this
+    process) — what the leak tests scan ``/dev/shm`` for."""
+    return f"{SHM_PREFIX}-{os.getpid() if pid is None else pid}-"
+
+
+def shm_dir_available() -> bool:
+    """Whether segments are observable as files (Linux ``/dev/shm``)."""
+    return os.path.isdir(_SHM_DIR)
+
+
+def _cleanup_registered() -> None:
+    """The ``atexit`` hook: unlink every still-registered arena."""
+    with _lock:
+        leftovers = list(_registry.values())
+        _registry.clear()
+    for shm in leftovers:
+        try:
+            shm.close()
+            shm.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+
+def create_arena(size: int) -> shared_memory.SharedMemory:
+    """Create a tracked segment named ``repro-<pid>-<counter>-<nonce>``.
+
+    Registered for the ``atexit`` unlink until :func:`release_arena`.
+    """
+    global _atexit_installed
+    for _ in range(8):
+        name = f"{segment_prefix()}{next(_counter)}-{os.urandom(2).hex()}"
+        try:
+            shm = shared_memory.SharedMemory(create=True, size=size, name=name)
+        except FileExistsError:  # pragma: no cover - nonce collision
+            continue
+        with _lock:
+            if not _atexit_installed:
+                atexit.register(_cleanup_registered)
+                _atexit_installed = True
+            _registry[shm.name] = shm
+        return shm
+    raise RuntimeError("could not allocate a unique shared-memory name")
+
+
+def release_arena(shm: shared_memory.SharedMemory | None) -> None:
+    """Close and unlink ``shm`` and drop it from the registry.
+
+    Idempotent and safe on already-unlinked segments — callable from
+    both the normal shutdown and the ``atexit`` path without
+    double-unlink errors.
+    """
+    if shm is None:
+        return
+    with _lock:
+        _registry.pop(shm.name, None)
+    try:
+        shm.close()
+        shm.unlink()
+    except (FileNotFoundError, OSError):
+        pass
+
+
+def live_segments(prefix: str | None = None) -> list[str]:
+    """Names of existing segments starting with ``prefix`` (default:
+    every segment of this repo, any pid).  Empty where segments aren't
+    files (non-Linux)."""
+    if not shm_dir_available():
+        return []
+    if prefix is None:
+        prefix = f"{SHM_PREFIX}-"
+    try:
+        entries = os.listdir(_SHM_DIR)
+    except OSError:  # pragma: no cover - racing teardown
+        return []
+    return sorted(e for e in entries if e.startswith(prefix))
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return True
+    return True
+
+
+def sweep_orphans() -> list[str]:
+    """Unlink repo segments whose owning pid is dead; return the names.
+
+    The SIGKILL safety net: a hard-killed master can't clean up after
+    itself, so the next pool start (or an operator calling this) sweeps
+    what it left behind.  Segments of live pids are never touched.
+    """
+    removed: list[str] = []
+    for name in live_segments():
+        rest = name[len(SHM_PREFIX) + 1:]
+        pid_text = rest.split("-", 1)[0]
+        if not pid_text.isdigit() or _pid_alive(int(pid_text)):
+            continue
+        try:
+            os.unlink(os.path.join(_SHM_DIR, name))
+            removed.append(name)
+        except OSError:  # pragma: no cover - racing another sweeper
+            pass
+    return removed

@@ -173,6 +173,7 @@ class ProposeBackend:
             for pass:
                 begin_pass(module)
                 for round:                     # chunk slices of each block
+                    on_barrier(level, pass, round, barrier)
                     propose(shards, module, enter, exit, flow)
                     on_commit(applied_verts)   # after the merge
                 end_pass(rounds) -> sim seconds | None
@@ -203,6 +204,19 @@ class ProposeBackend:
         pass
 
     def begin_pass(self, module: np.ndarray) -> None:
+        pass
+
+    def on_barrier(
+        self, level: int, pass_idx: int, round_idx: int, barrier: int
+    ) -> None:
+        """Called immediately before each propose round.
+
+        ``barrier`` is the global 0-based propose-round counter across
+        the whole run — the coordinate a
+        :class:`repro.core.faults.FaultPlan` addresses, and the unit the
+        supervisor's recovery replays.  ``round_idx`` is the 0-based
+        round within the current pass.
+        """
         pass
 
     def propose(
@@ -327,6 +341,7 @@ def run_bsp_infomap(
     levels = 0
     flat_length = one_level
     converged = False
+    barrier = 0  # global propose-round counter (FaultPlan coordinate)
 
     for level in range(max_levels):
         levels = level + 1
@@ -367,6 +382,8 @@ def run_bsp_infomap(
                         )
                         offsets[p] = hi
                         shards.append((p, order[lo:hi]))
+                    backend.on_barrier(level, pass_idx, rounds - 1, barrier)
+                    barrier += 1
                     verts, targets = backend.propose(
                         shards, module, enter, exit_, flow
                     )

@@ -143,6 +143,8 @@ def run_infomap(
     accumulator_kwargs: dict | None = None,
     engine: str = "sequential",
     workers: int | None = None,
+    fault_plan=None,
+    worker_timeout: float | None = None,
 ):
     """Run multilevel Infomap on ``graph`` — the single engine entry point.
 
@@ -171,6 +173,11 @@ def run_infomap(
     workers:
         Core/worker count for the ``multicore`` and ``parallel`` engines
         (default 2).  Rejected for the single-core engines.
+    fault_plan, worker_timeout:
+        ``parallel`` engine only (rejected elsewhere): a
+        :class:`repro.core.faults.FaultPlan` (or its string spelling)
+        injecting worker failures, and the supervisor's reply deadline
+        in seconds.  See :func:`repro.core.parallel.run_infomap_parallel`.
     backend:
         ``"plain"`` (uninstrumented dict), ``"softhash"`` (the paper's
         Baseline), or ``"asa"``.  Instrumented engines (``sequential``,
@@ -205,6 +212,12 @@ def run_infomap(
             f"workers= applies to the 'multicore' and 'parallel' engines, "
             f"not {engine!r}"
         )
+    if (fault_plan is not None or worker_timeout is not None) \
+            and engine != "parallel":
+        raise ValueError(
+            f"fault_plan= and worker_timeout= apply to the 'parallel' "
+            f"engine only, not {engine!r}"
+        )
     if engine == "vectorized":
         from repro.core.vectorized import run_infomap_vectorized
 
@@ -237,6 +250,8 @@ def run_infomap(
             max_levels=max_levels,
             max_passes_per_level=max_passes_per_level,
             seed=shuffle_seed if shuffle_seed is not None else 0,
+            fault_plan=fault_plan,
+            worker_timeout=worker_timeout,
         )
     if engine != "sequential":
         raise ValueError(

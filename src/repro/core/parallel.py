@@ -26,6 +26,34 @@ the master records one ``parallel.propose`` span per worker per round
 with ``core=worker_id``, so the trace viewer shows one track per real
 worker.
 
+Supervision and recovery
+------------------------
+
+The schedule above assumes every worker answers every barrier.  The
+master therefore *supervises* its workers instead of trusting them:
+
+* every reply is awaited with a liveness check (a dead worker is
+  detected the moment its process exits, no timeout needed) and, when
+  ``worker_timeout`` is set, a deadline (a *hung* worker is detected
+  when the deadline lapses);
+* every reply is validated before use — a malformed payload marks the
+  worker compromised;
+* a failed worker is killed, respawned, re-attached to the current
+  level's arena, and its exact shard is replayed against the unchanged
+  round snapshot.  Propose is a pure function of (snapshot, shard) and
+  the gather order is fixed, so the commit stream — and therefore the
+  final partition — is **bit-identical to a fault-free run at the same
+  seed** no matter where a worker dies.  ``tests/test_fault_injection.py``
+  proves this at every barrier of every conformance family, using the
+  seeded :class:`repro.core.faults.FaultPlan` injection layer this
+  module executes worker-side.
+
+Arena lifecycle is guaranteed by :mod:`repro.core.arena`: segments are
+registered at creation, released on rebind/close, unlinked by an
+``atexit`` hook on interpreter death, and orphans of hard-killed
+masters are swept when the next pool starts
+(``tests/test_shm_lifecycle.py`` pins all three exit paths).
+
 The start method defaults to ``fork`` where available (cheapest; workers
 inherit the interpreter state) and can be overridden with the
 ``REPRO_MP_START`` environment variable (``fork`` | ``spawn`` |
@@ -44,7 +72,14 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro.core import arena
 from repro.core.bsp import BSPPassRecord, ProposeBackend, run_bsp_infomap
+from repro.core.faults import (
+    DEFAULT_WORKER_TIMEOUT,
+    SLOW_SECONDS,
+    FaultInjector,
+    FaultPlan,
+)
 from repro.core.flow import FlowNetwork
 from repro.core.vectorized import Workspace
 from repro.graph.csr import CSRGraph
@@ -56,6 +91,13 @@ from repro.obs.telemetry import ConvergenceTelemetry, TelemetryRecorder
 log = get_logger("core.parallel")
 
 __all__ = ["run_infomap_parallel", "ParallelResult"]
+
+#: how often the supervisor re-checks liveness while awaiting a reply
+_POLL_QUANTUM = 0.02
+
+#: consecutive recoveries of the same reply before the run is declared
+#: unrecoverable (a deterministic propose would fail identically forever)
+_MAX_RECOVERIES = 3
 
 
 @dataclass
@@ -75,6 +117,13 @@ class ParallelResult:
     propose_seconds: float = 0.0
     #: total shard vertices dispatched to workers, all rounds
     proposed_vertices: int = 0
+    #: faults fired by the injected FaultPlan, per kind (empty: no plan)
+    faults_injected: dict[str, int] = field(default_factory=dict)
+    #: worker failures the supervisor detected, per reason
+    #: (``died`` / ``stalled`` / ``corrupt``)
+    faults_detected: dict[str, int] = field(default_factory=dict)
+    #: workers killed + respawned (their barrier replayed) during the run
+    respawns: int = 0
     #: measured-wall-time convergence record (see repro.obs.telemetry)
     telemetry: ConvergenceTelemetry | None = None
 
@@ -91,11 +140,14 @@ class ParallelResult:
         return self.proposed_vertices / self.propose_seconds
 
     def summary(self) -> str:
+        recovery = (
+            f", {self.respawns} respawns" if self.respawns else ""
+        )
         return (
             f"ParallelResult({self.num_workers} workers: "
             f"{self.num_modules} modules, L={self.codelength:.4f} bits, "
             f"{self.levels} levels, {len(self.passes)} passes, "
-            f"{self.sweep_throughput:,.0f} sweep verts/s)"
+            f"{self.sweep_throughput:,.0f} sweep verts/s{recovery})"
         )
 
 
@@ -195,6 +247,23 @@ def _disable_shm_tracking() -> None:
     resource_tracker.register = register
 
 
+def _perform_fault(conn, worker_id: int, fault: str | None) -> bool:
+    """Execute an injected fault; ``True`` means "reply already handled"
+    (the caller must not compute/send the normal reply)."""
+    if fault == "kill":
+        os._exit(13)  # hard crash: no cleanup, no reply, pipe drops
+    if fault == "hang":
+        while True:  # wedge until the supervisor's deadline kills us
+            time.sleep(3600)
+    if fault == "slow":
+        time.sleep(SLOW_SECONDS)  # straggle, then answer normally
+        return False
+    if fault == "corrupt":
+        conn.send(("corrupt", worker_id, b"\xde\xad\xbe\xef"))
+        return True
+    return False
+
+
 def _worker_main(conn, worker_id: int) -> None:
     """Persistent worker loop: bind arenas, answer propose rounds."""
     _disable_shm_tracking()
@@ -217,7 +286,9 @@ def _worker_main(conn, worker_id: int) -> None:
                 if old_shm is not None:
                     old_shm.close()
             elif kind == "round":
-                verts = msg[1]
+                _, verts, fault = msg
+                if fault is not None and _perform_fault(conn, worker_id, fault):
+                    continue
                 t0 = time.perf_counter()
                 v, t, _ = ws.best_moves(
                     views["module"], views["enter"], views["exit"],
@@ -226,7 +297,7 @@ def _worker_main(conn, worker_id: int) -> None:
                 conn.send((v, t, time.perf_counter() - t0))
             elif kind == "close":
                 break
-    except EOFError:
+    except (EOFError, KeyboardInterrupt):
         pass
     except Exception:
         try:
@@ -250,51 +321,261 @@ def _start_method() -> str:
     return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
 
 
+def _tagged(msg, tag: str) -> bool:
+    """True iff ``msg`` is a control tuple starting with the string
+    ``tag`` (numpy payloads make a bare ``msg[0] == tag`` ambiguous)."""
+    return (
+        isinstance(msg, tuple)
+        and len(msg) > 0
+        and isinstance(msg[0], str)
+        and msg[0] == tag
+    )
+
+
+class _WorkerFault(Exception):
+    """Supervisor-internal: a worker failed to deliver a usable reply."""
+
+    def __init__(self, reason: str, detail: str) -> None:
+        super().__init__(f"{reason}: {detail}")
+        self.reason = reason  # "died" | "stalled" | "corrupt"
+        self.detail = detail
+
+
+def _valid_round_reply(msg) -> bool:
+    """A round reply is ``(verts, targets, wall_seconds)`` with matching
+    1-D int64 arrays — anything else marks the worker compromised."""
+    return (
+        isinstance(msg, tuple)
+        and len(msg) == 3
+        and isinstance(msg[0], np.ndarray)
+        and isinstance(msg[1], np.ndarray)
+        and msg[0].dtype == np.int64
+        and msg[1].dtype == np.int64
+        and msg[0].ndim == 1
+        and msg[0].shape == msg[1].shape
+        and isinstance(msg[2], (int, float))
+    )
+
+
 class _WorkerPool(ProposeBackend):
-    """BSP backend that ships propose to real worker processes."""
+    """BSP backend that ships propose to *supervised* worker processes.
+
+    Beyond executing the propose, the pool is the recovery layer the
+    module docstring describes: it detects dead / stalled / corrupt
+    workers while gathering replies, respawns them against the current
+    arena, and replays the failed shard so the schedule never observes
+    the failure.
+    """
 
     engine = "parallel"
 
-    def __init__(self, workers: int, start_method: str | None = None) -> None:
+    def __init__(
+        self,
+        workers: int,
+        start_method: str | None = None,
+        fault_plan: FaultPlan | None = None,
+        worker_timeout: float | None = None,
+    ) -> None:
         self.workers = workers
-        ctx = mp.get_context(start_method or _start_method())
-        self._conns = []
-        self._procs = []
+        self.worker_timeout = worker_timeout
+        self._injector = (
+            FaultInjector(fault_plan) if fault_plan is not None else None
+        )
+        self._ctx = mp.get_context(start_method or _start_method())
+        swept = arena.sweep_orphans()  # reclaim leftovers of dead masters
+        if swept:
+            log.warning("swept %d orphaned shm segment(s): %s",
+                        len(swept), ", ".join(swept))
+        self._conns: list = [None] * workers
+        self._procs: list = [None] * workers
         for p in range(workers):
-            parent, child = ctx.Pipe(duplex=True)
-            proc = ctx.Process(
-                target=_worker_main, args=(child, p), daemon=True,
-                name=f"repro-worker-{p}",
-            )
-            proc.start()
-            child.close()
-            self._conns.append(parent)
-            self._procs.append(proc)
+            self._spawn(p)
         self._shm: shared_memory.SharedMemory | None = None
+        self._descr: dict | None = None
+        self._directed = False
         self._state: dict[str, np.ndarray] = {}
+        self._level = 0
+        self._barrier = 0
         self.worker_propose_seconds = [0.0] * workers
         self.propose_seconds = 0.0
         self.proposed_vertices = 0
+        self.respawns = 0
+        self.faults_detected: dict[str, int] = {}
+
+    @property
+    def faults_injected(self) -> dict[str, int]:
+        return dict(self._injector.injected) if self._injector else {}
+
+    # ------------------------------------------------------- supervision
+    def _spawn(self, p: int) -> None:
+        parent, child = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_main, args=(child, p), daemon=True,
+            name=f"repro-worker-{p}",
+        )
+        proc.start()
+        child.close()
+        old = self._conns[p]
+        self._conns[p] = parent
+        self._procs[p] = proc
+        if old is not None:
+            try:
+                old.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+
+    def _try_send(self, p: int, msg) -> bool:
+        try:
+            self._conns[p].send(msg)
+            return True
+        except (BrokenPipeError, OSError):
+            return False
+
+    def _await_msg(self, p: int):
+        """Next message from worker ``p``, under supervision.
+
+        Raises :class:`_WorkerFault` the moment the worker process dies
+        (no deadline needed) or, with ``worker_timeout`` set, when the
+        reply deadline lapses — the heartbeat that catches hangs.
+        """
+        conn, proc = self._conns[p], self._procs[p]
+        deadline = (
+            None if self.worker_timeout is None
+            else time.monotonic() + self.worker_timeout
+        )
+        while True:
+            if conn.poll(_POLL_QUANTUM):
+                try:
+                    return conn.recv()
+                except (EOFError, OSError):
+                    raise _WorkerFault(
+                        "died",
+                        f"pipe closed mid-reply (exitcode={proc.exitcode})",
+                    ) from None
+            if not proc.is_alive():
+                if conn.poll(0):  # drain a final buffered reply
+                    continue
+                raise _WorkerFault("died", f"exitcode={proc.exitcode}")
+            if deadline is not None and time.monotonic() >= deadline:
+                raise _WorkerFault(
+                    "stalled", f"no reply within {self.worker_timeout}s"
+                )
+
+    def _recover(self, p: int, reason: str, detail: str) -> None:
+        """Kill worker ``p``, respawn it, and re-attach it to the current
+        arena.  On return the worker is idle and bound — the caller
+        replays whatever message the failure interrupted."""
+        t0 = time.perf_counter()
+        self.faults_detected[reason] = self.faults_detected.get(reason, 0) + 1
+        log.warning(
+            "worker %d %s (%s); respawning at barrier %d",
+            p, reason, detail, self._barrier,
+        )
+        proc = self._procs[p]
+        if proc is not None:
+            if proc.is_alive():
+                proc.kill()
+            proc.join(timeout=5)
+        self._spawn(p)
+        self.respawns += 1
+        if self._shm is not None:
+            if not self._try_send(
+                p, ("bind", self._shm.name, self._descr, self._directed)
+            ):
+                raise RuntimeError(
+                    f"parallel worker {p} died again during recovery "
+                    f"(bind dispatch failed)"
+                )
+            try:
+                msg = self._await_msg(p)
+            except _WorkerFault as f:
+                raise RuntimeError(
+                    f"parallel worker {p} failed again during recovery ({f})"
+                ) from None
+            if not _tagged(msg, "bound"):
+                raise RuntimeError(
+                    f"parallel worker {p} sent a bad bind ack during "
+                    f"recovery: {type(msg).__name__}"
+                )
+        record_span(
+            "parallel.respawn", time.perf_counter() - t0,
+            worker=p, barrier=self._barrier, reason=reason,
+        )
+
+    def _gather_bound(self, p: int) -> None:
+        """Await worker ``p``'s bind ack; recover it on any failure."""
+        try:
+            msg = self._await_msg(p)
+        except _WorkerFault as f:
+            self._recover(p, f.reason, f.detail)  # recovery rebinds itself
+            return
+        if _tagged(msg, "error"):
+            raise RuntimeError(f"parallel worker {msg[1]} failed:\n{msg[2]}")
+        if not _tagged(msg, "bound"):
+            self._recover(p, "corrupt", "bad bind ack")
+
+    def _gather_round(self, p: int, shard: np.ndarray):
+        """Await worker ``p``'s proposals for ``shard``, recovering and
+        replaying the shard on death / stall / corruption.
+
+        Replay is safe and deterministic: the snapshot arrays in the
+        arena are untouched until every shard of the round is gathered,
+        and propose is a pure function of (snapshot, shard).
+        """
+        for _attempt in range(_MAX_RECOVERIES):
+            try:
+                msg = self._await_msg(p)
+            except _WorkerFault as f:
+                self._recover(p, f.reason, f.detail)
+                self._conns[p].send(("round", shard, None))
+                continue
+            if _tagged(msg, "error"):
+                raise RuntimeError(
+                    f"parallel worker {msg[1]} failed:\n{msg[2]}"
+                )
+            if not _valid_round_reply(msg):
+                self._recover(
+                    p, "corrupt",
+                    f"malformed round reply ({type(msg).__name__})",
+                )
+                self._conns[p].send(("round", shard, None))
+                continue
+            return msg
+        raise RuntimeError(
+            f"parallel worker {p} failed {_MAX_RECOVERIES} consecutive "
+            f"recoveries at barrier {self._barrier}; giving up"
+        )
 
     # ------------------------------------------------------------ hooks
+    def on_barrier(
+        self, level: int, pass_idx: int, round_idx: int, barrier: int
+    ) -> None:
+        self._level = level
+        self._barrier = barrier
+
     def begin_level(self, net, level, blocks, ws) -> None:
         fields = _net_fields(net)
         descr, size = _layout(fields)
-        new = shared_memory.SharedMemory(create=True, size=size)
+        new = arena.create_arena(size)
         views = _views(new.buf, descr)
         for name in views:
             if name in ("module", "enter", "exit", "flow"):
                 continue
             views[name][:] = getattr(net, name)
-        for conn in self._conns:
-            conn.send(("bind", new.name, descr, net.directed))
-        for p in range(self.workers):
-            self._recv(p)  # "bound" acks (workers have dropped the old arena)
-        old, self._shm = self._shm, new
+        old = self._shm
+        # current-arena info first: a recovery during the ack wait must
+        # rebind the fresh worker to *this* arena
+        self._shm, self._descr, self._directed = new, descr, net.directed
         self._state = views
-        if old is not None:
-            old.close()
-            old.unlink()
+        pending = []
+        for p in range(self.workers):
+            if self._try_send(p, ("bind", new.name, descr, net.directed)):
+                pending.append(p)
+            else:  # died before the handshake: recovery rebinds + acks
+                self._recover(p, "died", "pipe broken at bind")
+        for p in pending:
+            self._gather_bound(p)
+        arena.release_arena(old)  # every worker has dropped the old arena
 
     def propose(self, shards, module, enter, exit_, flow):
         st = self._state
@@ -307,56 +588,62 @@ class _WorkerPool(ProposeBackend):
         for p, shard in shards:
             if len(shard) == 0:
                 continue
-            self._conns[p].send(("round", shard))
-            dispatched.append((p, len(shard)))
+            fault = None
+            if self._injector is not None:
+                spec = self._injector.pop(p, self._barrier, self._level)
+                if spec is not None:
+                    fault = spec.kind
+                    log.info("injecting fault %s (barrier %d, level %d)",
+                             spec, self._barrier, self._level)
+            if not self._try_send(p, ("round", shard, fault)):
+                self._recover(p, "died", "pipe broken at dispatch")
+                self._conns[p].send(("round", shard, None))
+            dispatched.append((p, shard))
         verts_parts: list[np.ndarray] = []
         targ_parts: list[np.ndarray] = []
-        for p, nverts in dispatched:
-            v, t, worker_wall = self._recv(p)
+        for p, shard in dispatched:
+            v, t, worker_wall = self._gather_round(p, shard)
             self.worker_propose_seconds[p] += worker_wall
             record_span(
                 "parallel.propose", worker_wall, core=p,
-                worker=p, verts=nverts, proposals=len(v),
+                worker=p, verts=len(shard), proposals=len(v),
             )
             verts_parts.append(v)
             targ_parts.append(t)
         self.propose_seconds += time.perf_counter() - t0
-        self.proposed_vertices += sum(nv for _, nv in dispatched)
+        self.proposed_vertices += sum(len(s) for _, s in dispatched)
         if not verts_parts:
             return np.empty(0, np.int64), np.empty(0, np.int64)
         return np.concatenate(verts_parts), np.concatenate(targ_parts)
 
-    def _recv(self, p: int):
-        try:
-            msg = self._conns[p].recv()
-        except EOFError:
-            raise RuntimeError(
-                f"parallel worker {p} exited unexpectedly "
-                f"(exitcode={self._procs[p].exitcode})"
-            ) from None
-        if isinstance(msg[0], str) and msg[0] == "error":
-            raise RuntimeError(
-                f"parallel worker {msg[1]} failed:\n{msg[2]}"
-            )
-        return msg
-
     def close(self) -> None:
-        for conn in self._conns:
-            try:
-                conn.send(("close",))
-            except (BrokenPipeError, OSError):
-                pass
-        for proc in self._procs:
-            proc.join(timeout=5)
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=5)
-        for conn in self._conns:
-            conn.close()
-        self._state = {}
-        if self._shm is not None:
-            self._shm.close()
-            self._shm.unlink()
+        try:
+            for conn in self._conns:
+                if conn is None:
+                    continue
+                try:
+                    conn.send(("close",))
+                except (BrokenPipeError, OSError):
+                    pass
+            deadline = time.monotonic() + 5.0
+            for proc in self._procs:
+                if proc is None:
+                    continue
+                proc.join(timeout=max(0.1, deadline - time.monotonic()))
+                if proc.is_alive():  # wedged or still mid-fault: reap hard
+                    proc.kill()
+                    proc.join(timeout=5)
+            for conn in self._conns:
+                if conn is None:
+                    continue
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
+        finally:
+            self._state = {}
+            self._descr = None
+            arena.release_arena(self._shm)
             self._shm = None
 
 
@@ -369,13 +656,18 @@ def run_infomap_parallel(
     seed: int = 0,
     chunk: int | None = None,
     start_method: str | None = None,
+    fault_plan: FaultPlan | str | None = None,
+    worker_timeout: float | None = None,
 ) -> ParallelResult:
-    """Run Infomap with ``workers`` real worker processes.
+    """Run Infomap with ``workers`` supervised worker processes.
 
     Bit-identical to ``run_infomap_multicore(num_cores=workers)`` at
     equal ``seed``/``chunk`` (both run the :mod:`repro.core.bsp`
     schedule; only where the propose executes differs).  Deterministic
-    for a fixed seed and worker count.
+    for a fixed seed and worker count — **including under injected or
+    real worker failures**: a worker that dies, hangs past the deadline,
+    or replies garbage is respawned and its barrier replayed, without
+    changing the result.
 
     Parameters
     ----------
@@ -392,11 +684,31 @@ def run_infomap_parallel(
     start_method:
         ``fork`` / ``spawn`` / ``forkserver``; defaults to ``fork`` where
         available, overridable via ``REPRO_MP_START``.
+    fault_plan:
+        Optional :class:`repro.core.faults.FaultPlan` (or its string
+        spelling, e.g. ``"kill@w0:b1"`` or ``"random:42:2"``) injecting
+        worker failures for chaos testing.
+    worker_timeout:
+        Reply deadline in seconds; a worker silent past it is treated
+        as hung and respawned.  ``None`` (default) waits indefinitely
+        for live workers — death is still detected instantly — except
+        when a ``fault_plan`` is given, where it defaults to
+        :data:`repro.core.faults.DEFAULT_WORKER_TIMEOUT` so injected
+        hangs terminate.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if isinstance(fault_plan, str):
+        fault_plan = FaultPlan.parse(fault_plan, workers=workers)
+    if worker_timeout is None and fault_plan is not None:
+        worker_timeout = DEFAULT_WORKER_TIMEOUT
+    if worker_timeout is not None and worker_timeout <= 0:
+        raise ValueError("worker_timeout must be positive seconds (or None)")
 
-    pool = _WorkerPool(workers, start_method)
+    pool = _WorkerPool(
+        workers, start_method,
+        fault_plan=fault_plan, worker_timeout=worker_timeout,
+    )
     recorder = TelemetryRecorder("parallel", num_cores=workers)
     try:
         with trace_span("infomap.run", engine="parallel", workers=workers):
@@ -424,6 +736,18 @@ def run_infomap_parallel(
         reg.gauge("parallel.propose_seconds", engine="parallel").set(
             pool.propose_seconds
         )
+        for kind, n in pool.faults_injected.items():
+            reg.counter(
+                "parallel.faults.injected", engine="parallel", kind=kind
+            ).inc(n)
+        for reason, n in pool.faults_detected.items():
+            reg.counter(
+                "parallel.faults.detected", engine="parallel", reason=reason
+            ).inc(n)
+        if pool.respawns:
+            reg.counter("parallel.respawns", engine="parallel").inc(
+                pool.respawns
+            )
     log.debug("run done: %s", outcome.telemetry.summary())
 
     return ParallelResult(
@@ -437,5 +761,8 @@ def run_infomap_parallel(
         worker_propose_seconds=pool.worker_propose_seconds,
         propose_seconds=pool.propose_seconds,
         proposed_vertices=pool.proposed_vertices,
+        faults_injected=pool.faults_injected,
+        faults_detected=dict(pool.faults_detected),
+        respawns=pool.respawns,
         telemetry=outcome.telemetry,
     )

@@ -3,14 +3,17 @@
 The repo ships four Infomap engines that all minimize the same map
 equation over the same flow model:
 
-==============  =====================================================
-engine          schedule
-==============  =====================================================
-``sequential``  per-vertex greedy, immediate apply, hardware counters
-``vectorized``  batch-synchronous numpy sweep (single rank)
-``multicore``   BSP propose/commit on P *simulated* cores (counters)
-``parallel``    same BSP schedule on P *real* processes (shared mem)
-==============  =====================================================
+======================  ===============================================
+engine                  schedule
+======================  ===============================================
+``sequential``          per-vertex greedy, immediate apply, hw counters
+``vectorized``          batch-synchronous numpy sweep (single rank)
+``multicore``           BSP propose/commit on P *simulated* cores
+``parallel``            same BSP schedule on P *real* processes
+``parallel+faultplan``  ``parallel`` under seeded injected worker
+                        faults (kill/hang/slow/corrupt) — recovery must
+                        be invisible (see tests/test_fault_injection.py)
+======================  ===============================================
 
 This suite pins the contract between them:
 
@@ -23,7 +26,9 @@ This suite pins the contract between them:
 * the shard-restricted sweep ``Workspace.best_moves(verts=...)`` equals
   the full sweep filtered to the shard (the property the BSP engines'
   correctness rests on);
-* every engine is deterministic at a fixed seed (hypothesis property).
+* every engine is deterministic at a fixed seed (hypothesis property),
+  and any seeded :class:`~repro.core.faults.FaultPlan` preserves that
+  determinism — faulty runs land bit-identical to fault-free ones.
 
 See ``docs/testing.md`` for how this matrix fits the wider test tiers.
 """
@@ -32,6 +37,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings
 
+from repro.core.faults import FaultPlan
 from repro.core.flow import FlowNetwork
 from repro.core.infomap import run_infomap
 from repro.core.multicore import run_infomap_multicore
@@ -121,6 +127,15 @@ ENGINES = {
     ),
     "parallel": lambda g, seed: run_infomap_parallel(
         g, workers=2, seed=seed
+    ),
+    # the parallel engine under a seeded random fault plan: two injected
+    # worker failures per run, which the supervisor must recover without
+    # perturbing the partition (so every grid assertion below holds
+    # unchanged for this column)
+    "parallel+faultplan": lambda g, seed: run_infomap_parallel(
+        g, workers=2, seed=seed,
+        fault_plan=FaultPlan.random(seed=seed, workers=2, faults=2),
+        worker_timeout=1.0,
     ),
 }
 
@@ -300,3 +315,25 @@ def test_seed_determinism_parallel(seed):
     b = run_infomap_parallel(g, workers=2, seed=seed)
     assert np.array_equal(a.modules, b.modules)
     assert a.codelength == b.codelength
+
+
+@settings(max_examples=3, deadline=None)
+@given(small_seeds)
+def test_seed_determinism_under_any_fault_plan(seed):
+    # the chaos half of the determinism contract: ANY seeded FaultPlan
+    # preserves seed-determinism — the faulty run is reproducible from
+    # (seed, plan) alone AND bit-identical to the fault-free run
+    g, _ = planted_partition(3, 12, 0.5, 0.03, seed=seed % 100)
+    plan = FaultPlan.random(seed=seed, workers=2, faults=2)
+    clean = run_infomap_parallel(g, workers=2, seed=seed)
+    a = run_infomap_parallel(
+        g, workers=2, seed=seed, fault_plan=plan, worker_timeout=2.0
+    )
+    b = run_infomap_parallel(
+        g, workers=2, seed=seed, fault_plan=plan, worker_timeout=2.0
+    )
+    assert np.array_equal(a.modules, b.modules)
+    assert a.codelength == b.codelength
+    assert a.respawns == b.respawns  # even the recovery is reproducible
+    assert np.array_equal(a.modules, clean.modules)
+    assert a.codelength == clean.codelength

@@ -1,0 +1,216 @@
+"""Leak suite: no shared-memory segment survives any exit path.
+
+The parallel engine's arenas are files under ``/dev/shm`` named
+``repro-<pid>-...`` (see :mod:`repro.core.arena`).  This suite scans
+that directory by prefix and asserts **zero surviving segments** after:
+
+* a normal run (release on rebind/close),
+* a run with an injected worker crash mid-sweep (recovery path),
+* a KeyboardInterrupt-style abort that never reaches the pool's
+  ``close()`` (the ``atexit`` hook, exercised in a real subprocess),
+* a hard-killed master (the orphan sweep).
+
+Plus the registry unit layer: idempotent release, prefix scanning, and
+orphan-sweep selectivity (live-pid segments are never touched).
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.core import arena
+from repro.core.faults import FaultPlan, FaultSpec
+from repro.core.parallel import run_infomap_parallel
+from repro.graph.generators import planted_partition
+
+pytestmark = pytest.mark.skipif(
+    not arena.shm_dir_available(),
+    reason="shared-memory segments are not observable as files (no /dev/shm)",
+)
+
+_SHM_DIR = "/dev/shm"
+
+
+def _graph():
+    g, _ = planted_partition(4, 20, 0.45, 0.02, seed=1)
+    return g
+
+
+def _mine():
+    """Segments owned by this process right now."""
+    return arena.live_segments(arena.segment_prefix())
+
+
+# ---------------------------------------------------------------------------
+# exit path 1: normal runs release every arena
+
+
+def test_normal_run_leaves_no_segments():
+    assert _mine() == []
+    r = run_infomap_parallel(_graph(), workers=2, seed=1)
+    assert r.num_modules > 0
+    assert _mine() == []
+
+
+def test_back_to_back_runs_leave_no_segments():
+    for seed in (0, 1, 2):
+        run_infomap_parallel(_graph(), workers=2, seed=seed)
+    assert _mine() == []
+
+
+# ---------------------------------------------------------------------------
+# exit path 2: injected crashes (recovery respawns workers mid-run)
+
+
+def test_injected_crash_leaves_no_segments():
+    plan = FaultPlan((
+        FaultSpec("kill", worker=0, barrier=0),
+        FaultSpec("kill", worker=1, barrier=2),
+    ))
+    r = run_infomap_parallel(
+        _graph(), workers=2, seed=1, fault_plan=plan, worker_timeout=2.0
+    )
+    assert r.respawns >= 1
+    assert _mine() == []
+
+
+def test_injected_hang_leaves_no_segments():
+    r = run_infomap_parallel(
+        _graph(), workers=2, seed=1,
+        fault_plan="hang@w1:b1", worker_timeout=0.4,
+    )
+    assert r.respawns >= 1
+    assert _mine() == []
+
+
+# ---------------------------------------------------------------------------
+# exit path 3: KeyboardInterrupt-style abort — the pool's close() never
+# runs; the atexit hook must unlink the arena.  Run in a real
+# subprocess so the interpreter actually dies.
+
+_INTERRUPT_SCRIPT = textwrap.dedent("""\
+    import os
+    from repro.core import arena
+    from repro.core.bsp import edge_balanced_blocks
+    from repro.core.flow import FlowNetwork
+    from repro.core.parallel import _WorkerPool
+    from repro.core.vectorized import Workspace
+    from repro.graph.generators import planted_partition
+
+    g, _ = planted_partition(3, 10, 0.4, 0.05, seed=0)
+    net = FlowNetwork.from_graph(g)
+    ws = Workspace()
+    ws.bind(net)
+    pool = _WorkerPool(2)
+    pool.begin_level(net, 0, edge_balanced_blocks(net, 2), ws)
+    live = arena.live_segments(arena.segment_prefix())
+    assert len(live) == 1, live   # the arena exists mid-run
+    print("ARENA", live[0], flush=True)
+    raise KeyboardInterrupt      # abort with no close(): atexit must clean
+""")
+
+
+def test_keyboard_interrupt_abort_leaves_no_segments():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", _INTERRUPT_SCRIPT],
+        capture_output=True, text=True, timeout=120,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        env=env,
+    )
+    assert proc.returncode != 0, proc.stderr  # the interrupt propagated
+    assert "KeyboardInterrupt" in proc.stderr, proc.stderr
+    lines = [ln for ln in proc.stdout.splitlines() if ln.startswith("ARENA ")]
+    assert lines, proc.stdout  # the arena did exist before the abort
+    name = lines[0].split()[1]
+    assert not os.path.exists(os.path.join(_SHM_DIR, name))
+    child_pid = int(name[len(arena.SHM_PREFIX) + 1:].split("-", 1)[0])
+    assert arena.live_segments(arena.segment_prefix(child_pid)) == []
+
+
+# ---------------------------------------------------------------------------
+# exit path 4: hard-killed master — the orphan sweep reclaims its
+# segments on the next pool start
+
+
+def _dead_pid() -> int:
+    p = subprocess.run(
+        [sys.executable, "-c", "import os; print(os.getpid())"],
+        capture_output=True, text=True, timeout=60,
+    )
+    return int(p.stdout.strip())
+
+
+def test_orphan_sweep_reclaims_dead_owner_segments():
+    name = f"{arena.SHM_PREFIX}-{_dead_pid()}-0-deadbeef"
+    path = os.path.join(_SHM_DIR, name)
+    with open(path, "wb") as fh:  # fake leftover of a SIGKILLed master
+        fh.write(b"\0" * 64)
+    try:
+        removed = arena.sweep_orphans()
+        assert name in removed
+        assert not os.path.exists(path)
+    finally:
+        if os.path.exists(path):  # never leak the fixture itself
+            os.unlink(path)
+
+
+def test_orphan_sweep_spares_live_owners():
+    shm = arena.create_arena(64)
+    try:
+        assert arena.sweep_orphans() == []  # our pid is alive
+        assert shm.name in _mine()
+    finally:
+        arena.release_arena(shm)
+    assert _mine() == []
+
+
+def test_pool_start_sweeps_orphans():
+    name = f"{arena.SHM_PREFIX}-{_dead_pid()}-1-deadbeef"
+    path = os.path.join(_SHM_DIR, name)
+    with open(path, "wb") as fh:
+        fh.write(b"\0" * 64)
+    try:
+        r = run_infomap_parallel(_graph(), workers=2, seed=0)
+        assert r.num_modules > 0
+        assert not os.path.exists(path)  # swept at pool construction
+        assert _mine() == []
+    finally:
+        if os.path.exists(path):
+            os.unlink(path)
+
+
+# ---------------------------------------------------------------------------
+# registry unit layer
+
+
+def test_release_is_idempotent():
+    shm = arena.create_arena(128)
+    assert shm.name in _mine()
+    arena.release_arena(shm)
+    arena.release_arena(shm)  # second release is a no-op, not an error
+    arena.release_arena(None)
+    assert _mine() == []
+
+
+def test_segment_names_embed_owner_pid():
+    shm = arena.create_arena(64)
+    try:
+        assert shm.name.startswith(f"{arena.SHM_PREFIX}-{os.getpid()}-")
+    finally:
+        arena.release_arena(shm)
+
+
+def test_atexit_cleanup_unlinks_registered_segments():
+    shm = arena.create_arena(64)
+    assert shm.name in _mine()
+    arena._cleanup_registered()  # what atexit runs on interpreter death
+    assert _mine() == []
+    arena.release_arena(shm)  # and the normal path stays safe afterwards
