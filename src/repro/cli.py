@@ -11,6 +11,9 @@ Usage (after install)::
     python -m repro run --dataset amazon --trace out.trace.json \
         --metrics-out metrics.json --log-level debug
     python -m repro trace-view out.trace.json   # self-time breakdown
+    python -m repro submit --jobs batch.jsonl --dataset amazon \
+        --engine parallel --workers 4 --priority 2
+    python -m repro serve --jobs batch.jsonl    # warm pools + result cache
     python -m repro experiment fig6 table5 fig8 ...
     python -m repro experiment fig6 --metrics-out metrics.json
     python -m repro quality --mu 0.1 0.3 0.5
@@ -112,6 +115,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the full per-kernel hardware report",
     )
     _add_obs_arguments(runp)
+
+    srv = sub.add_parser(
+        "serve",
+        help="run a JSONL batch of jobs over warm pools + result cache",
+        description="Batch driver for the job service (docs/service.md): "
+        "executes every job in --jobs over warm worker pools and a "
+        "content-addressed result cache, printing one row per job. "
+        "Exit 0 iff no job failed or was rejected.",
+    )
+    srv.add_argument("--jobs", required=True, metavar="JSONL",
+                     help="jobs file, one JSON job per line (see "
+                     "docs/service.md for the schema; 'repro submit' "
+                     "appends well-formed lines)")
+    srv.add_argument("--max-queue-depth", type=int, default=64,
+                     help="admission bound; surplus jobs are rejected "
+                     "(default 64)")
+    srv.add_argument("--cache-entries", type=int, default=128,
+                     help="result-cache LRU capacity; 0 disables caching "
+                     "(default 128)")
+    srv.add_argument("--json-out", metavar="PATH", default=None,
+                     help="also write per-job results + service stats as JSON")
+    _add_obs_arguments(srv)
+
+    smt = sub.add_parser(
+        "submit",
+        help="append one validated job line to a JSONL jobs file",
+    )
+    smt.add_argument("--jobs", required=True, metavar="JSONL",
+                     help="jobs file to append to (created if missing)")
+    gsrc = smt.add_mutually_exclusive_group(required=True)
+    gsrc.add_argument("--dataset", choices=TABLE1_ORDER)
+    gsrc.add_argument("--edge-list", metavar="PATH")
+    gsrc.add_argument("--planted", metavar="JSON",
+                      help="inline planted-partition recipe, e.g. "
+                      '\'{"communities": 4, "size": 20, "p_in": 0.45, '
+                      '"p_out": 0.02, "seed": 7}\'')
+    smt.add_argument("--directed", action="store_true")
+    smt.add_argument("--engine", default="parallel",
+                     choices=("vectorized", "multicore", "parallel"))
+    smt.add_argument("--workers", type=int, default=None, metavar="N")
+    smt.add_argument("--seed", type=int, default=0)
+    smt.add_argument("--tau", type=float, default=None)
+    smt.add_argument("--priority", type=int, default=None,
+                     help="higher runs first; ties run in file order")
+    smt.add_argument("--deadline", type=float, default=None,
+                     metavar="SECONDS",
+                     help="cancel the job past this wall-clock budget "
+                     "(--engine parallel only)")
+    smt.add_argument("--no-cache", action="store_true",
+                     help="opt this job out of the result cache")
+    smt.add_argument("--fault-plan", default=None, metavar="PLAN")
+    smt.add_argument("--worker-timeout", type=float, default=None,
+                     metavar="SECONDS")
+    smt.add_argument("--label", default=None)
 
     exp = sub.add_parser("experiment", help="regenerate paper tables/figures")
     exp.add_argument("names", nargs="+", choices=EXPERIMENTS)
@@ -344,6 +401,116 @@ def _merge_stats(a, b):
     return out
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Batch driver over the job service (docs/service.md)."""
+    from repro.service import JobService, STATUS_COMPLETED
+    from repro.service.jobsfile import load_jobs
+
+    try:
+        specs = load_jobs(args.jobs)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load jobs file: {exc}", file=sys.stderr)
+        return 1
+    if not specs:
+        print(f"no jobs in {args.jobs}", file=sys.stderr)
+        return 1
+    print(f"{len(specs)} job(s) from {args.jobs}")
+    with JobService(
+        max_queue_depth=args.max_queue_depth,
+        cache_entries=args.cache_entries,
+    ) as svc:
+        results = svc.run_batch(specs)
+        stats = svc.stats()
+
+    t = Table(
+        f"Job service — {args.jobs}",
+        ["Job", "Label", "Engine", "Status", "Modules", "L (bits)",
+         "Via", "Time"],
+    )
+    for r in results:
+        via = ("cache" if r.cache_hit
+               else "warm" if r.warm_pool
+               else "cold" if r.status == STATUS_COMPLETED else "-")
+        t.add_row([
+            r.job_id,
+            r.label,
+            f"{r.engine}×{r.workers}" if r.workers > 1 else r.engine,
+            r.status,
+            r.num_modules if r.ok else "-",
+            f"{r.codelength:.4f}" if r.ok else "-",
+            via,
+            format_seconds(r.run_seconds),
+        ])
+    t.print()
+    for r in results:
+        if r.error:
+            print(f"job {r.job_id}: {r.error}")
+    pools, cache = stats["pools"], stats["cache"]
+    print(f"pools: {pools['warm_hits']} warm hit(s), "
+          f"{pools['cold_spawns']} cold spawn(s); "
+          f"cache: {cache['hits']} hit(s), {cache['misses']} miss(es), "
+          f"{cache['evictions']} eviction(s)")
+    if args.json_out:
+        payload = {
+            "jobs_file": args.jobs,
+            "results": [
+                {
+                    "job_id": r.job_id, "label": r.label,
+                    "engine": r.engine, "workers": r.workers,
+                    "seed": r.seed, "status": r.status,
+                    "num_modules": r.num_modules,
+                    "codelength": r.codelength, "levels": r.levels,
+                    "cache_hit": r.cache_hit, "warm_pool": r.warm_pool,
+                    "respawns": r.respawns,
+                    "run_seconds": r.run_seconds, "error": r.error,
+                }
+                for r in results
+            ],
+            "stats": stats,
+        }
+        with open(args.json_out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"results: {args.json_out}")
+    bad = [r for r in results if r.status in ("failed", "rejected")]
+    return 1 if bad else 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Append one shape-checked job line to a JSONL jobs file."""
+    from repro.service.jobsfile import append_job
+
+    obj: dict = {}
+    if args.dataset:
+        obj["dataset"] = args.dataset
+    elif args.edge_list:
+        obj["edge_list"] = args.edge_list
+        if args.directed:
+            obj["directed"] = True
+    else:
+        try:
+            obj["planted"] = json.loads(args.planted)
+        except json.JSONDecodeError as exc:
+            print(f"--planted is not JSON: {exc}", file=sys.stderr)
+            return 1
+    obj["engine"] = args.engine
+    if args.engine == "vectorized" and args.workers is None:
+        obj["workers"] = 1
+    for key in ("workers", "seed", "tau", "priority", "deadline",
+                "fault_plan", "worker_timeout", "label"):
+        value = getattr(args, key)
+        if value is not None:
+            obj[key] = value
+    if args.no_cache:
+        obj["use_cache"] = False
+    try:
+        written = append_job(args.jobs, obj)
+    except (OSError, ValueError) as exc:
+        print(f"cannot submit: {exc}", file=sys.stderr)
+        return 1
+    print(f"{args.jobs} += {json.dumps(written, sort_keys=True)}")
+    return 0
+
+
 def _cmd_experiment(names: Sequence[str]) -> int:
     from repro.harness import experiments as E
 
@@ -435,6 +602,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         _validate_run_args(parser, args)
         with _obs_session(args):
             return _cmd_run(args)
+    if args.command == "serve":
+        with _obs_session(args):
+            return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     if args.command == "experiment":
         with _obs_session(args):
             return _cmd_experiment(args.names)

@@ -145,6 +145,8 @@ def run_infomap(
     workers: int | None = None,
     fault_plan=None,
     worker_timeout: float | None = None,
+    pool=None,
+    deadline: float | None = None,
 ):
     """Run multilevel Infomap on ``graph`` — the single engine entry point.
 
@@ -178,6 +180,14 @@ def run_infomap(
         :class:`repro.core.faults.FaultPlan` (or its string spelling)
         injecting worker failures, and the supervisor's reply deadline
         in seconds.  See :func:`repro.core.parallel.run_infomap_parallel`.
+    pool, deadline:
+        ``parallel`` engine only (rejected elsewhere), the serving
+        hooks: a warm worker pool to run on instead of forking a fresh
+        one (borrowed, never closed; see
+        :func:`repro.core.parallel.run_infomap_parallel`), and a
+        wall-clock budget in seconds after which the run is cancelled
+        with :class:`repro.core.parallel.DeadlineExceeded`.  The job
+        service (:mod:`repro.service`) drives runs through these.
     backend:
         ``"plain"`` (uninstrumented dict), ``"softhash"`` (the paper's
         Baseline), or ``"asa"``.  Instrumented engines (``sequential``,
@@ -218,6 +228,11 @@ def run_infomap(
             f"fault_plan= and worker_timeout= apply to the 'parallel' "
             f"engine only, not {engine!r}"
         )
+    if (pool is not None or deadline is not None) and engine != "parallel":
+        raise ValueError(
+            f"pool= and deadline= apply to the 'parallel' engine only, "
+            f"not {engine!r}"
+        )
     if engine == "vectorized":
         from repro.core.vectorized import run_infomap_vectorized
 
@@ -252,6 +267,8 @@ def run_infomap(
             seed=shuffle_seed if shuffle_seed is not None else 0,
             fault_plan=fault_plan,
             worker_timeout=worker_timeout,
+            pool=pool,
+            deadline=deadline,
         )
     if engine != "sequential":
         raise ValueError(

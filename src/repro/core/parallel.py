@@ -54,6 +54,24 @@ registered at creation, released on rebind/close, unlinked by an
 masters are swept when the next pool starts
 (``tests/test_shm_lifecycle.py`` pins all three exit paths).
 
+Warm pools (the serving layer)
+------------------------------
+
+Forking ``P`` workers and handshaking them is the cold-start cost every
+run pays — the software analogue of the paper's CAM setup the hardware
+keeps resident across FindBestCommunity sweeps.  A pool can therefore
+outlive a single run: :meth:`_WorkerPool.reset_run` rearms it for the
+next job (fresh per-run stats, fresh fault plan, respawn of any worker
+that died idle), :meth:`_WorkerPool.end_run` releases the finished run's
+arena while keeping the workers alive, and :meth:`_WorkerPool.abort_run`
+restores a clean slate (kill + respawn every worker, drop the arena)
+after a cancelled or failed run so the pipe protocol cannot carry
+stale replies into the next job.  ``run_infomap_parallel(pool=...)``
+runs on such a borrowed pool and never closes it; results are
+bit-identical to a cold run at the same seed because workers hold no
+state between binds.  :mod:`repro.service` builds its
+:class:`~repro.service.pool.PoolManager` on exactly these hooks.
+
 The start method defaults to ``fork`` where available (cheapest; workers
 inherit the interpreter state) and can be overridden with the
 ``REPRO_MP_START`` environment variable (``fork`` | ``spawn`` |
@@ -90,7 +108,7 @@ from repro.obs.telemetry import ConvergenceTelemetry, TelemetryRecorder
 
 log = get_logger("core.parallel")
 
-__all__ = ["run_infomap_parallel", "ParallelResult"]
+__all__ = ["run_infomap_parallel", "ParallelResult", "DeadlineExceeded"]
 
 #: how often the supervisor re-checks liveness while awaiting a reply
 _POLL_QUANTUM = 0.02
@@ -341,6 +359,17 @@ class _WorkerFault(Exception):
         self.detail = detail
 
 
+class DeadlineExceeded(RuntimeError):
+    """The run's job deadline lapsed before the schedule finished.
+
+    Raised master-side by the supervision loop (not by a worker), so the
+    run unwinds at a barrier boundary.  Distinct from a worker fault: no
+    recovery is attempted — the caller decides whether to abort the pool
+    (:meth:`_WorkerPool.abort_run`) and move on, which is what the job
+    service does to cancel a job.
+    """
+
+
 def _valid_round_reply(msg) -> bool:
     """A round reply is ``(verts, targets, wall_seconds)`` with matching
     1-D int64 arrays — anything else marks the worker compromised."""
@@ -396,11 +425,19 @@ class _WorkerPool(ProposeBackend):
         self._state: dict[str, np.ndarray] = {}
         self._level = 0
         self._barrier = 0
+        self._closed = False
+        #: absolute time.monotonic() cutoff of the current job (None: no
+        #: deadline); checked at every barrier and poll quantum
+        self.job_deadline: float | None = None
         self.worker_propose_seconds = [0.0] * workers
         self.propose_seconds = 0.0
         self.proposed_vertices = 0
         self.respawns = 0
         self.faults_detected: dict[str, int] = {}
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     @property
     def faults_injected(self) -> dict[str, int]:
@@ -424,6 +461,15 @@ class _WorkerPool(ProposeBackend):
             except OSError:  # pragma: no cover - already torn down
                 pass
 
+    def _check_deadline(self) -> None:
+        if (
+            self.job_deadline is not None
+            and time.monotonic() >= self.job_deadline
+        ):
+            raise DeadlineExceeded(
+                f"job deadline lapsed at barrier {self._barrier}"
+            )
+
     def _try_send(self, p: int, msg) -> bool:
         try:
             self._conns[p].send(msg)
@@ -444,6 +490,7 @@ class _WorkerPool(ProposeBackend):
             else time.monotonic() + self.worker_timeout
         )
         while True:
+            self._check_deadline()
             if conn.poll(_POLL_QUANTUM):
                 try:
                     return conn.recv()
@@ -552,6 +599,7 @@ class _WorkerPool(ProposeBackend):
     ) -> None:
         self._level = level
         self._barrier = barrier
+        self._check_deadline()
 
     def begin_level(self, net, level, blocks, ws) -> None:
         fields = _net_fields(net)
@@ -616,7 +664,80 @@ class _WorkerPool(ProposeBackend):
             return np.empty(0, np.int64), np.empty(0, np.int64)
         return np.concatenate(verts_parts), np.concatenate(targ_parts)
 
+    # ------------------------------------------------- multi-run lifecycle
+    def reset_run(
+        self,
+        fault_plan: FaultPlan | None = None,
+        worker_timeout: float | None = None,
+    ) -> None:
+        """Rearm a warm pool for its next run.
+
+        Zeroes every per-run stat (propose walls, respawns, fault
+        counts), installs the next run's fault plan / reply deadline,
+        clears any job deadline, and silently respawns workers that died
+        while the pool sat idle — so job N+1 starts from the same state
+        a cold pool would, minus the fork+handshake it just skipped.
+        """
+        if self._closed:
+            raise RuntimeError("cannot reset a closed worker pool")
+        self.worker_timeout = worker_timeout
+        self._injector = (
+            FaultInjector(fault_plan) if fault_plan is not None else None
+        )
+        self.job_deadline = None
+        self._level = 0
+        self._barrier = 0
+        self.worker_propose_seconds = [0.0] * self.workers
+        self.propose_seconds = 0.0
+        self.proposed_vertices = 0
+        self.respawns = 0
+        self.faults_detected = {}
+        for p in range(self.workers):
+            proc = self._procs[p]
+            if proc is None or not proc.is_alive():
+                log.warning("worker %d died while pool was idle; respawning", p)
+                if proc is not None:
+                    proc.join(timeout=5)
+                self._spawn(p)
+
+    def end_run(self) -> None:
+        """Release the finished run's arena but keep the workers warm.
+
+        Idempotent.  Workers keep their (now unlinked) mapping until the
+        next run's first ``bind`` swaps it out — the segment file itself
+        is gone from ``/dev/shm`` the moment this returns, so a warm
+        pool parked between jobs holds zero observable segments.
+        """
+        self._state = {}
+        self._descr = None
+        arena.release_arena(self._shm)
+        self._shm = None
+        self.job_deadline = None
+
+    def abort_run(self) -> None:
+        """Restore a clean slate after a cancelled or failed run.
+
+        A run that unwound mid-schedule (deadline, unrecoverable worker,
+        interrupt) may leave workers mid-compute with replies still in
+        their pipes; reusing those pipes would corrupt the next run's
+        protocol.  Kill and respawn every worker, then drop the arena.
+        Idempotent; the pool is warm (processes alive, unbound) after.
+        """
+        if self._closed:
+            return
+        for p in range(self.workers):
+            proc = self._procs[p]
+            if proc is not None:
+                if proc.is_alive():
+                    proc.kill()
+                proc.join(timeout=5)
+            self._spawn(p)
+        self.end_run()
+
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
         try:
             for conn in self._conns:
                 if conn is None:
@@ -641,6 +762,8 @@ class _WorkerPool(ProposeBackend):
                 except OSError:  # pragma: no cover - already closed
                     pass
         finally:
+            self._conns = [None] * self.workers
+            self._procs = [None] * self.workers
             self._state = {}
             self._descr = None
             arena.release_arena(self._shm)
@@ -658,6 +781,8 @@ def run_infomap_parallel(
     start_method: str | None = None,
     fault_plan: FaultPlan | str | None = None,
     worker_timeout: float | None = None,
+    pool: "_WorkerPool | None" = None,
+    deadline: float | None = None,
 ) -> ParallelResult:
     """Run Infomap with ``workers`` supervised worker processes.
 
@@ -695,6 +820,18 @@ def run_infomap_parallel(
         when a ``fault_plan`` is given, where it defaults to
         :data:`repro.core.faults.DEFAULT_WORKER_TIMEOUT` so injected
         hangs terminate.
+    pool:
+        A warm :class:`_WorkerPool` to run on instead of forking a new
+        one (the serving layer's amortization: job N+1 skips
+        fork+handshake).  Its worker count must equal ``workers``.  The
+        pool is *borrowed*: it is rearmed via ``reset_run`` on entry,
+        parked via ``end_run`` on success, restored via ``abort_run``
+        on failure — never closed.  Results are bit-identical to a
+        cold run at the same seed.
+    deadline:
+        Optional wall-clock budget in seconds for the whole run; when
+        it lapses the run is cancelled at the next barrier or poll
+        quantum with :class:`DeadlineExceeded`.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -704,11 +841,25 @@ def run_infomap_parallel(
         worker_timeout = DEFAULT_WORKER_TIMEOUT
     if worker_timeout is not None and worker_timeout <= 0:
         raise ValueError("worker_timeout must be positive seconds (or None)")
+    if deadline is not None and deadline <= 0:
+        raise ValueError("deadline must be positive seconds (or None)")
 
-    pool = _WorkerPool(
-        workers, start_method,
-        fault_plan=fault_plan, worker_timeout=worker_timeout,
-    )
+    owns_pool = pool is None
+    if owns_pool:
+        pool = _WorkerPool(
+            workers, start_method,
+            fault_plan=fault_plan, worker_timeout=worker_timeout,
+        )
+    else:
+        if pool.closed:
+            raise ValueError("pool is closed")
+        if pool.workers != workers:
+            raise ValueError(
+                f"pool has {pool.workers} workers, run asked for {workers}"
+            )
+        pool.reset_run(fault_plan=fault_plan, worker_timeout=worker_timeout)
+    if deadline is not None:
+        pool.job_deadline = time.monotonic() + deadline
     recorder = TelemetryRecorder("parallel", num_cores=workers)
     try:
         with trace_span("infomap.run", engine="parallel", workers=workers):
@@ -723,8 +874,18 @@ def run_infomap_parallel(
                 chunk=chunk,
                 recorder=recorder,
             )
-    finally:
-        pool.close()
+    except BaseException:
+        # a run that unwound mid-schedule cannot trust the pipes again
+        if owns_pool:
+            pool.close()
+        else:
+            pool.abort_run()
+        raise
+    else:
+        if owns_pool:
+            pool.close()
+        else:
+            pool.end_run()
 
     if obs_metrics.is_enabled():
         reg = obs_metrics.get_registry()

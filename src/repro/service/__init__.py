@@ -1,0 +1,40 @@
+"""Job service: warm worker pools + content-addressed result caching.
+
+The serving layer over the engines in :mod:`repro.core` — submit many
+community-detection jobs, execute them over persistent resources, get
+structured results back.  See ``docs/service.md`` for the full tour.
+"""
+
+from repro.service.cache import CacheEntry, ResultCache, cache_key, graph_digest
+from repro.service.jobs import (
+    ENGINES,
+    STATUS_CANCELLED,
+    STATUS_COMPLETED,
+    STATUS_FAILED,
+    STATUS_PENDING,
+    STATUS_REJECTED,
+    JobResult,
+    JobSpec,
+)
+from repro.service.pool import PoolManager
+from repro.service.scheduler import QueuedJob, Scheduler
+from repro.service.service import JobService
+
+__all__ = [
+    "ENGINES",
+    "STATUS_PENDING",
+    "STATUS_COMPLETED",
+    "STATUS_FAILED",
+    "STATUS_CANCELLED",
+    "STATUS_REJECTED",
+    "JobSpec",
+    "JobResult",
+    "CacheEntry",
+    "ResultCache",
+    "cache_key",
+    "graph_digest",
+    "PoolManager",
+    "QueuedJob",
+    "Scheduler",
+    "JobService",
+]

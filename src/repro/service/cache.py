@@ -1,0 +1,174 @@
+"""Content-addressed result cache — the serving layer's CAM.
+
+The paper's ASA keeps a CAM of (module id → accumulated flow) entries
+resident so repeated FindBestCommunity lookups skip the hash pipeline;
+this module is the same idea one level up: a bounded associative store
+of (job content → partition) entries so repeated *jobs* skip the
+engines entirely.  It mirrors the CAM's observable structure — lookup
+hits, misses, and capacity evictions are counted and published as
+``service.cache.*`` metrics (the CAM's counters are
+``accum.overflow_evictions`` etc., see ``docs/observability.md``).
+
+Keys are **content-addressed**, never identity-addressed:
+
+* :func:`graph_digest` hashes the *canonical arc multiset* — arcs are
+  lexsorted by ``(src, dst)`` and duplicate arcs are coalesced by
+  summing weights before hashing, so two ``CSRGraph`` objects describe
+  the same network iff they digest equally, regardless of edge input
+  order or duplicate-edge spelling (the same canonical form
+  ``repro.graph.build`` applies when constructing a CSR);
+* :func:`cache_key` appends the canonicalized result-determining
+  parameters (engine, workers, seed, tau, level/pass caps, chunk).
+  Serving parameters (priority, deadline, fault plans) never reach the
+  key — they cannot change a result.
+
+``tests/test_service_cache.py`` pins both directions with hypothesis:
+digests invariant under edge permutation and duplicate-edge rewriting,
+distinct under weight/seed/engine changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.obs import metrics as obs_metrics
+from repro.service.jobs import JobSpec
+
+__all__ = ["graph_digest", "cache_key", "CacheEntry", "ResultCache"]
+
+
+def graph_digest(graph: CSRGraph) -> str:
+    """SHA-256 over the canonical arc multiset of ``graph``.
+
+    Canonical form: ``(src, dst, weight)`` triples lexsorted by
+    ``(src, dst)`` with duplicate ``(src, dst)`` arcs coalesced by
+    summing their weights, prefixed by the vertex count and the
+    directedness flag.  Isolated vertices matter (they change
+    ``num_vertices``); arc input order and duplicate spelling do not.
+    """
+    src, dst, w = graph.edge_array()
+    order = np.lexsort((dst, src))
+    src, dst, w = src[order], dst[order], w[order]
+    if len(src):
+        first = np.empty(len(src), dtype=bool)
+        first[0] = True
+        first[1:] = (src[1:] != src[:-1]) | (dst[1:] != dst[:-1])
+        group = np.cumsum(first) - 1
+        w = np.bincount(group, weights=w)
+        src, dst = src[first], dst[first]
+    h = hashlib.sha256()
+    h.update(f"csr/v1:{graph.num_vertices}:{int(graph.directed)}:".encode())
+    h.update(np.ascontiguousarray(src, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(dst, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(w, dtype=np.float64).tobytes())
+    return h.hexdigest()
+
+
+def cache_key(spec: JobSpec) -> str:
+    """Content address of ``spec``'s result.
+
+    Exactly the result-determining fields, canonically spelled; two
+    specs share a key iff the engines are guaranteed to hand back the
+    same partition for both.
+    """
+    params = (
+        f"params/v1:engine={spec.engine}:workers={spec.workers}"
+        f":seed={spec.seed}:tau={float(spec.tau)!r}"
+        f":levels={spec.max_levels}:passes={spec.max_passes_per_level}"
+        f":chunk={spec.chunk}"
+    )
+    return f"{graph_digest(spec.graph)}/{hashlib.sha256(params.encode()).hexdigest()}"
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """What a completed job leaves behind (enough to replay its result)."""
+
+    modules: np.ndarray
+    num_modules: int
+    codelength: float
+    levels: int
+
+
+class ResultCache:
+    """LRU-bounded store of job results keyed by :func:`cache_key`.
+
+    ``max_entries <= 0`` disables the cache entirely (every lookup
+    misses, nothing is stored) — what the throughput benchmark uses so
+    warm-pool speedups are never conflated with cache hits.  Arrays are
+    copied on the way in and out, so cached partitions can never be
+    mutated by callers.
+    """
+
+    def __init__(self, max_entries: int = 128) -> None:
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_entries > 0
+
+    def get(self, key: str) -> CacheEntry | None:
+        """Look up ``key``; a hit refreshes its LRU recency."""
+        entry = self._entries.get(key) if self.enabled else None
+        if entry is None:
+            self.misses += 1
+            self._publish("service.cache.misses")
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        self._publish("service.cache.hits")
+        return CacheEntry(
+            modules=entry.modules.copy(),
+            num_modules=entry.num_modules,
+            codelength=entry.codelength,
+            levels=entry.levels,
+        )
+
+    def put(self, key: str, entry: CacheEntry) -> None:
+        """Insert (or refresh) ``key``, evicting the LRU tail if full."""
+        if not self.enabled:
+            return
+        self._entries[key] = CacheEntry(
+            modules=np.array(entry.modules, dtype=np.int64, copy=True),
+            num_modules=int(entry.num_modules),
+            codelength=float(entry.codelength),
+            levels=int(entry.levels),
+        )
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            self._publish("service.cache.evictions")
+        if obs_metrics.is_enabled():
+            obs_metrics.get_registry().gauge("service.cache.size").set(
+                len(self._entries)
+            )
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    @staticmethod
+    def _publish(name: str) -> None:
+        if obs_metrics.is_enabled():
+            obs_metrics.get_registry().counter(name).inc()

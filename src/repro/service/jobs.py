@@ -1,0 +1,197 @@
+"""Job specifications and structured job outcomes.
+
+A :class:`JobSpec` is one community-detection request: a graph plus the
+engine parameters that determine its result (engine, workers, seed,
+tau, level/pass caps, chunk) and the serving parameters that determine
+how it is run (priority, deadline, cache participation, chaos plan).
+Specs are immutable and self-validating — :meth:`JobSpec.validate`
+raises ``ValueError`` with a human-readable reason, which the
+scheduler's admission control converts into a structured rejection
+instead of letting it escape a batch.
+
+A :class:`JobResult` is the *only* way the service reports an outcome:
+completed, failed, cancelled, and rejected jobs all come back as
+results with a ``status`` and (on the failure paths) an ``error``
+string — the service never raises for a job-level problem, so one bad
+job cannot take down a batch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.faults import FaultPlan
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "ENGINES",
+    "STATUS_PENDING",
+    "STATUS_COMPLETED",
+    "STATUS_FAILED",
+    "STATUS_CANCELLED",
+    "STATUS_REJECTED",
+    "JobSpec",
+    "JobResult",
+]
+
+#: engines a job may request; ``parallel`` is the one the warm pools
+#: amortize (the others are single-rank and have no fork cost to skip)
+ENGINES = ("vectorized", "multicore", "parallel")
+
+STATUS_PENDING = "pending"
+STATUS_COMPLETED = "completed"
+STATUS_FAILED = "failed"
+STATUS_CANCELLED = "cancelled"
+STATUS_REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One community-detection request.
+
+    Result-determining parameters (everything the cache key hashes):
+    ``graph``, ``engine``, ``workers``, ``seed``, ``tau``,
+    ``max_levels``, ``max_passes_per_level``, ``chunk``.  Serving
+    parameters (never part of the cache key): ``priority``,
+    ``deadline``, ``use_cache``, ``fault_plan``, ``worker_timeout``,
+    ``label``.
+    """
+
+    graph: CSRGraph
+    engine: str = "parallel"
+    workers: int = 2
+    seed: int = 0
+    tau: float = 0.15
+    max_levels: int = 20
+    max_passes_per_level: int = 10
+    chunk: int | None = None
+    #: higher runs first; ties break FIFO by submission order
+    priority: int = 0
+    #: wall-clock budget in seconds (``parallel`` only); a job past it
+    #: is cancelled at the next barrier and reported, not raised
+    deadline: float | None = None
+    #: opt out of the result cache for this job (chaos jobs skip it
+    #: automatically)
+    use_cache: bool = True
+    #: chaos injection (``parallel`` only), see :mod:`repro.core.faults`
+    fault_plan: FaultPlan | str | None = None
+    #: supervisor reply deadline per worker (``parallel`` only)
+    worker_timeout: float | None = None
+    #: free-form tag echoed into the result (for batch reports)
+    label: str = ""
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` describing the first invalid field."""
+        if not isinstance(self.graph, CSRGraph):
+            raise ValueError(
+                f"graph must be a CSRGraph, got {type(self.graph).__name__}"
+            )
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}: choose from {ENGINES}"
+            )
+        if not isinstance(self.workers, int) or self.workers < 1:
+            raise ValueError("workers must be an int >= 1")
+        if self.engine == "vectorized" and self.workers != 1:
+            raise ValueError(
+                "engine 'vectorized' is single-rank: workers must be 1"
+            )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ValueError("seed must be an int")
+        if not (0.0 < self.tau < 1.0):
+            raise ValueError("tau must be in (0, 1)")
+        if self.max_levels < 1 or self.max_passes_per_level < 1:
+            raise ValueError(
+                "max_levels and max_passes_per_level must be >= 1"
+            )
+        if self.chunk is not None and self.chunk < 1:
+            raise ValueError("chunk must be >= 1 (or None for whole shards)")
+        if self.deadline is not None:
+            if self.engine != "parallel":
+                raise ValueError(
+                    "deadline requires engine 'parallel' (it is enforced "
+                    "by the worker-pool supervision loop)"
+                )
+            if not (self.deadline > 0 and math.isfinite(self.deadline)):
+                raise ValueError("deadline must be positive finite seconds")
+        if self.fault_plan is not None:
+            if self.engine != "parallel":
+                raise ValueError("fault_plan requires engine 'parallel'")
+            if isinstance(self.fault_plan, str):
+                FaultPlan.parse(self.fault_plan, workers=self.workers)
+            elif not isinstance(self.fault_plan, FaultPlan):
+                raise ValueError(
+                    "fault_plan must be a FaultPlan or its string spelling"
+                )
+        if self.worker_timeout is not None:
+            if self.engine != "parallel":
+                raise ValueError("worker_timeout requires engine 'parallel'")
+            if self.worker_timeout <= 0:
+                raise ValueError("worker_timeout must be positive seconds")
+
+    @property
+    def cacheable(self) -> bool:
+        """Whether this job may read/write the result cache.
+
+        Chaos jobs are excluded: their results are proven bit-identical
+        to clean runs, but a cache should never depend on that proof.
+        """
+        return self.use_cache and self.fault_plan is None
+
+    def describe(self) -> str:
+        tag = self.label or self.graph.name
+        return (
+            f"{tag}[{self.engine}"
+            f"{f' x{self.workers}' if self.engine != 'vectorized' else ''}"
+            f", seed={self.seed}]"
+        )
+
+
+@dataclass
+class JobResult:
+    """Structured outcome of one job — the service's only failure channel."""
+
+    job_id: int
+    status: str
+    label: str = ""
+    engine: str = ""
+    workers: int = 0
+    seed: int = 0
+    #: final flat partition (``None`` unless completed)
+    modules: np.ndarray | None = None
+    num_modules: int = 0
+    codelength: float = math.nan
+    levels: int = 0
+    #: served straight from the ResultCache (no workers touched)
+    cache_hit: bool = False
+    #: executed on a pre-existing warm pool (fork+handshake skipped)
+    warm_pool: bool = False
+    #: workers respawned by the supervisor during this job
+    respawns: int = 0
+    #: seconds between submission and execution start
+    queue_seconds: float = 0.0
+    #: seconds spent executing (0 for rejected jobs)
+    run_seconds: float = 0.0
+    #: why the job failed / was cancelled / was rejected
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_COMPLETED
+
+    def summary(self) -> str:
+        head = f"job {self.job_id} [{self.label}] {self.status}"
+        if self.ok:
+            src = (
+                "cache" if self.cache_hit
+                else ("warm pool" if self.warm_pool else "cold")
+            )
+            return (
+                f"{head}: {self.num_modules} modules, "
+                f"L={self.codelength:.4f} bits via {src} "
+                f"in {self.run_seconds * 1e3:.1f} ms"
+            )
+        return f"{head}: {self.error}"

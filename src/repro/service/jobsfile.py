@@ -1,0 +1,156 @@
+"""JSONL job files — the batch format ``repro serve`` consumes.
+
+One job per line, e.g.::
+
+    {"dataset": "amazon", "engine": "parallel", "workers": 4, "seed": 0}
+    {"edge_list": "my.txt", "directed": false, "engine": "vectorized",
+     "workers": 1}
+    {"planted": {"communities": 4, "size": 20, "p_in": 0.45,
+     "p_out": 0.02, "seed": 7}, "priority": 2, "deadline": 30.0}
+
+Exactly one graph source per line — ``dataset`` (a Table I surrogate
+name), ``edge_list`` (a path, with optional ``directed``), or
+``planted`` (an inline planted-partition recipe, handy for smokes and
+CI) — plus any :class:`~repro.service.jobs.JobSpec` field by name.
+
+File-level problems (bad JSON, unknown keys, missing graph source) fail
+fast with the line number: a batch driver should refuse a file it
+cannot fully parse.  *Job*-level problems (bad tau, bad engine) are
+left for the scheduler's admission control to reject structurally, so
+one invalid job never blocks the rest of the file.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.graph.csr import CSRGraph
+from repro.service.jobs import JobSpec
+
+__all__ = ["load_jobs", "append_job", "spec_fields_from_json"]
+
+#: JobSpec fields settable from a JSONL line (graph comes from the
+#: graph-source keys, which are handled separately)
+_SPEC_KEYS = (
+    "engine", "workers", "seed", "tau", "max_levels",
+    "max_passes_per_level", "chunk", "priority", "deadline",
+    "use_cache", "fault_plan", "worker_timeout", "label",
+)
+_GRAPH_KEYS = ("dataset", "edge_list", "planted")
+_FILE_KEYS = _SPEC_KEYS + _GRAPH_KEYS + ("directed",)
+
+
+def spec_fields_from_json(obj: dict, where: str = "job") -> dict:
+    """Validate the *shape* of one decoded JSONL object.
+
+    Returns the JobSpec keyword subset; raises ``ValueError`` for
+    unknown keys or a missing/ambiguous graph source.  Field *values*
+    are deliberately not validated here — admission control owns that.
+    """
+    if not isinstance(obj, dict):
+        raise ValueError(f"{where}: expected a JSON object, got "
+                         f"{type(obj).__name__}")
+    unknown = sorted(set(obj) - set(_FILE_KEYS))
+    if unknown:
+        raise ValueError(f"{where}: unknown key(s) {unknown}; "
+                         f"valid keys: {sorted(_FILE_KEYS)}")
+    sources = [k for k in _GRAPH_KEYS if k in obj]
+    if len(sources) != 1:
+        raise ValueError(
+            f"{where}: need exactly one graph source of {_GRAPH_KEYS}, "
+            f"got {sources or 'none'}"
+        )
+    if "directed" in obj and sources != ["edge_list"]:
+        raise ValueError(f"{where}: 'directed' only applies to 'edge_list'")
+    return {k: obj[k] for k in _SPEC_KEYS if k in obj}
+
+
+class _GraphResolver:
+    """Load each distinct graph source once per file."""
+
+    def __init__(self) -> None:
+        self._cache: dict[tuple, CSRGraph] = {}
+
+    def resolve(self, obj: dict, where: str) -> CSRGraph:
+        if "dataset" in obj:
+            key = ("dataset", obj["dataset"])
+        elif "edge_list" in obj:
+            key = ("edge_list", obj["edge_list"],
+                   bool(obj.get("directed", False)))
+        else:
+            recipe = obj["planted"]
+            if not isinstance(recipe, dict):
+                raise ValueError(f"{where}: 'planted' must be an object")
+            key = ("planted", tuple(sorted(recipe.items())))
+        graph = self._cache.get(key)
+        if graph is not None:
+            return graph
+        if key[0] == "dataset":
+            from repro.graph.datasets import load_dataset
+
+            graph = load_dataset(obj["dataset"])
+        elif key[0] == "edge_list":
+            from repro.graph.io import read_edge_list
+
+            graph, _ = read_edge_list(
+                obj["edge_list"], directed=bool(obj.get("directed", False))
+            )
+        else:
+            from repro.graph.generators import planted_partition
+
+            recipe = dict(obj["planted"])
+            try:
+                graph, _ = planted_partition(
+                    recipe.pop("communities"), recipe.pop("size"),
+                    recipe.pop("p_in"), recipe.pop("p_out"),
+                    seed=recipe.pop("seed", 0), **recipe,
+                )
+            except (KeyError, TypeError) as exc:
+                raise ValueError(f"{where}: bad 'planted' recipe: {exc}")
+        self._cache[key] = graph
+        return graph
+
+
+def load_jobs(path: str) -> list[JobSpec]:
+    """Parse a JSONL jobs file into specs, resolving graphs.
+
+    Raises ``ValueError`` naming ``path`` and the 1-based line number
+    for anything the file format cannot express; per-job parameter
+    validity is left to admission control.
+    """
+    resolver = _GraphResolver()
+    specs: list[JobSpec] = []
+    with open(path) as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            where = f"{path}:{lineno}"
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{where}: not JSON: {exc}") from None
+            fields = spec_fields_from_json(obj, where=where)
+            graph = resolver.resolve(obj, where)
+            specs.append(JobSpec(graph=graph, **fields))
+    return specs
+
+
+def append_job(path: str, obj: dict) -> dict:
+    """Shape-check ``obj`` and append it as one JSONL line (the
+    ``repro submit`` spelling).  Returns the object as written."""
+    spec_fields_from_json(obj, where="job")
+    compact = {k: v for k, v in obj.items() if v is not None}
+    with open(path, "a") as fh:
+        fh.write(json.dumps(compact, sort_keys=True) + "\n")
+    return compact
+
+
+def specs_to_jsonl(objs: Iterable[dict], path: str) -> str:
+    """Write a whole jobs file at once (used by tests and smokes)."""
+    with open(path, "w") as fh:
+        for obj in objs:
+            spec_fields_from_json(obj, where="job")
+            fh.write(json.dumps(obj, sort_keys=True) + "\n")
+    return path

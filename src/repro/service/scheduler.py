@@ -1,0 +1,123 @@
+"""Admission-controlled priority+FIFO job queue.
+
+The :class:`Scheduler` decides *whether* and *in what order* jobs run;
+it never executes anything (that is :class:`repro.service.service
+.JobService`).  Three properties make batches deterministic and safe:
+
+* **priority + FIFO** — jobs pop highest ``priority`` first; equal
+  priorities pop in submission order.  The order is a pure function of
+  the submitted ``(priority, submission index)`` pairs, so replaying a
+  batch replays its schedule.
+* **admission control** — a full queue (``max_queue_depth``) rejects at
+  submission with a structured reason instead of queueing unboundedly;
+  an invalid spec (:meth:`~repro.service.jobs.JobSpec.validate`) is
+  rejected the same way.  Rejection is a *return value*, never an
+  exception — one malformed job cannot poison a batch.
+* **cancellation** — a queued job can be cancelled by id before it
+  runs; running-job cancellation is the deadline mechanism built on the
+  worker supervision loop (see ``docs/service.md``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from repro.service.jobs import JobSpec
+
+__all__ = ["QueuedJob", "Scheduler"]
+
+
+@dataclass(order=True)
+class QueuedJob:
+    """One admitted job, ordered for the heap (lower sorts first)."""
+
+    sort_key: tuple[int, int] = field(repr=False)
+    job_id: int = field(compare=False)
+    spec: JobSpec = field(compare=False)
+    #: time.monotonic() at admission — queue latency is measured from here
+    submitted_at: float = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Scheduler:
+    """Bounded priority+FIFO queue with validating admission control."""
+
+    def __init__(self, max_queue_depth: int = 64) -> None:
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        self.max_queue_depth = max_queue_depth
+        self._heap: list[QueuedJob] = []
+        self._ids = itertools.count()
+        self._live = 0  # queued minus cancelled (admission sees this)
+        self.submitted = 0
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def next_job_id(self) -> int:
+        """Allocate the id a rejected submission is reported under."""
+        return next(self._ids)
+
+    def admit(self, spec: JobSpec) -> tuple[int, str | None]:
+        """Admission control: queue ``spec`` or refuse it.
+
+        Returns ``(job_id, None)`` on admission or ``(job_id, reason)``
+        on rejection — the reason is the structured error the caller
+        reports; nothing is raised for a bad or surplus job.
+        """
+        job_id = self.next_job_id()
+        self.submitted += 1
+        try:
+            spec.validate()
+        except ValueError as exc:
+            self.rejected += 1
+            return job_id, f"invalid job spec: {exc}"
+        if self._live >= self.max_queue_depth:
+            self.rejected += 1
+            return job_id, (
+                f"queue full: {self._live} job(s) pending "
+                f"(max_queue_depth={self.max_queue_depth})"
+            )
+        # heapq is a min-heap: negate priority so higher runs first;
+        # job_id ascends, so equal priorities pop FIFO
+        heapq.heappush(
+            self._heap,
+            QueuedJob(
+                sort_key=(-spec.priority, job_id),
+                job_id=job_id,
+                spec=spec,
+                submitted_at=time.monotonic(),
+            ),
+        )
+        self._live += 1
+        return job_id, None
+
+    def cancel(self, job_id: int) -> bool:
+        """Cancel a still-queued job; True iff something was cancelled."""
+        for q in self._heap:
+            if q.job_id == job_id and not q.cancelled:
+                q.cancelled = True
+                self._live -= 1
+                return True
+        return False
+
+    def pop(self) -> QueuedJob | None:
+        """Highest-priority oldest job, or ``None`` when drained."""
+        while self._heap:
+            q = heapq.heappop(self._heap)
+            if not q.cancelled:
+                self._live -= 1
+                return q
+        return None
+
+    def stats(self) -> dict:
+        return {
+            "depth": self._live,
+            "max_queue_depth": self.max_queue_depth,
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+        }

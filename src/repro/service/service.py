@@ -1,0 +1,317 @@
+"""The job service: many community-detection jobs, persistent resources.
+
+:class:`JobService` is the serving layer the ROADMAP's "heavy traffic"
+north star needs: callers submit :class:`~repro.service.jobs.JobSpec`\\ s
+and drain :class:`~repro.service.jobs.JobResult`\\ s, while the service
+amortizes the per-run setup the engines would otherwise pay every call —
+exactly the cost structure the paper amortizes in hardware by keeping
+the ASA CAM resident across FindBestCommunity sweeps:
+
+==========================  =============================================
+cold cost                   amortized by
+==========================  =============================================
+fork + pipe handshake       :class:`~repro.service.pool.PoolManager`
+                            (one warm pool per worker count)
+the whole run               :class:`~repro.service.cache.ResultCache`
+                            (content-addressed partitions, LRU-bounded)
+==========================  =============================================
+
+Shared-memory arenas are deliberately *not* kept warm: they are sized
+to one graph's levels, so they are re-provisioned per job via
+:mod:`repro.core.arena` and released at job end — a parked service
+holds zero ``/dev/shm`` segments (``tests/test_shm_lifecycle.py``).
+
+Execution contract (pinned by ``tests/test_service.py``):
+
+* results are **bit-identical** to cold ``run_infomap`` calls at equal
+  parameters — warm pools and cache hits are invisible in the output;
+* job order is the scheduler's deterministic priority+FIFO order;
+* every job comes back as a result — ``completed``, ``cancelled``
+  (deadline), ``failed`` (engine error), or ``rejected`` (admission) —
+  and a failing job never prevents the next one from running.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+
+from repro.core.parallel import DeadlineExceeded, run_infomap_parallel
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import get_logger
+from repro.obs.spans import trace_span
+from repro.service.cache import CacheEntry, ResultCache, cache_key
+from repro.service.jobs import (
+    STATUS_CANCELLED,
+    STATUS_COMPLETED,
+    STATUS_FAILED,
+    STATUS_REJECTED,
+    JobResult,
+    JobSpec,
+)
+from repro.service.pool import PoolManager
+from repro.service.scheduler import QueuedJob, Scheduler
+
+__all__ = ["JobService"]
+
+log = get_logger("service")
+
+
+class JobService:
+    """Submit-and-drain runner over warm pools and a result cache.
+
+    Parameters
+    ----------
+    max_queue_depth:
+        Admission bound; surplus submissions are rejected structurally.
+    cache_entries:
+        LRU capacity of the result cache; ``0`` disables caching.
+    start_method:
+        Multiprocessing start method for pools (default: the parallel
+        engine's — ``fork`` where available).
+    """
+
+    def __init__(
+        self,
+        max_queue_depth: int = 64,
+        cache_entries: int = 128,
+        start_method: str | None = None,
+    ) -> None:
+        self.scheduler = Scheduler(max_queue_depth=max_queue_depth)
+        self.pools = PoolManager(start_method=start_method)
+        self.cache = ResultCache(max_entries=cache_entries)
+        #: every finished/rejected outcome, keyed by job id
+        self.results: dict[int, JobResult] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------ submit
+    def submit(self, spec: JobSpec) -> int:
+        """Admit one job; returns its id.
+
+        A rejected job (invalid spec, full queue) gets an immediate
+        ``rejected`` :class:`JobResult` in :attr:`results` — nothing is
+        raised, matching the scheduler's structured-failure contract.
+        """
+        if self._closed:
+            raise RuntimeError("job service is closed")
+        job_id, reason = self.scheduler.admit(spec)
+        self._count("service.jobs.submitted")
+        if reason is not None:
+            self.results[job_id] = JobResult(
+                job_id=job_id,
+                status=STATUS_REJECTED,
+                label=spec.label or getattr(spec.graph, "name", ""),
+                engine=spec.engine,
+                workers=spec.workers,
+                seed=spec.seed if isinstance(spec.seed, int) else 0,
+                error=reason,
+            )
+            self._count("service.jobs.rejected")
+            log.warning("job %d rejected: %s", job_id, reason)
+        self._gauge("service.queue.depth", len(self.scheduler))
+        return job_id
+
+    def submit_many(self, specs: list[JobSpec]) -> list[int]:
+        return [self.submit(s) for s in specs]
+
+    def cancel(self, job_id: int) -> bool:
+        """Cancel a queued job (running jobs cancel via their deadline)."""
+        cancelled = self.scheduler.cancel(job_id)
+        if cancelled:
+            self.results[job_id] = JobResult(
+                job_id=job_id,
+                status=STATUS_CANCELLED,
+                error="cancelled while queued",
+            )
+            self._count("service.jobs.cancelled")
+        return cancelled
+
+    # ------------------------------------------------------------- drain
+    def drain(self) -> list[JobResult]:
+        """Run every queued job in scheduler order; return their results.
+
+        Jobs execute one at a time (the determinism contract); each
+        outcome is also recorded in :attr:`results`.
+        """
+        if self._closed:
+            raise RuntimeError("job service is closed")
+        out: list[JobResult] = []
+        while True:
+            queued = self.scheduler.pop()
+            if queued is None:
+                break
+            result = self._execute(queued)
+            self.results[result.job_id] = result
+            out.append(result)
+            self._gauge("service.queue.depth", len(self.scheduler))
+        return out
+
+    def run_batch(self, specs: list[JobSpec]) -> list[JobResult]:
+        """Submit + drain in one call (results in execution order)."""
+        ids = set(self.submit_many(specs))
+        results = self.drain()
+        # rejected jobs never reach the queue; splice them in by id order
+        drained = {r.job_id for r in results}
+        rejected = [
+            self.results[i] for i in sorted(ids - drained)
+            if i in self.results
+        ]
+        return sorted(results + rejected, key=lambda r: r.job_id)
+
+    # ----------------------------------------------------------- execute
+    def _execute(self, queued: QueuedJob) -> JobResult:
+        spec = queued.spec
+        result = JobResult(
+            job_id=queued.job_id,
+            status=STATUS_FAILED,
+            label=spec.label or spec.graph.name,
+            engine=spec.engine,
+            workers=spec.workers,
+            seed=spec.seed,
+            queue_seconds=time.monotonic() - queued.submitted_at,
+        )
+        t0 = time.perf_counter()
+        with trace_span(
+            "service.job", job=queued.job_id, engine=spec.engine,
+            workers=spec.workers,
+        ):
+            key = cache_key(spec) if spec.cacheable else None
+            entry = self.cache.get(key) if key is not None else None
+            if entry is not None:
+                result.status = STATUS_COMPLETED
+                result.modules = entry.modules
+                result.num_modules = entry.num_modules
+                result.codelength = entry.codelength
+                result.levels = entry.levels
+                result.cache_hit = True
+            else:
+                self._run_engine(spec, result)
+            if result.ok and key is not None and not result.cache_hit:
+                self.cache.put(
+                    key,
+                    CacheEntry(
+                        modules=result.modules,
+                        num_modules=result.num_modules,
+                        codelength=result.codelength,
+                        levels=result.levels,
+                    ),
+                )
+        result.run_seconds = time.perf_counter() - t0
+        self._count(f"service.jobs.{result.status}")
+        self._observe("service.job.queue_seconds", result.queue_seconds)
+        self._observe("service.job.run_seconds", result.run_seconds)
+        log.info("%s", result.summary())
+        return result
+
+    def _run_engine(self, spec: JobSpec, result: JobResult) -> None:
+        """Execute ``spec`` on its engine, reporting into ``result``."""
+        try:
+            if spec.engine == "parallel":
+                pool, warm = self.pools.acquire(spec.workers)
+                result.warm_pool = warm
+                r = run_infomap_parallel(
+                    spec.graph,
+                    workers=spec.workers,
+                    tau=spec.tau,
+                    max_levels=spec.max_levels,
+                    max_passes_per_level=spec.max_passes_per_level,
+                    seed=spec.seed,
+                    chunk=spec.chunk,
+                    fault_plan=spec.fault_plan,
+                    worker_timeout=spec.worker_timeout,
+                    pool=pool,
+                    deadline=spec.deadline,
+                )
+                result.respawns = r.respawns
+            elif spec.engine == "multicore":
+                from repro.core.multicore import run_infomap_multicore
+
+                r = run_infomap_multicore(
+                    spec.graph,
+                    num_cores=spec.workers,
+                    tau=spec.tau,
+                    max_levels=spec.max_levels,
+                    max_passes_per_level=spec.max_passes_per_level,
+                    chunk=spec.chunk,
+                    seed=spec.seed,
+                )
+            else:  # vectorized (admission already validated the engine)
+                from repro.core.vectorized import run_infomap_vectorized
+
+                r = run_infomap_vectorized(
+                    spec.graph,
+                    tau=spec.tau,
+                    max_levels=spec.max_levels,
+                    max_rounds_per_level=spec.max_passes_per_level,
+                    seed=spec.seed,
+                )
+        except DeadlineExceeded as exc:
+            # the pool already restored itself (abort_run inside the
+            # engine's unwind); it stays warm for the next job
+            result.status = STATUS_CANCELLED
+            result.error = f"deadline of {spec.deadline}s exceeded ({exc})"
+            self._count("service.deadline_cancellations")
+        except Exception as exc:
+            result.status = STATUS_FAILED
+            result.error = f"{type(exc).__name__}: {exc}"
+            log.error(
+                "job %d failed:\n%s", result.job_id, traceback.format_exc()
+            )
+            if spec.engine == "parallel":
+                # abort_run already ran, but an engine that raised may
+                # have left the pool in a state we cannot prove clean —
+                # rebuild cold next time rather than trust it
+                try:
+                    self.pools.discard(spec.workers)
+                except Exception:  # pragma: no cover - defensive
+                    log.error("pool discard failed:\n%s",
+                              traceback.format_exc())
+        else:
+            result.status = STATUS_COMPLETED
+            result.modules = r.modules
+            result.num_modules = int(r.num_modules)
+            result.codelength = float(r.codelength)
+            result.levels = int(r.levels)
+
+    # ---------------------------------------------------------- lifecycle
+    def stats(self) -> dict:
+        """One JSON-ready snapshot of queue / cache / pool counters."""
+        by_status: dict[str, int] = {}
+        for r in self.results.values():
+            by_status[r.status] = by_status.get(r.status, 0) + 1
+        return {
+            "scheduler": self.scheduler.stats(),
+            "cache": self.cache.stats(),
+            "pools": self.pools.stats(),
+            "results": by_status,
+        }
+
+    def close(self) -> None:
+        """Release every pool; queued jobs are abandoned.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self.pools.close()
+        self.cache.clear()
+
+    def __enter__(self) -> "JobService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ metrics
+    @staticmethod
+    def _count(name: str) -> None:
+        if obs_metrics.is_enabled():
+            obs_metrics.get_registry().counter(name).inc()
+
+    @staticmethod
+    def _gauge(name: str, value: float) -> None:
+        if obs_metrics.is_enabled():
+            obs_metrics.get_registry().gauge(name).set(value)
+
+    @staticmethod
+    def _observe(name: str, value: float) -> None:
+        if obs_metrics.is_enabled():
+            obs_metrics.get_registry().histogram(name).observe(value)

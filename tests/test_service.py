@@ -1,0 +1,373 @@
+"""End-to-end suite for the job service (``repro.service``).
+
+The service's contract (docs/service.md) in four enforceable claims:
+
+* **invisible amortization** — a job executed on a warm pool, or served
+  from the result cache, is bit-identical to a cold ``run_infomap``
+  call at the same parameters, across the conformance graph families;
+* **cache hits touch no workers** — a repeated job returns an identical
+  (and independently owned) partition without any pool activity;
+* **failure is data** — deadline-exceeded jobs come back ``cancelled``,
+  engine crashes come back ``failed``, invalid/surplus submissions come
+  back ``rejected``; none of them raises, and the service runs the next
+  job normally (the pool recovers or is rebuilt);
+* **deterministic scheduling** — priority+FIFO order and queue-full
+  rejection are pure functions of the submitted batch.
+
+The CLI spelling (``repro submit`` / ``repro serve``) is smoked at the
+bottom on a generated jobs file — the same flow CI runs.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import arena
+from repro.core.parallel import run_infomap_parallel
+from repro.graph.generators import planted_partition
+from repro.service import (
+    STATUS_CANCELLED,
+    STATUS_COMPLETED,
+    STATUS_FAILED,
+    STATUS_REJECTED,
+    JobService,
+    JobSpec,
+    Scheduler,
+)
+from repro.service.jobsfile import load_jobs
+
+from tests.test_engine_conformance import FAMILIES
+
+
+def _graph(seed=3):
+    g, _ = planted_partition(4, 20, 0.45, 0.02, seed=seed)
+    return g
+
+
+# ---------------------------------------------------------------------------
+# warm-pool bit-identity across the conformance families
+
+
+@pytest.fixture(scope="module")
+def warm_service():
+    """One service whose 2-worker pool is warmed by a throwaway job,
+    so every test job below provably skips fork+handshake."""
+    with JobService(cache_entries=0) as svc:
+        (r,) = svc.run_batch([JobSpec(graph=_graph(), workers=2, seed=9)])
+        assert r.ok and not r.warm_pool  # the one and only cold spawn
+        yield svc
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("seed", (0, 1))
+def test_warm_pool_bit_identical_to_cold(warm_service, family, seed):
+    g, _ = FAMILIES[family](seed)
+    (r,) = warm_service.run_batch(
+        [JobSpec(graph=g, engine="parallel", workers=2, seed=seed)]
+    )
+    assert r.ok, r.error
+    assert r.warm_pool, "pool should have been warm for every job"
+    cold = run_infomap_parallel(g, workers=2, seed=seed)
+    assert np.array_equal(r.modules, cold.modules)
+    assert r.codelength == cold.codelength
+    assert r.num_modules == cold.num_modules
+    assert r.levels == cold.levels
+
+
+def test_warm_pool_counters_account_every_job(warm_service):
+    stats = warm_service.pools.stats()
+    assert stats["cold_spawns"] == 1  # only the fixture's throwaway job
+    assert stats["warm_hits"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# cache hits return identical results without touching workers
+
+
+def test_cache_hit_is_identical_and_spawns_no_workers():
+    spec = JobSpec(graph=_graph(), engine="parallel", workers=2, seed=5)
+    with JobService(cache_entries=8) as svc:
+        (first,) = svc.run_batch([spec])
+        assert first.ok and not first.cache_hit
+        pools_before = dict(svc.pools.stats())
+        (second,) = svc.run_batch([spec])
+        assert second.cache_hit
+        assert svc.pools.stats() == pools_before, (
+            "a cache hit must not touch any pool"
+        )
+    assert np.array_equal(first.modules, second.modules)
+    assert second.codelength == first.codelength
+    # the hit owns its partition: mutating it cannot poison the cache
+    assert second.modules is not first.modules
+
+
+def test_cache_hit_without_any_pool_ever_existing():
+    """A hit on a vectorized job spawns nothing at all."""
+    spec = JobSpec(graph=_graph(), engine="vectorized", workers=1, seed=2)
+    with JobService(cache_entries=8) as svc:
+        (first,) = svc.run_batch([spec])
+        (second,) = svc.run_batch([spec])
+        assert second.cache_hit
+        assert len(svc.pools) == 0
+        assert np.array_equal(first.modules, second.modules)
+
+
+def test_cache_disabled_never_hits():
+    spec = JobSpec(graph=_graph(), engine="vectorized", workers=1, seed=2)
+    with JobService(cache_entries=0) as svc:
+        results = svc.run_batch([spec, spec])
+        assert all(r.ok and not r.cache_hit for r in results)
+
+
+# ---------------------------------------------------------------------------
+# deadline cancellation + pool recovery
+
+
+def test_deadline_exceeded_job_is_cancelled_and_pool_recovers():
+    g = _graph()
+    with JobService(cache_entries=0) as svc:
+        (doomed,) = svc.run_batch(
+            [JobSpec(graph=g, workers=2, seed=0, deadline=1e-9)]
+        )
+        assert doomed.status == STATUS_CANCELLED
+        assert doomed.modules is None
+        assert "deadline" in doomed.error
+        # the same pool must serve the next job, warm, bit-identically
+        (after,) = svc.run_batch([JobSpec(graph=g, workers=2, seed=0)])
+        assert after.ok, after.error
+        assert after.warm_pool, "cancellation must not cost the warm pool"
+        cold = run_infomap_parallel(g, workers=2, seed=0)
+        assert np.array_equal(after.modules, cold.modules)
+
+
+def test_generous_deadline_does_not_perturb_result():
+    g = _graph()
+    with JobService(cache_entries=0) as svc:
+        (r,) = svc.run_batch(
+            [JobSpec(graph=g, workers=2, seed=1, deadline=300.0)]
+        )
+        assert r.ok
+        cold = run_infomap_parallel(g, workers=2, seed=1)
+        assert np.array_equal(r.modules, cold.modules)
+
+
+# ---------------------------------------------------------------------------
+# engine failure: structured, isolated, pool rebuilt
+
+
+def test_engine_crash_reports_failed_and_next_job_runs(monkeypatch):
+    g = _graph()
+    calls = {"n": 0}
+    real = run_infomap_parallel
+
+    def flaky(*args, **kwargs):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise RuntimeError("synthetic engine crash")
+        return real(*args, **kwargs)
+
+    import repro.service.service as service_mod
+
+    monkeypatch.setattr(service_mod, "run_infomap_parallel", flaky)
+    with JobService(cache_entries=0) as svc:
+        crashed, after = svc.run_batch(
+            [
+                JobSpec(graph=g, workers=2, seed=0, label="crash"),
+                JobSpec(graph=g, workers=2, seed=0, label="after"),
+            ]
+        )
+        assert crashed.status == STATUS_FAILED
+        assert "synthetic engine crash" in crashed.error
+        assert after.ok, after.error
+        # the untrusted pool was discarded, so the retry forked fresh
+        assert not after.warm_pool
+    assert np.array_equal(
+        after.modules, real(g, workers=2, seed=0).modules
+    )
+
+
+# ---------------------------------------------------------------------------
+# deterministic scheduling: priority order, queue-full rejection
+
+
+def _order_of(priorities, depth=64):
+    """Execution order (by submission index) of a priority batch."""
+    g = _graph()
+    with JobService(max_queue_depth=depth, cache_entries=0) as svc:
+        ids = svc.submit_many(
+            [
+                JobSpec(graph=g, engine="vectorized", workers=1,
+                        seed=i, priority=p, use_cache=False)
+                for i, p in enumerate(priorities)
+            ]
+        )
+        results = svc.drain()
+    executed = [r.seed for r in results]  # seed == submission index
+    rejected = [
+        i for i in ids
+        if svc.results[i].status == STATUS_REJECTED
+    ]
+    return executed, rejected
+
+
+def test_priority_order_is_highest_first_fifo_ties():
+    executed, rejected = _order_of([0, 5, 5, 1, -2])
+    assert executed == [1, 2, 3, 0, 4]
+    assert rejected == []
+
+
+def test_priority_order_is_deterministic_across_batches():
+    runs = {tuple(_order_of([3, 1, 3, 0, 2, 2])[0]) for _ in range(3)}
+    assert runs == {(0, 2, 4, 5, 1, 3)}
+
+
+def test_queue_full_rejects_surplus_deterministically():
+    executed, rejected = _order_of([0, 9, 0, 0], depth=2)
+    # the first two submissions fill the queue; the rest bounce
+    assert executed == [1, 0]
+    assert rejected == [2, 3]
+
+
+def test_queue_full_rejection_is_structured():
+    g = _graph()
+    with JobService(max_queue_depth=1) as svc:
+        svc.submit(JobSpec(graph=g, engine="vectorized", workers=1))
+        jid = svc.submit(JobSpec(graph=g, engine="vectorized", workers=1))
+        r = svc.results[jid]
+        assert r.status == STATUS_REJECTED
+        assert "queue full" in r.error and "max_queue_depth=1" in r.error
+        svc.drain()
+
+
+def test_invalid_spec_rejected_without_poisoning_batch():
+    g = _graph()
+    with JobService() as svc:
+        results = svc.run_batch(
+            [
+                JobSpec(graph=g, engine="vectorized", workers=1, seed=0),
+                JobSpec(graph=g, engine="vectorized", workers=4),  # invalid
+                JobSpec(graph=g, engine="parallel", workers=2, seed=0),
+            ]
+        )
+    assert [r.status for r in results] == [
+        STATUS_COMPLETED, STATUS_REJECTED, STATUS_COMPLETED
+    ]
+    assert "single-rank" in results[1].error
+
+
+def test_cancel_queued_job_before_drain():
+    g = _graph()
+    with JobService() as svc:
+        keep = svc.submit(JobSpec(graph=g, engine="vectorized", workers=1))
+        drop = svc.submit(JobSpec(graph=g, engine="vectorized", workers=1,
+                                  seed=1))
+        assert svc.cancel(drop)
+        assert not svc.cancel(drop)  # second cancel is a no-op
+        results = svc.drain()
+        assert [r.job_id for r in results] == [keep]
+        assert svc.results[drop].status == STATUS_CANCELLED
+
+
+def test_scheduler_rejects_bad_depth():
+    with pytest.raises(ValueError):
+        Scheduler(max_queue_depth=0)
+
+
+# ---------------------------------------------------------------------------
+# service lifecycle
+
+
+def test_closed_service_refuses_work():
+    svc = JobService()
+    svc.close()
+    svc.close()  # idempotent
+    with pytest.raises(RuntimeError):
+        svc.submit(JobSpec(graph=_graph()))
+    with pytest.raises(RuntimeError):
+        svc.drain()
+
+
+def test_service_close_releases_all_pools_and_segments():
+    g = _graph()
+    svc = JobService(cache_entries=0)
+    svc.run_batch(
+        [
+            JobSpec(graph=g, workers=2, seed=0),
+            JobSpec(graph=g, workers=1, seed=0),
+        ]
+    )
+    assert svc.pools.worker_counts() == [1, 2]
+    svc.close()
+    assert len(svc.pools) == 0
+    if arena.shm_dir_available():
+        assert arena.live_segments(arena.segment_prefix()) == []
+
+
+def test_stats_shape():
+    with JobService() as svc:
+        svc.run_batch([JobSpec(graph=_graph(), engine="vectorized",
+                               workers=1)])
+        stats = svc.stats()
+    assert stats["results"] == {"completed": 1}
+    assert set(stats) == {"scheduler", "cache", "pools", "results"}
+    json.dumps(stats)  # the snapshot must stay JSON-serializable
+
+
+# ---------------------------------------------------------------------------
+# CLI spelling: repro submit builds the jobs file, repro serve drains it
+
+
+_PLANTED = ('{"communities": 4, "size": 20, "p_in": 0.45, '
+            '"p_out": 0.02, "seed": 7}')
+
+
+def test_cli_submit_then_serve_roundtrip(tmp_path, capsys):
+    from repro.cli import main
+
+    jobs = str(tmp_path / "jobs.jsonl")
+    out = str(tmp_path / "results.json")
+    assert main(["submit", "--jobs", jobs, "--planted", _PLANTED,
+                 "--engine", "parallel", "--workers", "2",
+                 "--seed", "0", "--label", "a"]) == 0
+    assert main(["submit", "--jobs", jobs, "--planted", _PLANTED,
+                 "--engine", "parallel", "--workers", "2",
+                 "--seed", "0", "--label", "b", "--priority", "2"]) == 0
+    assert main(["submit", "--jobs", jobs, "--planted", _PLANTED,
+                 "--engine", "vectorized", "--workers", "1",
+                 "--seed", "1", "--no-cache"]) == 0
+    assert len(load_jobs(jobs)) == 3
+
+    assert main(["serve", "--jobs", jobs, "--json-out", out]) == 0
+    text = capsys.readouterr().out
+    assert "cache" in text  # job 0 repeated job 1's content -> cache hit
+    with open(out) as fh:
+        payload = json.load(fh)
+    assert [r["status"] for r in payload["results"]] == ["completed"] * 3
+    assert payload["results"][0]["cache_hit"]  # priority ran b first
+    assert payload["stats"]["cache"]["hits"] == 1
+    if arena.shm_dir_available():
+        assert arena.live_segments(arena.segment_prefix()) == []
+
+
+def test_cli_serve_rejects_malformed_file(tmp_path, capsys):
+    from repro.cli import main
+
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"dataset": "amazon", "bogus_key": 1}\n')
+    assert main(["serve", "--jobs", str(bad)]) == 1
+    assert "bogus_key" in capsys.readouterr().err
+
+    missing = tmp_path / "nope.jsonl"
+    assert main(["serve", "--jobs", str(missing)]) == 1
+
+
+def test_cli_serve_exit_code_reflects_failed_jobs(tmp_path):
+    from repro.cli import main
+
+    jobs = tmp_path / "jobs.jsonl"
+    jobs.write_text(
+        json.dumps({"planted": json.loads(_PLANTED),
+                    "engine": "vectorized", "workers": 2}) + "\n"
+    )
+    assert main(["serve", "--jobs", str(jobs)]) == 1  # rejected job

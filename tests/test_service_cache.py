@@ -1,0 +1,254 @@
+"""Property suite for the result cache's content addressing, plus
+chaos resilience of the service itself.
+
+:func:`repro.service.cache.graph_digest` claims to hash the *canonical
+arc multiset* — two graphs digest equal iff they describe the same
+network.  Hypothesis drives both directions over adversarial edge lists
+(duplicates, self-loops, isolated vertices — ``tests/strategies``):
+
+* invariant under edge-list permutation and under rewriting an edge as
+  duplicate half-weight copies (the canonicalization direction);
+* distinct under weight scaling and vertex-count changes (the
+  collision direction — a digest that ignored weights would serve the
+  wrong partition from the cache).
+
+:func:`repro.service.cache.cache_key` must split the same way on
+parameters: result-determining fields (engine/workers/seed/tau/caps/
+chunk) change the key, serving fields (priority/deadline/label/cache
+opt-out) never do.
+
+The chaos half injects ``kill`` faults (``repro.core.faults``) through
+the *service* path and asserts the supervised recovery that PR 4 proved
+for single runs still holds across jobs: the faulted job completes
+bit-identically, skips the cache, and the service runs the next job on
+the same warm pool.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.build import from_edges
+from repro.graph.generators import planted_partition
+from repro.service import JobService, JobSpec, ResultCache
+from repro.service.cache import CacheEntry, cache_key, graph_digest
+
+from tests.strategies import edge_lists, seeds
+
+NUM_VERTICES = 10  # fixed so permutations cannot change the vertex set
+
+
+def _graph_from(edges, directed=False):
+    return from_edges(edges, num_vertices=NUM_VERTICES, directed=directed)
+
+
+# ---------------------------------------------------------------------------
+# graph digest: invariance direction
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges=edge_lists(max_vertex=NUM_VERTICES - 1), shuffle=seeds,
+       directed=st.booleans())
+def test_digest_invariant_under_edge_permutation(edges, shuffle, directed):
+    g = _graph_from(edges, directed)
+    rng = np.random.default_rng(shuffle)
+    permuted = [edges[i] for i in rng.permutation(len(edges))]
+    assert graph_digest(_graph_from(permuted, directed)) == graph_digest(g)
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges=edge_lists(max_vertex=NUM_VERTICES - 1), pick=seeds)
+def test_digest_invariant_under_duplicate_edge_spelling(edges, pick):
+    """(u, v, w) and two copies of (u, v, w/2) describe the same
+    multiset — duplicate arcs coalesce by summing weights."""
+    g = _graph_from(edges)
+    u, v = edges[pick % len(edges)]
+    rewritten = list(edges) + [(u, v, 0.5), (u, v, 0.5)]
+    reference = list(edges) + [(u, v, 1.0)]
+    assert graph_digest(_graph_from(rewritten)) == graph_digest(
+        _graph_from(reference)
+    )
+    # and the rewrite genuinely changed the network vs the original
+    assert graph_digest(_graph_from(rewritten)) != graph_digest(g)
+
+
+# ---------------------------------------------------------------------------
+# graph digest: distinctness direction
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges=edge_lists(max_vertex=NUM_VERTICES - 1))
+def test_digest_distinct_under_weight_scaling(edges):
+    g = _graph_from(edges)
+    doubled = [(u, v, 2.0) for u, v in edges]
+    assert graph_digest(_graph_from(doubled)) != graph_digest(g)
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges=edge_lists(max_vertex=NUM_VERTICES - 1))
+def test_digest_distinct_under_isolated_vertex_count(edges):
+    g = _graph_from(edges)
+    grown = from_edges(edges, num_vertices=NUM_VERTICES + 1)
+    assert graph_digest(grown) != graph_digest(g)
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges=edge_lists(max_vertex=NUM_VERTICES - 1, min_size=2))
+def test_digest_distinct_under_directedness(edges):
+    und = _graph_from(edges, directed=False)
+    dire = _graph_from(edges, directed=True)
+    assert graph_digest(und) != graph_digest(dire)
+
+
+# ---------------------------------------------------------------------------
+# cache keys: result-determining fields split, serving fields don't
+
+
+def _spec(**kw):
+    g, _ = planted_partition(3, 10, 0.5, 0.05, seed=2)
+    base = dict(graph=g, engine="parallel", workers=2, seed=0)
+    base.update(kw)
+    return JobSpec(**base)
+
+
+@pytest.mark.parametrize(
+    "change",
+    [
+        {"engine": "multicore"},
+        {"engine": "vectorized", "workers": 1},
+        {"workers": 3},
+        {"seed": 1},
+        {"tau": 0.2},
+        {"max_levels": 3},
+        {"max_passes_per_level": 4},
+        {"chunk": 8},
+    ],
+    ids=lambda c: "+".join(c),
+)
+def test_cache_key_splits_on_result_determining_params(change):
+    assert cache_key(_spec(**change)) != cache_key(_spec())
+
+
+@pytest.mark.parametrize(
+    "change",
+    [
+        {"priority": 7},
+        {"deadline": 60.0},
+        {"label": "renamed"},
+        {"use_cache": False},
+        {"worker_timeout": 5.0},
+    ],
+    ids=lambda c: "+".join(c),
+)
+def test_cache_key_ignores_serving_params(change):
+    assert cache_key(_spec(**change)) == cache_key(_spec())
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed_a=st.integers(0, 50), seed_b=st.integers(0, 50))
+def test_cache_key_equality_tracks_seed_equality(seed_a, seed_b):
+    same = cache_key(_spec(seed=seed_a)) == cache_key(_spec(seed=seed_b))
+    assert same == (seed_a == seed_b)
+
+
+# ---------------------------------------------------------------------------
+# ResultCache unit layer: LRU bound, copy isolation, disabled mode
+
+
+def _entry(tag):
+    return CacheEntry(modules=np.array([tag, tag], dtype=np.int64),
+                      num_modules=1, codelength=float(tag), levels=1)
+
+
+def test_cache_lru_evicts_least_recently_used():
+    c = ResultCache(max_entries=2)
+    c.put("a", _entry(0))
+    c.put("b", _entry(1))
+    assert c.get("a") is not None  # refreshes 'a'
+    c.put("c", _entry(2))          # evicts 'b', the LRU tail
+    assert c.get("b") is None
+    assert c.get("a") is not None and c.get("c") is not None
+    assert c.stats()["evictions"] == 1
+    assert len(c) == 2
+
+
+def test_cache_copies_arrays_both_ways():
+    c = ResultCache(max_entries=2)
+    arr = np.array([1, 2, 3], dtype=np.int64)
+    c.put("k", CacheEntry(modules=arr, num_modules=3, codelength=1.0,
+                          levels=1))
+    arr[0] = 99  # caller mutates after insert: cache must not see it
+    out = c.get("k")
+    assert out.modules[0] == 1
+    out.modules[0] = 77  # reader mutates the hit: cache must not see it
+    assert c.get("k").modules[0] == 1
+
+
+def test_cache_disabled_stores_and_returns_nothing():
+    c = ResultCache(max_entries=0)
+    assert not c.enabled
+    c.put("k", _entry(1))
+    assert c.get("k") is None
+    assert len(c) == 0
+    assert c.stats()["misses"] == 1
+
+
+# ---------------------------------------------------------------------------
+# chaos: injected kill faults through the service path
+
+
+def _planted():
+    g, _ = planted_partition(4, 20, 0.45, 0.02, seed=1)
+    return g
+
+
+def test_killed_worker_mid_job_recovers_bit_identically():
+    g = _planted()
+    with JobService(cache_entries=8) as svc:
+        (chaos,) = svc.run_batch(
+            [JobSpec(graph=g, workers=2, seed=0,
+                     fault_plan="kill@w0:b1", worker_timeout=5.0)]
+        )
+        assert chaos.ok, chaos.error
+        assert chaos.respawns >= 1  # the fault really fired
+        # chaos jobs never populate the cache
+        assert len(svc.cache) == 0
+        clean = svc.run_batch([JobSpec(graph=g, workers=2, seed=0)])[0]
+        assert clean.ok and clean.warm_pool
+        assert not clean.cache_hit  # nothing was cached to hit
+    assert np.array_equal(chaos.modules, clean.modules)
+    assert chaos.codelength == clean.codelength
+
+
+def test_service_survives_repeated_kill_faults_across_jobs():
+    g = _planted()
+    with JobService(cache_entries=0) as svc:
+        specs = []
+        for seed in range(3):
+            specs.append(JobSpec(graph=g, workers=2, seed=seed,
+                                 fault_plan=f"kill@w{seed % 2}:b1",
+                                 worker_timeout=5.0, label=f"chaos{seed}"))
+            specs.append(JobSpec(graph=g, workers=2, seed=seed,
+                                 label=f"clean{seed}"))
+        results = svc.run_batch(specs)
+        assert all(r.ok for r in results), [
+            (r.label, r.error) for r in results if not r.ok
+        ]
+        by_label = {r.label: r for r in results}
+        for seed in range(3):
+            assert np.array_equal(
+                by_label[f"chaos{seed}"].modules,
+                by_label[f"clean{seed}"].modules,
+            ), f"fault at seed {seed} perturbed the partition"
+        # one cold spawn total: every recovery kept the pool alive
+        assert svc.pools.stats()["cold_spawns"] == 1
+
+
+def test_bad_fault_plan_is_rejected_not_raised():
+    g = _planted()
+    with JobService() as svc:
+        jid = svc.submit(JobSpec(graph=g, workers=2,
+                                 fault_plan="explode@w0:b1"))
+        assert svc.results[jid].status == "rejected"
+        assert "invalid job spec" in svc.results[jid].error

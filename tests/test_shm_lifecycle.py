@@ -8,7 +8,11 @@ that directory by prefix and asserts **zero surviving segments** after:
 * a run with an injected worker crash mid-sweep (recovery path),
 * a KeyboardInterrupt-style abort that never reaches the pool's
   ``close()`` (the ``atexit`` hook, exercised in a real subprocess),
-* a hard-killed master (the orphan sweep).
+* a hard-killed master (the orphan sweep),
+* the job service's multi-run paths (``repro.service``): a 50-job
+  batch over warm pools grows ``/dev/shm`` by exactly zero segments,
+  and the pool's shutdown/rebind hooks (``end_run`` / ``abort_run`` /
+  ``close``) are idempotent in any order.
 
 Plus the registry unit layer: idempotent release, prefix scanning, and
 orphan-sweep selectivity (live-pid segments are never touched).
@@ -185,6 +189,108 @@ def test_pool_start_sweeps_orphans():
     finally:
         if os.path.exists(path):
             os.unlink(path)
+
+
+# ---------------------------------------------------------------------------
+# exit path 5: the job service's multi-run pool reuse — arenas are
+# provisioned per job and must be gone again by the time each job's
+# result is reported, for as many jobs as the batch carries
+
+
+def _shm_listing():
+    """Every file currently under /dev/shm (any owner, any prefix) —
+    the service must not grow the directory even by foreign names."""
+    return sorted(os.listdir(_SHM_DIR))
+
+
+def test_service_50_job_batch_leaves_shm_untouched():
+    from repro.service import JobService, JobSpec
+
+    g = _graph()
+    before = _shm_listing()
+    with JobService(cache_entries=0) as svc:
+        results = svc.run_batch(
+            [
+                JobSpec(graph=g, workers=2, seed=seed % 5)
+                for seed in range(50)
+            ]
+        )
+        assert all(r.ok for r in results)
+        assert sum(r.warm_pool for r in results) == 49  # one cold spawn
+        # arenas are per-job: a *parked* (open, idle) service owns none
+        assert _mine() == []
+        assert _shm_listing() == before
+    assert _mine() == []
+    assert _shm_listing() == before
+
+
+def test_service_deadline_and_fault_jobs_leave_no_segments():
+    from repro.service import JobService, JobSpec
+
+    g = _graph()
+    with JobService(cache_entries=0) as svc:
+        svc.run_batch(
+            [
+                JobSpec(graph=g, workers=2, seed=0, deadline=1e-9),
+                JobSpec(graph=g, workers=2, seed=0,
+                        fault_plan="kill@w0:b1", worker_timeout=5.0),
+                JobSpec(graph=g, workers=2, seed=0),
+            ]
+        )
+        assert _mine() == []  # cancel + recovery both released arenas
+    assert _mine() == []
+
+
+# ---------------------------------------------------------------------------
+# pool shutdown + rebind idempotence (the hooks the service leans on)
+
+
+def test_pool_end_run_and_close_are_idempotent_in_any_order():
+    from repro.core.parallel import _WorkerPool, run_infomap_parallel
+
+    pool = _WorkerPool(2)
+    try:
+        # rebind the same pool across several runs: each run provisions
+        # and releases its own arena
+        first = run_infomap_parallel(_graph(), workers=2, seed=0, pool=pool)
+        assert _mine() == []
+        second = run_infomap_parallel(_graph(), workers=2, seed=0, pool=pool)
+        assert np.array_equal(first.modules, second.modules)
+        assert _mine() == []
+        pool.end_run()    # idempotent: the run already ended itself
+        pool.end_run()
+        pool.abort_run()  # abort after end is a respawn, not an error
+        assert not pool.closed
+        # the pool still works after the redundant shutdown calls
+        third = run_infomap_parallel(_graph(), workers=2, seed=0, pool=pool)
+        assert np.array_equal(first.modules, third.modules)
+    finally:
+        pool.close()
+    pool.close()          # double close is a no-op
+    pool.abort_run()      # post-close abort is a no-op, not a crash
+    pool.end_run()
+    assert pool.closed
+    with pytest.raises(RuntimeError):
+        pool.reset_run()  # but rebinding a closed pool is refused
+    assert _mine() == []
+
+
+def test_borrowed_pool_survives_owner_style_misuse():
+    from repro.core.parallel import _WorkerPool, run_infomap_parallel
+
+    pool = _WorkerPool(2)
+    try:
+        with pytest.raises(ValueError):
+            # worker-count mismatch is refused before any arena exists
+            run_infomap_parallel(_graph(), workers=4, pool=pool)
+        assert _mine() == []
+        r = run_infomap_parallel(_graph(), workers=2, seed=1, pool=pool)
+        assert r.num_modules > 0
+    finally:
+        pool.close()
+    with pytest.raises(ValueError):
+        run_infomap_parallel(_graph(), workers=2, pool=pool)  # closed
+    assert _mine() == []
 
 
 # ---------------------------------------------------------------------------
