@@ -1,0 +1,91 @@
+"""Shared artifact writer for the benchmark suite.
+
+Every ``bench_*.py`` emitter used to hand-roll its own ``write_json``
+call; this module is the one place that
+
+* stamps each ``BENCH_*.json`` with its schema string, the artifact
+  ``schema_version``, and a full provenance block (timestamp, git rev,
+  hostname, CPU count, python/numpy versions) so a snapshot is
+  self-describing long after the session that wrote it;
+* appends one content-addressed row per measurement to the longitudinal
+  run ledger (``BENCH_ledger.jsonl`` at the repo root, or
+  ``$REPRO_LEDGER``) so ``repro trend`` can compare this run against
+  every previous one (docs/trend.md).
+
+Usage from a bench module::
+
+    from _record import bench_record, write_bench
+
+    write_bench(
+        "repro.bench_parallel/v2",
+        {"metric": "...", "points": recs},
+        BENCH_JSON,
+        ledger_records=[bench_record("bench_parallel_scaling", cfg, ...)],
+    )
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.obs import ledger as obs_ledger
+from repro.obs.export import write_json
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: default longitudinal ledger the emitters append to (checked in, so
+#: the repo's own history seeds the trajectory); override per run with
+#: the REPRO_LEDGER environment variable (what CI's trend job does)
+DEFAULT_LEDGER = REPO_ROOT / "BENCH_ledger.jsonl"
+
+#: version of the common BENCH_*.json envelope (v2 added the shared
+#: provenance block and ledger rows)
+BENCH_SCHEMA_VERSION = 2
+
+
+def ledger_path() -> Path:
+    return Path(os.environ.get("REPRO_LEDGER", DEFAULT_LEDGER))
+
+
+def bench_record(
+    source: str,
+    config: Mapping[str, Any],
+    telemetry: Mapping[str, Any] | None = None,
+    perf: Mapping[str, Any] | None = None,
+    label: str = "",
+) -> dict:
+    """One ``kind="bench"`` ledger record (run_key derived from config)."""
+    return obs_ledger.make_record(
+        kind="bench", source=source, config=config,
+        telemetry=telemetry, perf=perf, label=label,
+    )
+
+
+def write_bench(
+    schema: str,
+    payload: Mapping[str, Any],
+    path: str | Path,
+    ledger_records: Iterable[dict] = (),
+) -> Path:
+    """Write one provenance-stamped ``BENCH_*.json`` artifact and append
+    its ledger rows.
+
+    ``payload`` supplies the bench-specific fields (``metric``,
+    ``points``, ...); the envelope (schema string, ``schema_version``,
+    ``provenance``) is stamped here so every artifact agrees on it.
+    """
+    out = write_json(
+        {
+            "schema": schema,
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "provenance": obs_ledger.provenance(),
+            **payload,
+        },
+        path,
+    )
+    records = list(ledger_records)
+    if records:
+        obs_ledger.Ledger(ledger_path()).append_many(records)
+    return out

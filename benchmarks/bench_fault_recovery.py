@@ -28,9 +28,11 @@ from pathlib import Path
 
 import numpy as np
 
+from _record import bench_record, write_bench
 from repro.core.faults import SLOW_SECONDS, FaultPlan, FaultSpec
 from repro.core.parallel import run_infomap_parallel
 from repro.graph.generators import planted_partition
+from repro.obs.ledger import graph_digest
 from repro.util.tables import Table
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -107,16 +109,16 @@ def test_record_fault_recovery_overhead(show):
         ])
     show(t)
 
-    from repro.obs.export import write_json
-
-    write_json(
+    digest = graph_digest(graph)
+    write_bench(
+        "repro.bench_faults/v2",
         {
-            "schema": "repro.bench_faults/v1",
             "metric": "wall-clock overhead of supervisor recovery (respawn "
                       "+ barrier replay) over the bit-identical fault-free "
                       "run, per fault kind",
             "graph": {
                 "family": "planted_mid",
+                "digest": digest,
                 "vertices": int(graph.num_vertices),
                 "arcs": int(graph.num_arcs),
             },
@@ -127,6 +129,30 @@ def test_record_fault_recovery_overhead(show):
             "points": points,
         },
         BENCH_JSON,
+        ledger_records=[
+            bench_record(
+                "bench_fault_recovery",
+                config={
+                    "bench": "fault_recovery",
+                    "graph": digest,
+                    "engine": "parallel",
+                    "workers": WORKERS,
+                    "seed": SEED,
+                    "fault_kind": p["fault_kind"],
+                },
+                telemetry={
+                    "faults_injected": p["faults_injected"],
+                    "respawns": p["respawns"],
+                },
+                perf={
+                    "wall_seconds": p["wall_seconds"],
+                    "overhead_seconds": p["overhead_seconds"],
+                    "overhead_ratio": p["overhead_ratio"],
+                },
+                label=f"faults/{p['fault_kind']}",
+            )
+            for p in points
+        ],
     )
 
     # shape invariants: every kill/hang/corrupt plan actually fired and

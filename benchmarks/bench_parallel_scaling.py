@@ -37,9 +37,11 @@ from pathlib import Path
 
 import pytest
 
+from _record import bench_record, write_bench
 from repro.core.parallel import run_infomap_parallel
 from repro.graph.datasets import load_dataset
 from repro.graph.generators import planted_partition
+from repro.obs.ledger import graph_digest
 from repro.util.tables import Table
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -84,6 +86,7 @@ def measure(family: str, workers: int) -> dict:
     rec = {
         "family": family,
         "workers": workers,
+        "graph_digest": graph_digest(graph),
         "vertices": int(graph.num_vertices),
         "arcs": int(graph.num_arcs),
         "sweep_vertices_per_s": r.sweep_throughput,
@@ -125,11 +128,9 @@ def test_record_parallel_scaling(show):
         ])
     show(t)
 
-    from repro.obs.export import write_json
-
-    write_json(
+    write_bench(
+        "repro.bench_parallel/v2",
         {
-            "schema": "repro.bench_parallel/v1",
             "metric": "parallel-engine sweep throughput (proposed vertices "
                       "per second of master-observed propose wall) at 1/2/4 "
                       "real worker processes",
@@ -137,6 +138,31 @@ def test_record_parallel_scaling(show):
             "points": recs,
         },
         BENCH_JSON,
+        ledger_records=[
+            bench_record(
+                "bench_parallel_scaling",
+                config={
+                    "bench": "parallel_scaling",
+                    "family": r["family"],
+                    "graph": r["graph_digest"],
+                    "engine": "parallel",
+                    "workers": r["workers"],
+                    "seed": 0,
+                },
+                telemetry={
+                    "codelength": r["codelength_bits"],
+                    "num_modules": r["num_modules"],
+                    "levels": r["levels"],
+                },
+                perf={
+                    "sweep_vertices_per_s": r["sweep_vertices_per_s"],
+                    "propose_seconds": r["propose_seconds"],
+                    "wall_seconds": r["wall_seconds"],
+                },
+                label=f"{r['family']}/w{r['workers']}",
+            )
+            for r in recs
+        ],
     )
 
     # shape invariants that hold even on a 1-CPU host: every point ran,

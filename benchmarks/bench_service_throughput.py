@@ -36,8 +36,10 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from _record import bench_record, write_bench
 from repro.core.parallel import run_infomap_parallel
 from repro.graph.generators import planted_partition
+from repro.obs.ledger import graph_digest
 from repro.service import JobService, JobSpec
 from repro.util.tables import Table
 
@@ -92,6 +94,7 @@ def measure() -> dict:
 
     _MEASUREMENTS.update(
         {
+            "graph_digest": graph_digest(graph),
             "graph_vertices": int(graph.num_vertices),
             "graph_arcs": int(graph.num_arcs),
             "workers": WORKERS,
@@ -141,11 +144,9 @@ def test_record_service_throughput(show):
     show(t)
     show(f"warm-over-cold batch speedup: {m['warm_speedup']:.2f}x")
 
-    from repro.obs.export import write_json
-
-    write_json(
+    write_bench(
+        "repro.bench_service/v2",
         {
-            "schema": "repro.bench_service/v1",
             "metric": "job-service batch wall: warm pools (one service "
                       "draining the batch, cache disabled) vs cold (a "
                       "fresh engine call per job), plus cache hit latency",
@@ -153,6 +154,27 @@ def test_record_service_throughput(show):
             "points": {k: v for k, v in m.items() if not k.startswith("_")},
         },
         BENCH_JSON,
+        ledger_records=[
+            bench_record(
+                "bench_service_throughput",
+                config={
+                    "bench": "service_throughput",
+                    "graph": m["graph_digest"],
+                    "engine": "parallel",
+                    "workers": WORKERS,
+                    "jobs": len(SEEDS),
+                },
+                perf={
+                    "warm_speedup": m["warm_speedup"],
+                    "cold_wall_seconds": m["cold_wall_seconds"],
+                    "warm_wall_seconds": m["warm_wall_seconds"],
+                    "warm_jobs_per_s": m["warm_jobs_per_s"],
+                    "cache_hit_seconds": m["cache_hit_seconds"],
+                    "cache_miss_seconds": m["cache_miss_seconds"],
+                },
+                label=f"service/{len(SEEDS)}jobs/w{WORKERS}",
+            )
+        ],
     )
 
     # shape invariants that hold even on a 1-CPU host

@@ -35,7 +35,9 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from _record import bench_record, write_bench
 from repro.core.flow import FlowNetwork
+from repro.obs.ledger import graph_digest
 from repro.core.vectorized import (
     Workspace,
     _best_moves,
@@ -140,6 +142,7 @@ def measure(family: str) -> dict:
     rec = {
         "family": family,
         "vertices": n,
+        "graph_digest": graph_digest(graph),
         "arcs": int(net.num_arcs),
         "sweep_states": len(states),
         "reference_nodes_per_s": nodes / t_ref,
@@ -179,16 +182,37 @@ def test_record_hotpath_trajectory(show):
         ])
     show(t)
 
-    from repro.obs.export import write_json
-
-    write_json(
+    write_bench(
+        "repro.bench_hotpath/v2",
         {
-            "schema": "repro.bench_hotpath/v1",
             "metric": "sweep throughput (nodes/s), batched vs reference "
                       "best-move search on identical module states",
             "families": {r["family"]: r for r in recs},
         },
         BENCH_JSON,
+        ledger_records=[
+            bench_record(
+                "bench_vectorized_hotpath",
+                config={
+                    "bench": "vectorized_hotpath",
+                    "family": r["family"],
+                    "graph": r["graph_digest"],
+                    "engine": "vectorized",
+                },
+                telemetry={
+                    "codelength": r["engine_codelength_bits"],
+                    "num_modules": r["engine_num_modules"],
+                },
+                perf={
+                    "speedup": r["speedup"],
+                    "reference_nodes_per_s": r["reference_nodes_per_s"],
+                    "batched_nodes_per_s": r["batched_nodes_per_s"],
+                    "wall_seconds": r["engine_wall_seconds"],
+                },
+                label=r["family"],
+            )
+            for r in recs
+        ],
     )
 
     # headline shape: batching must win everywhere, and by >= 2x on the

@@ -69,7 +69,8 @@ def pytest_runtest_logreport(report):
 def pytest_sessionfinish(session, exitstatus):
     if not _RESULTS:
         return
-    from repro.obs.export import write_json, write_jsonl
+    from _record import write_bench
+    from repro.obs.export import write_jsonl
     from repro.obs.metrics import MetricsRegistry
 
     registry = MetricsRegistry()
@@ -78,9 +79,9 @@ def pytest_sessionfinish(session, exitstatus):
             rec["wall_seconds"]
         )
         registry.counter("bench.outcomes", outcome=rec["outcome"]).inc()
-    write_json(
+    write_bench(
+        "repro.bench/v2",
         {
-            "schema": "repro.bench/v1",
             "results": sorted(_RESULTS, key=lambda r: r["bench"]),
             "metrics": registry.snapshot(),
         },

@@ -14,6 +14,11 @@ Usage (after install)::
     python -m repro submit --jobs batch.jsonl --dataset amazon \
         --engine parallel --workers 4 --priority 2
     python -m repro serve --jobs batch.jsonl    # warm pools + result cache
+    python -m repro serve --jobs batch.jsonl --ledger runs.jsonl \
+        --metrics-out metrics.json              # + ledger rows + heartbeat
+    python -m repro trend --ledger runs.jsonl --metric wall_seconds
+    python -m repro ledger validate --ledger runs.jsonl
+    python -m repro ledger show --ledger runs.jsonl --last 10
     python -m repro experiment fig6 table5 fig8 ...
     python -m repro experiment fig6 --metrics-out metrics.json
     python -m repro quality --mu 0.1 0.3 0.5
@@ -25,7 +30,10 @@ Every command prints ASCII tables; exit code 0 on success.
 Observability (see docs/observability.md): ``--trace`` writes a Chrome
 trace-event JSON loadable in chrome://tracing or https://ui.perfetto.dev;
 ``--metrics-out`` writes a metrics-registry snapshot; ``--log-level`` (or
-the ``REPRO_LOG`` env var) turns on structured run-id logging.
+the ``REPRO_LOG`` env var) turns on structured run-id logging;
+``--ledger`` appends one content-addressed run record per run/job/cell
+to a longitudinal JSONL ledger that ``repro trend`` reports over
+(docs/trend.md).
 """
 
 from __future__ import annotations
@@ -136,6 +144,11 @@ def build_parser() -> argparse.ArgumentParser:
                      "(default 128)")
     srv.add_argument("--json-out", metavar="PATH", default=None,
                      help="also write per-job results + service stats as JSON")
+    srv.add_argument("--heartbeat", type=float, default=0.0,
+                     metavar="SECONDS",
+                     help="flush liveness gauges (queue depth, pool "
+                     "occupancy, cache size) at least this often; 0 "
+                     "flushes after every submit/job (default 0)")
     _add_obs_arguments(srv)
 
     smt = sub.add_parser(
@@ -169,10 +182,68 @@ def build_parser() -> argparse.ArgumentParser:
     smt.add_argument("--worker-timeout", type=float, default=None,
                      metavar="SECONDS")
     smt.add_argument("--label", default=None)
+    _add_obs_arguments(smt)
 
     exp = sub.add_parser("experiment", help="regenerate paper tables/figures")
     exp.add_argument("names", nargs="+", choices=EXPERIMENTS)
     _add_obs_arguments(exp, trace=False)
+
+    tr = sub.add_parser(
+        "trend",
+        help="per-run_key trend report over a run ledger",
+        description="Groups ledger records by run_key (same "
+        "result-determining configuration), compares the latest sample "
+        "of --metric against the median of the prior samples, and "
+        "flags each key stable/improved/regressed at --tolerance "
+        "(docs/trend.md).  Exit 0 normally; 1 when the ledger is "
+        "missing/empty for the filter, or when --fail-on-regression "
+        "is given and any key regressed.",
+    )
+    tr.add_argument("--ledger", default="BENCH_ledger.jsonl",
+                    metavar="JSONL",
+                    help="run ledger to report over (default "
+                    "BENCH_ledger.jsonl)")
+    tr.add_argument("--metric", default="wall_seconds",
+                    help="perf/telemetry field to trend (default "
+                    "wall_seconds)")
+    tr.add_argument("--higher-is-better", action="store_true",
+                    help="treat larger metric values as better "
+                    "(throughputs, speedups, NMI); default is "
+                    "lower-is-better (wall times)")
+    tr.add_argument("--tolerance", type=float, default=0.10,
+                    help="relative change vs the prior median that "
+                    "counts as a regression/improvement (default 0.10)")
+    tr.add_argument("--run-key", default=None, metavar="PREFIX",
+                    help="only run_keys starting with PREFIX")
+    tr.add_argument("--engine", default=None,
+                    help="only records whose config.engine matches")
+    tr.add_argument("--dataset", default=None,
+                    help="only records whose dataset/family/label matches")
+    tr.add_argument("--kind", default=None,
+                    choices=("bench", "experiment", "service"),
+                    help="only records of this kind")
+    tr.add_argument("--json-out", metavar="PATH", default=None,
+                    help="also write the report as JSON (repro.trend/v1)")
+    tr.add_argument("--fail-on-regression", action="store_true",
+                    help="exit 1 if any run_key regressed (CI gate)")
+
+    led = sub.add_parser(
+        "ledger", help="inspect or validate a run ledger"
+    )
+    led_sub = led.add_subparsers(dest="ledger_command", required=True)
+    shw = led_sub.add_parser("show", help="print recent ledger records")
+    shw.add_argument("--ledger", default="BENCH_ledger.jsonl",
+                     metavar="JSONL")
+    shw.add_argument("--last", type=int, default=20, metavar="N",
+                     help="show at most the last N records (default 20)")
+    shw.add_argument("--run-key", default=None, metavar="PREFIX",
+                     help="only run_keys starting with PREFIX")
+    val = led_sub.add_parser(
+        "validate",
+        help="schema-check every record (incl. run_key/config match)",
+    )
+    val.add_argument("--ledger", default="BENCH_ledger.jsonl",
+                     metavar="JSONL")
 
     tv = sub.add_parser(
         "trace-view",
@@ -258,6 +329,11 @@ def _add_obs_arguments(p: argparse.ArgumentParser, trace: bool = True) -> None:
         choices=("debug", "info", "warning", "error"),
         help="structured-logging level (default: $REPRO_LOG or warning)",
     )
+    p.add_argument(
+        "--ledger", metavar="PATH", default=None,
+        help="append one content-addressed run record per run/job/cell "
+        "to this JSONL run ledger (docs/trend.md)",
+    )
 
 
 @contextmanager
@@ -267,6 +343,7 @@ def _obs_session(args: argparse.Namespace) -> Iterator[None]:
     Spans and metrics are enabled only when their output path was given,
     so the default path through the engines stays on the no-op fast path.
     """
+    from repro.obs import ledger as obs_ledger
     from repro.obs import logging as obs_logging
     from repro.obs import metrics as obs_metrics
     from repro.obs import spans as obs_spans
@@ -276,6 +353,7 @@ def _obs_session(args: argparse.Namespace) -> Iterator[None]:
     )
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics_out", None)
+    ledger_path = getattr(args, "ledger", None)
     if trace_path:
         obs_spans.clear()
         obs_spans.enable()
@@ -284,9 +362,14 @@ def _obs_session(args: argparse.Namespace) -> Iterator[None]:
         registry = obs_metrics.MetricsRegistry()
         prev_registry = obs_metrics.set_registry(registry)
         obs_metrics.enable()
+    if ledger_path:
+        obs_ledger.enable(ledger_path)
     try:
         yield
     finally:
+        if ledger_path:
+            obs_ledger.disable()
+            print(f"ledger: {ledger_path}")
         if trace_path:
             obs_spans.disable()
             try:
@@ -314,12 +397,42 @@ def _cmd_datasets() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs import ledger as obs_ledger
+
     if args.dataset:
         graph = load_dataset(args.dataset)
     else:
         graph, _ = read_edge_list(args.edge_list, directed=args.directed)
     print(f"Graph: {graph.name} ({graph.num_vertices} vertices, "
           f"{graph.num_edges} edges)")
+    t_start = time.perf_counter()
+
+    def _ledger_record(r) -> None:
+        """One content-addressed record per ``repro run --ledger`` run."""
+        if not obs_ledger.is_enabled():
+            return
+        config = {
+            "command": "run",
+            "graph": obs_ledger.graph_digest(graph),
+            "engine": args.engine,
+            "backend": args.backend,
+            "workers": args.workers or args.cores,
+            "tau": args.tau,
+        }
+        obs_ledger.get_ledger().append(obs_ledger.make_record(
+            kind="experiment",
+            source="cli.run",
+            config=config,
+            telemetry={
+                "codelength": float(r.codelength),
+                "num_modules": int(r.num_modules),
+                "levels": int(r.levels),
+            },
+            perf={"wall_seconds": time.perf_counter() - t_start},
+            label=graph.name,
+        ))
     if args.engine in ("vectorized", "parallel"):
         if args.backend != "plain":
             print(f"--engine {args.engine} has no hardware accounting; "
@@ -340,6 +453,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   f"bit-identical to the fault-free run at this seed")
         if r.telemetry is not None:
             print(r.telemetry.summary())
+        _ledger_record(r)
         sizes = np.bincount(r.modules)
         sizes = np.sort(sizes[sizes > 0])[::-1]
         print(f"Module sizes: largest {sizes[:5].tolist()}, median "
@@ -365,6 +479,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     if r.telemetry is not None:
         print(r.telemetry.summary())
+    _ledger_record(r)
 
     if args.backend != "plain":
         t = Table("Hardware accounting", ["Metric", "Value"])
@@ -418,6 +533,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     with JobService(
         max_queue_depth=args.max_queue_depth,
         cache_entries=args.cache_entries,
+        heartbeat_interval=args.heartbeat,
     ) as svc:
         results = svc.run_batch(specs)
         stats = svc.stats()
@@ -508,6 +624,113 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         print(f"cannot submit: {exc}", file=sys.stderr)
         return 1
     print(f"{args.jobs} += {json.dumps(written, sort_keys=True)}")
+    return 0
+
+
+def _read_ledger(path: str) -> list[dict] | None:
+    """Load a ledger for a CLI command; print the failure and return None."""
+    from repro.obs.ledger import Ledger
+
+    try:
+        records = Ledger(path).read()
+    except OSError as exc:
+        print(f"cannot read ledger {path}: {exc.strerror or exc}",
+              file=sys.stderr)
+        return None
+    except ValueError as exc:
+        print(f"corrupt ledger: {exc}", file=sys.stderr)
+        return None
+    if not records:
+        print(f"no records in {path}", file=sys.stderr)
+        return None
+    return records
+
+
+def _cmd_trend(args: argparse.Namespace) -> int:
+    """Per-run_key trend report over a run ledger (docs/trend.md)."""
+    from repro.obs.trend import compute_trends, trends_json, trends_table
+
+    records = _read_ledger(args.ledger)
+    if records is None:
+        return 1
+    trends = compute_trends(
+        records,
+        args.metric,
+        higher_is_better=args.higher_is_better,
+        run_key=args.run_key,
+        engine=args.engine,
+        dataset=args.dataset,
+        kind=args.kind,
+    )
+    if not trends:
+        print(f"no records in {args.ledger} carry metric "
+              f"'{args.metric}' under the given filters", file=sys.stderr)
+        return 1
+    trends_table(trends, args.tolerance).print()
+    regressed = [t for t in trends if t.status(args.tolerance) == "regressed"]
+    counts = {"regressed": len(regressed)}
+    for status in ("improved", "stable", "single"):
+        counts[status] = sum(
+            1 for t in trends if t.status(args.tolerance) == status
+        )
+    print(", ".join(f"{n} {s}" for s, n in counts.items() if n)
+          + f" at tolerance {args.tolerance:g}")
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(trends_json(trends, args.tolerance), fh, indent=2)
+        print(f"report: {args.json_out}")
+    if regressed and args.fail_on_regression:
+        for t in regressed:
+            print(f"REGRESSION {t.run_key[:12]} {t.label}: "
+                  f"latest {t.latest:.6g} vs baseline {t.baseline:.6g}",
+                  file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    """``repro ledger show|validate`` — inspect a run ledger."""
+    from repro.obs.ledger import Ledger
+
+    if args.ledger_command == "validate":
+        try:
+            errors = Ledger(args.ledger).validate()
+        except OSError as exc:
+            print(f"cannot read ledger {args.ledger}: "
+                  f"{exc.strerror or exc}", file=sys.stderr)
+            return 1
+        if errors:
+            for err in errors:
+                print(f"{args.ledger}: {err}", file=sys.stderr)
+            return 1
+        print(f"{args.ledger}: OK")
+        return 0
+
+    records = _read_ledger(args.ledger)
+    if records is None:
+        return 1
+    if args.run_key:
+        records = [r for r in records
+                   if str(r.get("run_key", "")).startswith(args.run_key)]
+        if not records:
+            print(f"no records match run_key prefix {args.run_key!r}",
+                  file=sys.stderr)
+            return 1
+    shown = records[-args.last:] if args.last > 0 else records
+    t = Table(
+        f"Run ledger — {args.ledger} "
+        f"(last {len(shown)} of {len(records)})",
+        ["Run key", "Kind", "Source", "Label", "Timestamp"],
+    )
+    for r in shown:
+        t.add_row([
+            str(r.get("run_key", ""))[:12],
+            r.get("kind", "?"),
+            r.get("source", "?"),
+            r.get("label", ""),
+            r.get("provenance", {}).get("timestamp", "?"),
+        ])
+    t.print()
     return 0
 
 
@@ -606,10 +829,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         with _obs_session(args):
             return _cmd_serve(args)
     if args.command == "submit":
-        return _cmd_submit(args)
+        with _obs_session(args):
+            return _cmd_submit(args)
     if args.command == "experiment":
         with _obs_session(args):
             return _cmd_experiment(args.names)
+    if args.command == "trend":
+        return _cmd_trend(args)
+    if args.command == "ledger":
+        return _cmd_ledger(args)
     if args.command == "trace-view":
         return _cmd_trace_view(args.path, args.top)
     if args.command == "quality":

@@ -7,10 +7,21 @@ the numbers (used by tests and EXPERIMENTS.md) and ``table`` is a
 Instrumented runs are cached per ``(dataset, backend, cores, fidelity)``
 since everything is deterministic; Table V, Fig 6 and Fig 8 share the same
 single-core runs, and Figs 7/9/10/11 share the multicore sweeps.
+
+Every cell is also a hash-identified :class:`ExperimentConfig` — the
+fully-resolved configuration dict plus the content-addressed ``run_key``
+derived from it (:mod:`repro.obs.ledger`).  When a ledger is armed
+(``repro experiment --ledger PATH``, or :func:`repro.obs.ledger.
+scoped_ledger` in tests), each cell that actually runs appends one
+``kind="experiment"`` record with its codelength/NMI telemetry and wall
+time, so repeated sessions accumulate a queryable trajectory
+(``repro trend``, docs/trend.md).
 """
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -22,6 +33,7 @@ from repro.core.vectorized import run_infomap_vectorized
 from repro.graph.datasets import DATASETS, TABLE1_ORDER, load_dataset
 from repro.graph.lfr import LFRParams, lfr_graph
 from repro.graph.metrics import cam_coverage, degree_histogram, powerlaw_alpha_mle
+from repro.obs import ledger as obs_ledger
 from repro.obs import metrics as obs_metrics
 from repro.obs.logging import get_logger
 from repro.obs.spans import trace_span
@@ -38,6 +50,7 @@ from repro.util.tables import Table, format_pct, format_seconds, format_si
 log = get_logger("harness.experiments")
 
 __all__ = [
+    "ExperimentConfig",
     "run_cached",
     "table1_datasets",
     "table2_machines",
@@ -64,6 +77,41 @@ FIG4_NETWORKS = ("livejournal", "soc-pokec", "youtube")
 _RUN_CACHE: dict[tuple, object] = {}
 
 
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """A fully-resolved, hash-identified experiment cell.
+
+    ``config`` holds exactly the result-determining fields (dataset /
+    generator recipe, backend, cores, fidelity, params — and the graph
+    content digest when the ledger is armed); ``id`` is the first 12
+    hex chars of the cell's :func:`repro.obs.ledger.run_key`, so two
+    cells share an id iff they describe the same run.  ``label`` is the
+    human handle used in reports and ledger rows.
+    """
+
+    label: str
+    config: dict
+    id: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            object.__setattr__(
+                self, "id", obs_ledger.run_key(self.config)[:12]
+            )
+
+    def ledger_record(
+        self,
+        source: str,
+        telemetry: dict | None = None,
+        perf: dict | None = None,
+    ) -> dict:
+        """One ``kind="experiment"`` ledger record for this cell."""
+        return obs_ledger.make_record(
+            kind="experiment", source=source, config=self.config,
+            telemetry=telemetry, perf=perf, label=self.label,
+        )
+
+
 def run_cached(
     name: str,
     backend: str,
@@ -85,6 +133,7 @@ def run_cached(
     ):
         graph = load_dataset(name)
         machine = (asa_machine if backend == "asa" else baseline_machine)(fidelity)
+        t0 = time.perf_counter()
         if cores == 1:
             result: InfomapResult | MulticoreResult = run_infomap(
                 graph, backend=backend, machine=machine
@@ -93,7 +142,28 @@ def run_cached(
             result = run_infomap_multicore(
                 graph, num_cores=cores, backend=backend, machine=machine
             )
+        wall = time.perf_counter() - t0
     _RUN_CACHE[key] = result
+    if obs_ledger.is_enabled():
+        cell = ExperimentConfig(
+            label=f"{name}/{backend}/c{cores}/{fidelity}",
+            config={
+                "experiment": "run_cached",
+                "dataset": name,
+                "graph": obs_ledger.graph_digest(graph),
+                "backend": backend,
+                "cores": cores,
+                "fidelity": fidelity,
+            },
+        )
+        obs_ledger.get_ledger().append(cell.ledger_record(
+            "harness.run_cached",
+            telemetry={
+                "codelength": float(result.codelength),
+                "num_modules": int(result.num_modules),
+            },
+            perf={"wall_seconds": wall},
+        ))
     return result
 
 
@@ -559,7 +629,9 @@ def lfr_quality(
     data: dict[float, dict] = {}
     for mu in mus:
         g, truth = lfr_graph(LFRParams(n=n, mu=mu, seed=seed))
+        t0 = time.perf_counter()
         ri = run_infomap_vectorized(g)
+        wall = time.perf_counter() - t0
         rl = louvain(g, seed=seed)
         nmi_i = normalized_mutual_information(ri.modules, truth)
         nmi_l = normalized_mutual_information(rl.modules, truth)
@@ -571,6 +643,28 @@ def lfr_quality(
             "louvain_modules": rl.num_modules,
             "true_modules": k_true,
         }
+        if obs_ledger.is_enabled():
+            cell = ExperimentConfig(
+                label=f"lfr/n{n}/mu{mu:.1f}/s{seed}",
+                config={
+                    "experiment": "lfr_quality",
+                    "generator": "lfr",
+                    "n": n, "mu": mu, "seed": seed,
+                    "graph": obs_ledger.graph_digest(g),
+                    "engine": "vectorized",
+                },
+            )
+            obs_ledger.get_ledger().append(cell.ledger_record(
+                "harness.lfr_quality",
+                telemetry={
+                    "codelength": float(ri.codelength),
+                    "num_modules": int(ri.num_modules),
+                    "nmi": float(nmi_i),
+                    "louvain_nmi": float(nmi_l),
+                    "true_modules": k_true,
+                },
+                perf={"wall_seconds": wall},
+            ))
         t.add_row(
             [f"{mu:.1f}", f"{nmi_i:.3f}", f"{nmi_l:.3f}",
              ri.num_modules, rl.num_modules, k_true]

@@ -14,12 +14,18 @@ machine; this package measures the *Python runtime itself*:
 * :mod:`repro.obs.logging` — structured stdlib logging with a run-id
   field and the ``REPRO_LOG`` env knob;
 * :mod:`repro.obs.export` — the canonical JSON-safe conversion shared
-  with :mod:`repro.harness.export`.
+  with :mod:`repro.harness.export`;
+* :mod:`repro.obs.ledger` — the append-only, content-addressed run
+  ledger (one JSONL row per run, keyed by ``run_key``);
+* :mod:`repro.obs.trend` — per-run_key trajectories over a ledger with
+  regression flags (``repro trend``).
 
-See ``docs/observability.md`` for the span taxonomy and metric catalog.
+See ``docs/observability.md`` for the span taxonomy and metric catalog,
+and ``docs/trend.md`` for the ledger schema and trend reports.
 """
 
 from repro.obs.export import jsonable, write_json, write_jsonl, read_jsonl
+from repro.obs.ledger import Ledger, make_record, run_key, scoped_ledger
 from repro.obs.logging import get_logger, new_run_id, setup_logging
 from repro.obs.metrics import (
     MetricsRegistry,
@@ -46,6 +52,10 @@ __all__ = [
     "write_json",
     "write_jsonl",
     "read_jsonl",
+    "Ledger",
+    "make_record",
+    "run_key",
+    "scoped_ledger",
     "get_logger",
     "new_run_id",
     "setup_logging",

@@ -21,12 +21,16 @@ __all__ = ["jsonable", "write_json", "write_jsonl", "read_jsonl"]
 def jsonable(obj: Any) -> Any:
     """Recursively convert ``obj`` into JSON-serializable builtins.
 
-    Handles dicts (keys stringified), lists/tuples/sets, numpy arrays,
-    *any* numpy scalar (``np.float64``/``np.int64``/``np.bool_``/... via
+    Handles dicts (keys stringified **and sorted**, so label maps and
+    config cells serialize deterministically regardless of insertion
+    order), lists/tuples/sets, numpy arrays, *any* numpy scalar
+    (``np.float64``/``np.int64``/``np.bool_``/... via
     ``np.generic.item()``), dataclass instances, and ``pathlib.Path``.
     """
     if isinstance(obj, dict):
-        return {str(k): jsonable(v) for k, v in obj.items()}
+        return {
+            str(k): jsonable(obj[k]) for k in sorted(obj, key=str)
+        }
     if isinstance(obj, (list, tuple)):
         return [jsonable(v) for v in obj]
     if isinstance(obj, (set, frozenset)):

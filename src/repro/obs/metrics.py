@@ -192,7 +192,9 @@ class MetricsRegistry:
                 {
                     "name": m.name,
                     "kind": m.kind,
-                    "labels": dict(m.labels),
+                    # sorted so JSONL lines are byte-identical no matter
+                    # the keyword order the series was created with
+                    "labels": dict(sorted(m.labels.items())),
                     **m.snapshot(),
                 }
             )

@@ -1,0 +1,243 @@
+"""Per-run_key trajectories over a ledger — the trend report.
+
+Groups :mod:`repro.obs.ledger` records by ``run_key`` (same
+result-determining configuration), orders each group by provenance
+timestamp, and compares the **latest** sample of a chosen metric
+against the **median of the prior** samples and the **best** overall:
+
+* ``regressed`` — latest is worse than the prior median by more than
+  ``tolerance`` (relative);
+* ``improved`` — latest is better than the prior median by more than
+  ``tolerance``;
+* ``stable``   — within tolerance either way;
+* ``single``   — only one sample carries the metric (nothing to
+  compare; never fails a gate).
+
+"Worse" depends on the metric's direction: wall-clock seconds are
+lower-is-better (the default), throughputs and speedups are
+higher-is-better (``higher_is_better=True``).  The median baseline
+makes one historic outlier unable to mask (or fake) a regression the
+way a latest-vs-best comparison would.
+
+``repro trend`` renders the report as a text table or JSON
+(``repro.trend/v1``) and ``--fail-on-regression`` turns it into a CI
+gate; see ``docs/trend.md``.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from repro.util.tables import Table
+
+__all__ = [
+    "TREND_SCHEMA",
+    "DEFAULT_METRIC",
+    "DEFAULT_TOLERANCE",
+    "Trend",
+    "metric_value",
+    "compute_trends",
+    "trends_table",
+    "trends_json",
+]
+
+TREND_SCHEMA = "repro.trend/v1"
+DEFAULT_METRIC = "wall_seconds"
+DEFAULT_TOLERANCE = 0.10
+
+STATUS_SINGLE = "single"
+STATUS_STABLE = "stable"
+STATUS_REGRESSED = "regressed"
+STATUS_IMPROVED = "improved"
+
+
+@dataclass
+class Trend:
+    """One run_key's trajectory of a single metric."""
+
+    run_key: str
+    label: str
+    source: str
+    metric: str
+    higher_is_better: bool
+    #: metric samples in timestamp order (latest last)
+    values: list[float] = field(default_factory=list)
+    timestamps: list[str] = field(default_factory=list)
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def latest(self) -> float:
+        return self.values[-1]
+
+    @property
+    def best(self) -> float:
+        return max(self.values) if self.higher_is_better else min(self.values)
+
+    @property
+    def median(self) -> float:
+        return float(statistics.median(self.values))
+
+    @property
+    def baseline(self) -> float | None:
+        """Median of every sample before the latest (None if only one)."""
+        prior = self.values[:-1]
+        return float(statistics.median(prior)) if prior else None
+
+    def status(self, tolerance: float) -> str:
+        base = self.baseline
+        if base is None:
+            return STATUS_SINGLE
+        if base == 0.0:
+            return STATUS_STABLE if self.latest == 0.0 else (
+                STATUS_IMPROVED if self.higher_is_better else STATUS_REGRESSED
+            )
+        ratio = self.latest / base
+        worse = ratio < 1.0 - tolerance if self.higher_is_better \
+            else ratio > 1.0 + tolerance
+        better = ratio > 1.0 + tolerance if self.higher_is_better \
+            else ratio < 1.0 - tolerance
+        if worse:
+            return STATUS_REGRESSED
+        if better:
+            return STATUS_IMPROVED
+        return STATUS_STABLE
+
+
+def metric_value(record: dict, metric: str) -> float | None:
+    """``metric`` from a record's ``perf`` block (``telemetry``
+    fallback), as a float, or None when absent/non-numeric."""
+    for block in ("perf", "telemetry"):
+        value = record.get(block, {}).get(metric)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return float(value)
+    return None
+
+
+def _matches(record: dict, *, run_key: str | None, engine: str | None,
+             dataset: str | None, kind: str | None) -> bool:
+    if run_key is not None and not record.get("run_key", "").startswith(run_key):
+        return False
+    if kind is not None and record.get("kind") != kind:
+        return False
+    config = record.get("config", {})
+    if engine is not None and config.get("engine") != engine:
+        return False
+    if dataset is not None:
+        names = {config.get("dataset"), config.get("family"),
+                 record.get("label")}
+        if dataset not in names:
+            return False
+    return True
+
+
+def compute_trends(
+    records: list[dict],
+    metric: str = DEFAULT_METRIC,
+    *,
+    higher_is_better: bool = False,
+    run_key: str | None = None,
+    engine: str | None = None,
+    dataset: str | None = None,
+    kind: str | None = None,
+) -> list[Trend]:
+    """One :class:`Trend` per run_key carrying ``metric``.
+
+    Records are ordered within a key by provenance timestamp (ties keep
+    file order, so same-second appends still trend correctly); records
+    where the metric is absent are skipped.  Filters narrow by run_key
+    prefix, ``config.engine``, dataset/family/label name, or record
+    kind.  Output is sorted by label then run_key for stable reports.
+    """
+    groups: dict[str, list[tuple[str, int, float, dict]]] = {}
+    for index, rec in enumerate(records):
+        if not isinstance(rec, dict) or "run_key" not in rec:
+            continue
+        if not _matches(rec, run_key=run_key, engine=engine,
+                        dataset=dataset, kind=kind):
+            continue
+        value = metric_value(rec, metric)
+        if value is None:
+            continue
+        ts = str(rec.get("provenance", {}).get("timestamp", ""))
+        groups.setdefault(rec["run_key"], []).append((ts, index, value, rec))
+    out: list[Trend] = []
+    for key, samples in groups.items():
+        samples.sort(key=lambda s: (s[0], s[1]))
+        last = samples[-1][3]
+        out.append(Trend(
+            run_key=key,
+            label=last.get("label") or last.get("source", ""),
+            source=last.get("source", ""),
+            metric=metric,
+            higher_is_better=higher_is_better,
+            values=[s[2] for s in samples],
+            timestamps=[s[0] for s in samples],
+        ))
+    out.sort(key=lambda t: (t.label, t.run_key))
+    return out
+
+
+def _fmt(v: float | None) -> str:
+    if v is None:
+        return "-"
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000:
+        return f"{v:,.0f}"
+    return f"{v:.4g}"
+
+
+def trends_table(trends: list[Trend], tolerance: float) -> Table:
+    """ASCII table of one row per run_key."""
+    direction = ""
+    if trends:
+        direction = " (higher is better)" if trends[0].higher_is_better \
+            else " (lower is better)"
+    metric = trends[0].metric if trends else DEFAULT_METRIC
+    t = Table(
+        f"Trend: {metric}{direction} — tolerance {tolerance:g}",
+        ["run_key", "label", "n", "latest", "baseline", "best", "median",
+         "status"],
+    )
+    for tr in trends:
+        t.add_row([
+            tr.run_key[:12],
+            tr.label,
+            tr.n,
+            _fmt(tr.latest),
+            _fmt(tr.baseline),
+            _fmt(tr.best),
+            _fmt(tr.median),
+            tr.status(tolerance),
+        ])
+    return t
+
+
+def trends_json(trends: list[Trend], tolerance: float) -> dict:
+    """JSON-ready report (``repro.trend/v1``)."""
+    return {
+        "schema": TREND_SCHEMA,
+        "tolerance": tolerance,
+        "trends": [
+            {
+                "run_key": tr.run_key,
+                "label": tr.label,
+                "source": tr.source,
+                "metric": tr.metric,
+                "higher_is_better": tr.higher_is_better,
+                "n": tr.n,
+                "latest": tr.latest,
+                "baseline": tr.baseline,
+                "best": tr.best,
+                "median": tr.median,
+                "status": tr.status(tolerance),
+                "values": tr.values,
+                "timestamps": tr.timestamps,
+            }
+            for tr in trends
+        ],
+    }

@@ -37,6 +37,7 @@ import time
 import traceback
 
 from repro.core.parallel import DeadlineExceeded, run_infomap_parallel
+from repro.obs import ledger as obs_ledger
 from repro.obs import metrics as obs_metrics
 from repro.obs.logging import get_logger
 from repro.obs.spans import trace_span
@@ -69,6 +70,13 @@ class JobService:
     start_method:
         Multiprocessing start method for pools (default: the parallel
         engine's — ``fork`` where available).
+    heartbeat_interval:
+        Seconds between stats heartbeats (gauge flushes of scheduler
+        depth, pool occupancy, cache size — the liveness signal a
+        long-lived ``repro serve`` exposes through ``--metrics-out``).
+        ``0`` flushes at every opportunity (each submit and each
+        drained job); ``None`` (default) disables the periodic flush —
+        :meth:`heartbeat` can still be called explicitly.
     """
 
     def __init__(
@@ -76,13 +84,20 @@ class JobService:
         max_queue_depth: int = 64,
         cache_entries: int = 128,
         start_method: str | None = None,
+        heartbeat_interval: float | None = None,
     ) -> None:
+        if heartbeat_interval is not None and heartbeat_interval < 0:
+            raise ValueError("heartbeat_interval must be >= 0 (or None)")
         self.scheduler = Scheduler(max_queue_depth=max_queue_depth)
         self.pools = PoolManager(start_method=start_method)
         self.cache = ResultCache(max_entries=cache_entries)
         #: every finished/rejected outcome, keyed by job id
         self.results: dict[int, JobResult] = {}
         self._closed = False
+        self._heartbeat_interval = heartbeat_interval
+        self.heartbeats = 0
+        self._started_at = time.monotonic()
+        self._last_heartbeat = self._started_at
 
     # ------------------------------------------------------------ submit
     def submit(self, spec: JobSpec) -> int:
@@ -109,6 +124,7 @@ class JobService:
             self._count("service.jobs.rejected")
             log.warning("job %d rejected: %s", job_id, reason)
         self._gauge("service.queue.depth", len(self.scheduler))
+        self._maybe_heartbeat()
         return job_id
 
     def submit_many(self, specs: list[JobSpec]) -> list[int]:
@@ -144,6 +160,7 @@ class JobService:
             self.results[result.job_id] = result
             out.append(result)
             self._gauge("service.queue.depth", len(self.scheduler))
+            self._maybe_heartbeat()
         return out
 
     def run_batch(self, specs: list[JobSpec]) -> list[JobResult]:
@@ -200,8 +217,52 @@ class JobService:
         self._count(f"service.jobs.{result.status}")
         self._observe("service.job.queue_seconds", result.queue_seconds)
         self._observe("service.job.run_seconds", result.run_seconds)
+        self._record_ledger(spec, result)
         log.info("%s", result.summary())
         return result
+
+    def _record_ledger(self, spec: JobSpec, result: JobResult) -> None:
+        """Append one ``kind="service"`` row to the armed run ledger.
+
+        The config (and so the run_key) is exactly the cache key's
+        result-determining field set; how the job was served — cache
+        hit/miss, warm/cold pool, queue wait, wall time — is perf data,
+        never identity (docs/trend.md).
+        """
+        if not obs_ledger.is_enabled():
+            return
+        from repro.service.cache import graph_digest
+
+        record = obs_ledger.make_record(
+            kind="service",
+            source="service",
+            config={
+                "graph": graph_digest(spec.graph),
+                "engine": spec.engine,
+                "workers": spec.workers,
+                "seed": spec.seed,
+                "tau": spec.tau,
+                "max_levels": spec.max_levels,
+                "max_passes_per_level": spec.max_passes_per_level,
+                "chunk": spec.chunk,
+            },
+            telemetry={
+                "status": result.status,
+                "codelength": result.codelength if result.ok else None,
+                "num_modules": result.num_modules if result.ok else None,
+                "levels": result.levels if result.ok else None,
+            },
+            perf={
+                "queue_seconds": result.queue_seconds,
+                "run_seconds": result.run_seconds,
+                "wall_seconds": result.run_seconds,
+                "cache_hit": bool(result.cache_hit),
+                "warm_pool": bool(result.warm_pool),
+                "respawns": int(result.respawns),
+            },
+            label=result.label,
+        )
+        obs_ledger.get_ledger().append(record)
 
     def _run_engine(self, spec: JobSpec, result: JobResult) -> None:
         """Execute ``spec`` on its engine, reporting into ``result``."""
@@ -273,6 +334,44 @@ class JobService:
             result.codelength = float(r.codelength)
             result.levels = int(r.levels)
 
+    # ---------------------------------------------------------- heartbeat
+    def heartbeat(self) -> dict:
+        """Flush the liveness gauges; returns what was flushed.
+
+        Published gauges (metric catalog, docs/observability.md):
+        ``service.uptime_seconds``, ``service.queue.depth``,
+        ``service.pool.pools`` / ``service.pool.workers`` (warm-pool
+        occupancy), ``service.cache.size``, plus the
+        ``service.heartbeats`` counter — the signal that makes a
+        long-lived ``repro serve`` inspectable from a ``--metrics-out``
+        snapshot without touching its job flow.
+        """
+        snap = {
+            "uptime_seconds": time.monotonic() - self._started_at,
+            "queue_depth": len(self.scheduler),
+            "pools": len(self.pools),
+            "pool_workers": sum(self.pools.worker_counts()),
+            "cache_size": len(self.cache),
+            "results": len(self.results),
+        }
+        self.heartbeats += 1
+        self._count("service.heartbeats")
+        self._gauge("service.uptime_seconds", snap["uptime_seconds"])
+        self._gauge("service.queue.depth", snap["queue_depth"])
+        self._gauge("service.pool.pools", snap["pools"])
+        self._gauge("service.pool.workers", snap["pool_workers"])
+        self._gauge("service.cache.size", snap["cache_size"])
+        log.debug("heartbeat #%d: %s", self.heartbeats, snap)
+        return snap
+
+    def _maybe_heartbeat(self) -> None:
+        if self._heartbeat_interval is None:
+            return
+        now = time.monotonic()
+        if now - self._last_heartbeat >= self._heartbeat_interval:
+            self._last_heartbeat = now
+            self.heartbeat()
+
     # ---------------------------------------------------------- lifecycle
     def stats(self) -> dict:
         """One JSON-ready snapshot of queue / cache / pool counters."""
@@ -284,6 +383,7 @@ class JobService:
             "cache": self.cache.stats(),
             "pools": self.pools.stats(),
             "results": by_status,
+            "heartbeats": self.heartbeats,
         }
 
     def close(self) -> None:

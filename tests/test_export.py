@@ -59,6 +59,78 @@ class TestToJson:
         assert loaded["0.5"]["nmi"] == 1.0
 
 
+class TestMetricsJsonlRoundTrip:
+    """Metrics snapshots must survive a JSONL round-trip unchanged and
+    serialize byte-identically regardless of label insertion order —
+    the property the run ledger and CI artifact diffs rely on."""
+
+    def _registry(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("jobs.completed", engine="parallel", workers="2").inc(3)
+        reg.gauge("queue.depth").set(7.0)
+        h = reg.histogram("wall_seconds", bench="scaling")
+        for v in (0.1, 0.2, 0.4):
+            h.observe(v)
+        return reg
+
+    def test_all_series_kinds_round_trip(self, tmp_path):
+        from repro.obs.export import read_jsonl
+
+        reg = self._registry()
+        p = reg.write_jsonl(tmp_path / "m.jsonl")
+        lines = read_jsonl(p)
+        assert lines == reg.snapshot()["metrics"]
+        by_name = {d["name"]: d for d in lines}
+        assert by_name["jobs.completed"]["kind"] == "counter"
+        assert by_name["jobs.completed"]["value"] == 3
+        assert by_name["jobs.completed"]["labels"] == {
+            "engine": "parallel", "workers": "2"
+        }
+        assert by_name["queue.depth"]["kind"] == "gauge"
+        assert by_name["queue.depth"]["value"] == 7.0
+        hist = by_name["wall_seconds"]
+        assert hist["kind"] == "histogram"
+        assert hist["count"] == 3
+        assert hist["sum"] == pytest.approx(0.7)
+
+    def test_append_builds_longitudinal_file(self, tmp_path):
+        from repro.obs.export import read_jsonl
+
+        reg = self._registry()
+        reg.write_jsonl(tmp_path / "m.jsonl")
+        reg.write_jsonl(tmp_path / "m.jsonl", append=True)
+        assert len(read_jsonl(tmp_path / "m.jsonl")) == 2 * len(
+            reg.snapshot()["metrics"]
+        )
+
+    def test_label_insertion_order_is_canonicalized(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c", engine="parallel", workers="2").inc()
+        b.counter("c", workers="2", engine="parallel").inc()
+        pa = a.write_jsonl(tmp_path / "a.jsonl")
+        pb = b.write_jsonl(tmp_path / "b.jsonl")
+        assert pa.read_bytes() == pb.read_bytes()
+
+
+class TestJsonableDeterminism:
+    def test_dict_keys_sorted_and_stringified(self):
+        from repro.obs.export import jsonable
+
+        out = jsonable({"b": 1, "a": 2, 0.5: 3})
+        assert list(out) == ["0.5", "a", "b"]
+
+    def test_jsonl_lines_independent_of_insertion_order(self, tmp_path):
+        from repro.obs.export import write_jsonl
+
+        p1 = write_jsonl([{"z": 1, "a": {"y": 2, "x": 3}}], tmp_path / "1.jsonl")
+        p2 = write_jsonl([{"a": {"x": 3, "y": 2}, "z": 1}], tmp_path / "2.jsonl")
+        assert p1.read_bytes() == p2.read_bytes()
+
+
 class TestTableToCsv:
     def test_round_trip(self, tmp_path):
         t = Table("T", ["name", "value"])

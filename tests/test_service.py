@@ -310,8 +310,70 @@ def test_stats_shape():
                                workers=1)])
         stats = svc.stats()
     assert stats["results"] == {"completed": 1}
-    assert set(stats) == {"scheduler", "cache", "pools", "results"}
+    assert set(stats) == {"scheduler", "cache", "pools", "results",
+                          "heartbeats"}
     json.dumps(stats)  # the snapshot must stay JSON-serializable
+
+
+def test_heartbeat_gauges_flushed_during_batch():
+    """With heartbeat_interval=0 every submit/drain step flushes the
+    liveness gauges, so a --metrics-out snapshot taken after a batch
+    carries them (the docs/observability.md catalog names)."""
+    from repro.obs.metrics import scoped_registry
+
+    with scoped_registry() as reg:
+        with JobService(cache_entries=8, heartbeat_interval=0.0) as svc:
+            svc.run_batch([
+                JobSpec(graph=_graph(), engine="vectorized", workers=1),
+                JobSpec(graph=_graph(), engine="vectorized", workers=1),
+            ])
+            assert svc.stats()["heartbeats"] >= 2
+        names = reg.names()
+    for gauge in ("service.uptime_seconds", "service.queue.depth",
+                  "service.pool.pools", "service.pool.workers",
+                  "service.cache.size"):
+        assert gauge in names, gauge
+    assert reg.get_value("service.heartbeats") >= 2
+    assert reg.get_value("service.queue.depth") == 0  # drained
+
+
+def test_heartbeat_off_by_default_and_negative_rejected():
+    with JobService() as svc:
+        svc.run_batch([JobSpec(graph=_graph(), engine="vectorized",
+                               workers=1)])
+        assert svc.stats()["heartbeats"] == 0
+    with pytest.raises(ValueError, match="heartbeat"):
+        JobService(heartbeat_interval=-1.0)
+
+
+def test_service_ledger_records_per_job():
+    """An armed ledger receives one schema-valid record per executed
+    job, keyed by the job's result-determining config — a repeat job
+    shares the run_key and is marked as the cache hit it was."""
+    from repro.obs.ledger import Ledger, scoped_ledger
+
+    import tempfile
+    from pathlib import Path
+
+    with tempfile.TemporaryDirectory() as td:
+        path = Path(td) / "runs.jsonl"
+        spec = JobSpec(graph=_graph(), engine="vectorized", workers=1,
+                       seed=4, label="ledgered")
+        with scoped_ledger(path):
+            with JobService(cache_entries=8) as svc:
+                svc.run_batch([spec, spec])
+        led = Ledger(path)
+        assert led.validate() == []
+        first, second = led.read()
+        assert first["kind"] == second["kind"] == "service"
+        assert first["run_key"] == second["run_key"]
+        assert first["label"] == "ledgered"
+        assert first["telemetry"]["codelength"] == \
+            second["telemetry"]["codelength"]
+        assert first["perf"]["cache_hit"] is False
+        assert second["perf"]["cache_hit"] is True
+        assert first["config"]["engine"] == "vectorized"
+        assert "graph" in first["config"]
 
 
 # ---------------------------------------------------------------------------
