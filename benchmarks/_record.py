@@ -26,6 +26,7 @@ Usage from a bench module::
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 from typing import Any, Iterable, Mapping
@@ -89,3 +90,39 @@ def write_bench(
     if records:
         obs_ledger.Ledger(ledger_path()).append_many(records)
     return out
+
+
+#: envelope keys stamped by :func:`write_bench` — never carried over
+#: from a previous snapshot by :func:`update_bench`
+_ENVELOPE_KEYS = ("schema", "schema_version", "provenance")
+
+
+def update_bench(
+    schema: str,
+    payload: Mapping[str, Any],
+    path: str | Path,
+    ledger_records: Iterable[dict] = (),
+) -> Path:
+    """Read-merge-write a shared ``BENCH_*.json`` artifact.
+
+    Overlays ``payload`` onto the artifact's current contents so two
+    emitters can own disjoint sections of one file — e.g.
+    ``bench_parallel_scaling`` owns ``points`` while ``bench_bigscale``
+    owns ``bigscale`` inside ``BENCH_parallel.json`` — and running
+    either alone never clobbers the other's section.  The envelope
+    (schema string, ``schema_version``, ``provenance``) always reflects
+    the latest writer; an unreadable or non-object snapshot is treated
+    as absent rather than propagating garbage.
+    """
+    path = Path(path)
+    existing: dict[str, Any] = {}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            loaded = None
+        if isinstance(loaded, dict):
+            existing = loaded
+    for key in _ENVELOPE_KEYS:
+        existing.pop(key, None)
+    return write_bench(schema, {**existing, **payload}, path, ledger_records)

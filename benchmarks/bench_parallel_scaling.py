@@ -37,7 +37,7 @@ from pathlib import Path
 
 import pytest
 
-from _record import bench_record, write_bench
+from _record import bench_record, update_bench
 from repro.core.parallel import run_infomap_parallel
 from repro.graph.datasets import load_dataset
 from repro.graph.generators import planted_partition
@@ -128,7 +128,9 @@ def test_record_parallel_scaling(show):
         ])
     show(t)
 
-    write_bench(
+    # update_bench: BENCH_parallel.json is shared with bench_bigscale.py
+    # (which owns the "bigscale" section) — merge, don't clobber
+    update_bench(
         "repro.bench_parallel/v2",
         {
             "metric": "parallel-engine sweep throughput (proposed vertices "

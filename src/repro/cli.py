@@ -7,6 +7,8 @@ Usage (after install)::
     python -m repro run --dataset orkut --engine vectorized
     python -m repro run --dataset orkut --engine multicore --workers 4
     python -m repro run --dataset orkut --engine parallel --workers 4
+    python -m repro run --surrogate rmat_1m --engine parallel --workers 4 \
+        --ledger runs.jsonl                 # streamed paper-scale surrogate
     python -m repro run --edge-list my.txt --backend softhash --cores 4
     python -m repro run --dataset amazon --trace out.trace.json \
         --metrics-out metrics.json --log-level debug
@@ -50,6 +52,7 @@ from repro.core.infomap import run_infomap
 from repro.core.multicore import run_infomap_multicore
 from repro.graph.datasets import TABLE1_ORDER, load_dataset
 from repro.graph.io import read_edge_list
+from repro.graph.stream import recipe_names as stream_recipe_names
 from repro.util.tables import Table, format_pct, format_seconds, format_si
 
 __all__ = ["main", "build_parser"]
@@ -71,10 +74,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("datasets", help="list the Table I surrogate datasets")
 
-    runp = sub.add_parser("run", help="run Infomap on a dataset or edge list")
+    runp = sub.add_parser(
+        "run",
+        help="run Infomap on a dataset, edge list, or streamed surrogate",
+    )
     src = runp.add_mutually_exclusive_group(required=True)
     src.add_argument("--dataset", choices=TABLE1_ORDER)
     src.add_argument("--edge-list", metavar="PATH")
+    src.add_argument(
+        "--surrogate", metavar="RECIPE", choices=stream_recipe_names(),
+        help="stream a paper-scale surrogate straight into shared memory "
+        f"(no Python edge list; docs/scaling.md): {', '.join(stream_recipe_names())}",
+    )
+    runp.add_argument(
+        "--seed", type=int, default=None, metavar="SEED",
+        help="--surrogate only: content seed for the streamed recipe "
+        "(default 0; same seed ⇒ same graph digest)",
+    )
     runp.add_argument(
         "--backend", default="plain",
         choices=("plain", "softhash", "robinhood", "asa"),
@@ -273,7 +289,24 @@ def _validate_run_args(
     parser: argparse.ArgumentParser, args: argparse.Namespace
 ) -> None:
     """Reject incoherent --engine / --workers / --cores combinations
-    with a proper argparse usage error (exit code 2)."""
+    with a proper argparse usage error (exit code 2).
+
+    This runs from :func:`main` *before* :func:`_cmd_run` touches the
+    graph source, so a bad combination is rejected before a dataset is
+    loaded, an edge list is parsed, or — the expensive case — a
+    multi-million-arc ``--surrogate`` stream is materialised into
+    shared memory.  Keep every run-argument check here, not in
+    :func:`_cmd_run`."""
+    if args.seed is not None:
+        if args.surrogate is None:
+            parser.error("--seed applies to --surrogate runs only")
+        if args.seed < 0:
+            parser.error("--seed must be a non-negative integer")
+    if args.surrogate is not None and args.directed:
+        parser.error(
+            "--directed applies to --edge-list input; "
+            "surrogate recipes fix their own orientation"
+        )
     if args.workers is not None:
         if args.engine not in ("multicore", "parallel"):
             parser.error(
@@ -397,14 +430,36 @@ def _cmd_datasets() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    import time
+    """Resolve the graph source, then dispatch to the selected engine.
 
-    from repro.obs import ledger as obs_ledger
+    Arguments were already validated in :func:`main` via
+    :func:`_validate_run_args` — every engine/workers/fault-plan
+    combination is known-good before any graph is loaded or generated,
+    so a ``--surrogate`` stream is never materialised only to die on a
+    usage error.
+    """
+    if args.surrogate:
+        from repro.graph.stream import stream_recipe
 
+        sg = stream_recipe(args.surrogate, seed=args.seed or 0)
+        try:
+            return _run_on_graph(args, sg.graph, digest=sg.digest)
+        finally:
+            sg.release()
     if args.dataset:
         graph = load_dataset(args.dataset)
     else:
         graph, _ = read_edge_list(args.edge_list, directed=args.directed)
+    return _run_on_graph(args, graph)
+
+
+def _run_on_graph(
+    args: argparse.Namespace, graph, digest: str | None = None
+) -> int:
+    import time
+
+    from repro.obs import ledger as obs_ledger
+
     print(f"Graph: {graph.name} ({graph.num_vertices} vertices, "
           f"{graph.num_edges} edges)")
     t_start = time.perf_counter()
@@ -415,12 +470,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return
         config = {
             "command": "run",
-            "graph": obs_ledger.graph_digest(graph),
+            "graph": digest or obs_ledger.graph_digest(graph),
             "engine": args.engine,
             "backend": args.backend,
             "workers": args.workers or args.cores,
             "tau": args.tau,
         }
+        perf = {"wall_seconds": time.perf_counter() - t_start}
+        if hasattr(r, "sweep_throughput"):
+            perf["sweep_vertices_per_s"] = float(r.sweep_throughput)
         obs_ledger.get_ledger().append(obs_ledger.make_record(
             kind="experiment",
             source="cli.run",
@@ -430,7 +488,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "num_modules": int(r.num_modules),
                 "levels": int(r.levels),
             },
-            perf={"wall_seconds": time.perf_counter() - t_start},
+            perf=perf,
             label=graph.name,
         ))
     if args.engine in ("vectorized", "parallel"):

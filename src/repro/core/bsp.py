@@ -172,7 +172,8 @@ class ProposeBackend:
             begin_level(net, level, blocks, ws)
             for pass:
                 begin_pass(module)
-                for round:                     # chunk slices of each block
+                on_pass_orders(core_orders)    # each core's full pass order
+                for round:                     # chunk slices of each order
                     on_barrier(level, pass, round, barrier)
                     propose(shards, module, enter, exit, flow)
                     on_commit(applied_verts)   # after the merge
@@ -186,6 +187,14 @@ class ProposeBackend:
     ``propose`` receives ``shards`` as ``[(core_id, vertex_array), ...]``
     in ascending core order and must return ``(verts, targets)``
     concatenated in that order — the merge order the commit relies on.
+
+    :meth:`on_pass_orders` exists so a backend can amortize per-round
+    traffic: the driver slices each core's order *sequentially* from
+    offset 0, so a backend that ships the whole order up front can
+    address every subsequent round as a plain ``[lo, hi)`` window into
+    it (what the parallel engine's chunked commit rounds do).  The
+    hook changes *where bytes travel*, never what is computed — shards
+    passed to :meth:`propose` stay authoritative.
     """
 
     #: engine label for telemetry/metrics
@@ -204,6 +213,15 @@ class ProposeBackend:
         pass
 
     def begin_pass(self, module: np.ndarray) -> None:
+        pass
+
+    def on_pass_orders(self, core_orders: list[np.ndarray]) -> None:
+        """Each core's full vertex order for the coming pass.
+
+        Called once per pass, after :meth:`begin_pass`; every round's
+        shard for core ``p`` is the next ``chunk``-sized slice of
+        ``core_orders[p]``, taken in order from offset 0.
+        """
         pass
 
     def on_barrier(
@@ -364,6 +382,7 @@ def run_bsp_infomap(
                 blocks[p] if active_sets[p] is None else active_sets[p]
                 for p in range(num_cores)
             ]
+            backend.on_pass_orders(core_orders)
             offsets = [0] * num_cores
             rounds = 0
             proposed_total = 0

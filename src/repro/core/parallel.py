@@ -7,16 +7,26 @@ on a real worker process:
 
 * ``P`` persistent workers are forked once per run and fed over duplex
   pipes; no pool re-spawn per sweep;
-* the level's CSR flow network and the round-start module state live in
-  one :class:`multiprocessing.shared_memory.SharedMemory` arena — workers
-  map them as zero-copy numpy views, so the only per-round traffic is the
-  shard's vertex ids out and the proposed ``(vertices, targets)`` back;
+* the level's CSR flow network, the round-start module state, and a
+  per-worker **proposal reply buffer** live in one
+  :class:`multiprocessing.shared_memory.SharedMemory` arena — workers
+  map them as zero-copy numpy views;
+* rounds are **chunked commit rounds**: each worker receives its whole
+  pass order once (``("orders", verts)``), after which every round is a
+  constant-size ``("round", lo, hi, fault)`` window into it; the worker
+  writes its proposed ``(vertices, targets)`` into its arena reply
+  buffer and answers with a constant-size ``("done", id, count, wall)``
+  — so per-round pipe traffic is O(1) regardless of shard size, and the
+  barrier cost of small ``chunk`` values is amortized;
 * each worker binds its own batched
   :class:`~repro.core.vectorized.Workspace` to the shared arrays and runs
   the shard-restricted sweep
   (:meth:`~repro.core.vectorized.Workspace.best_moves` with ``verts=``);
-* the master gathers proposals in fixed worker order and commits them
-  with the shared deterministic merge (:func:`repro.core.bsp.commit_proposals`).
+* the master snapshots the round-start state into the arena only when a
+  commit actually changed it (the dirty-flag skip — converging passes
+  stop paying the O(n) rewrite), gathers proposals in fixed worker
+  order out of the reply buffers, and commits them with the shared
+  deterministic merge (:func:`repro.core.bsp.commit_proposals`).
 
 Because propose is a pure deterministic function of the snapshot and the
 merge is driver-side, ``parallel(P=k)`` is **bit-identical** to
@@ -40,10 +50,13 @@ master therefore *supervises* its workers instead of trusting them:
   worker compromised;
 * a failed worker is killed, respawned, re-attached to the current
   level's arena, and its exact shard is replayed against the unchanged
-  round snapshot.  Propose is a pure function of (snapshot, shard) and
-  the gather order is fixed, so the commit stream — and therefore the
-  final partition — is **bit-identical to a fault-free run at the same
-  seed** no matter where a worker dies.  ``tests/test_fault_injection.py``
+  round snapshot.  A respawned worker has lost its pass order, so the
+  replay — and every further round it gets this pass — uses the
+  explicit-shard message form (``("roundv", verts, fault)``); the next
+  pass re-arms it with fresh orders.  Propose is a pure function of
+  (snapshot, shard) and the gather order is fixed, so the commit
+  stream — and therefore the final partition — is **bit-identical to a
+  fault-free run at the same seed** no matter where a worker dies.  ``tests/test_fault_injection.py``
   proves this at every barrier of every conformance family, using the
   seeded :class:`repro.core.faults.FaultPlan` injection layer this
   module executes worker-side.
@@ -135,6 +148,11 @@ class ParallelResult:
     propose_seconds: float = 0.0
     #: total shard vertices dispatched to workers, all rounds
     proposed_vertices: int = 0
+    #: chunked commit rounds executed (= barriers crossed)
+    rounds: int = 0
+    #: O(n) snapshot-state arena writes performed; the dirty-flag skip
+    #: keeps this at (accepted commits + levels), not at ``rounds``
+    state_writes: int = 0
     #: faults fired by the injected FaultPlan, per kind (empty: no plan)
     faults_injected: dict[str, int] = field(default_factory=dict)
     #: worker failures the supervisor detected, per reason
@@ -283,12 +301,36 @@ def _perform_fault(conn, worker_id: int, fault: str | None) -> bool:
 
 
 def _worker_main(conn, worker_id: int) -> None:
-    """Persistent worker loop: bind arenas, answer propose rounds."""
+    """Persistent worker loop: bind arenas, answer propose rounds.
+
+    Rounds come in two forms: ``("round", lo, hi, fault)`` — a window
+    into the pass order previously delivered via ``("orders", verts)``
+    — and ``("roundv", verts, fault)`` with the shard spelled out (the
+    recovery fallback for a respawned worker that missed the orders).
+    Either way the proposals land in this worker's arena reply buffer
+    and only a constant-size ``("done", id, count, wall)`` crosses the
+    pipe.
+    """
     _disable_shm_tracking()
     shm: shared_memory.SharedMemory | None = None
     views: dict[str, np.ndarray] = {}
     ws = Workspace()
     net: FlowNetwork | None = None
+    order: np.ndarray | None = None
+
+    def answer(verts: np.ndarray, fault: str | None) -> None:
+        if fault is not None and _perform_fault(conn, worker_id, fault):
+            return
+        t0 = time.perf_counter()
+        v, t, _ = ws.best_moves(
+            views["module"], views["enter"], views["exit"],
+            views["flow"], verts=verts,
+        )
+        k = len(v)
+        views[f"reply_verts_{worker_id}"][:k] = v
+        views[f"reply_targets_{worker_id}"][:k] = t
+        conn.send(("done", worker_id, k, time.perf_counter() - t0))
+
     try:
         while True:
             msg = conn.recv()
@@ -300,19 +342,23 @@ def _worker_main(conn, worker_id: int) -> None:
                 views = _views(shm.buf, descr)
                 net = _net_from_views(views, directed)
                 ws.bind(net)
+                order = None
                 conn.send(("bound", worker_id))
                 if old_shm is not None:
                     old_shm.close()
+            elif kind == "orders":
+                order = msg[1]
             elif kind == "round":
+                _, lo, hi, fault = msg
+                if order is None:
+                    raise RuntimeError(
+                        f"worker {worker_id} got a round window with no "
+                        f"pass orders bound"
+                    )
+                answer(order[lo:hi], fault)
+            elif kind == "roundv":
                 _, verts, fault = msg
-                if fault is not None and _perform_fault(conn, worker_id, fault):
-                    continue
-                t0 = time.perf_counter()
-                v, t, _ = ws.best_moves(
-                    views["module"], views["enter"], views["exit"],
-                    views["flow"], verts=verts,
-                )
-                conn.send((v, t, time.perf_counter() - t0))
+                answer(verts, fault)
             elif kind == "close":
                 break
     except (EOFError, KeyboardInterrupt):
@@ -370,19 +416,19 @@ class DeadlineExceeded(RuntimeError):
     """
 
 
-def _valid_round_reply(msg) -> bool:
-    """A round reply is ``(verts, targets, wall_seconds)`` with matching
-    1-D int64 arrays — anything else marks the worker compromised."""
+def _valid_round_reply(msg, worker: int, cap: int) -> bool:
+    """A round reply is ``("done", worker, count, wall_seconds)`` with
+    ``count`` proposals sitting in the worker's arena reply buffer
+    (``0 <= count <= cap``) — anything else marks the worker
+    compromised."""
     return (
-        isinstance(msg, tuple)
-        and len(msg) == 3
-        and isinstance(msg[0], np.ndarray)
-        and isinstance(msg[1], np.ndarray)
-        and msg[0].dtype == np.int64
-        and msg[1].dtype == np.int64
-        and msg[0].ndim == 1
-        and msg[0].shape == msg[1].shape
-        and isinstance(msg[2], (int, float))
+        _tagged(msg, "done")
+        and len(msg) == 4
+        and isinstance(msg[1], int)
+        and msg[1] == worker
+        and isinstance(msg[2], int)
+        and 0 <= msg[2] <= cap
+        and isinstance(msg[3], (int, float))
     )
 
 
@@ -417,12 +463,21 @@ class _WorkerPool(ProposeBackend):
                         len(swept), ", ".join(swept))
         self._conns: list = [None] * workers
         self._procs: list = [None] * workers
+        #: whether worker p holds the current pass's order array; a
+        #: respawn loses it, dropping p to explicit-shard rounds until
+        #: the next pass re-arms it
+        self._orders_ok = [False] * workers
+        #: master-side mirror of the bsp driver's sequential slicing of
+        #: each order — [lo, hi) of the next round window per worker
+        self._cursor = [0] * workers
         for p in range(workers):
             self._spawn(p)
         self._shm: shared_memory.SharedMemory | None = None
         self._descr: dict | None = None
         self._directed = False
         self._state: dict[str, np.ndarray] = {}
+        self._reply_caps = [0] * workers
+        self._state_dirty = True
         self._level = 0
         self._barrier = 0
         self._closed = False
@@ -432,6 +487,8 @@ class _WorkerPool(ProposeBackend):
         self.worker_propose_seconds = [0.0] * workers
         self.propose_seconds = 0.0
         self.proposed_vertices = 0
+        self.rounds = 0
+        self.state_writes = 0
         self.respawns = 0
         self.faults_detected: dict[str, int] = {}
 
@@ -445,6 +502,7 @@ class _WorkerPool(ProposeBackend):
 
     # ------------------------------------------------------- supervision
     def _spawn(self, p: int) -> None:
+        self._orders_ok[p] = False  # a fresh worker has no pass orders
         parent, child = self._ctx.Pipe(duplex=True)
         proc = self._ctx.Process(
             target=_worker_main, args=(child, p), daemon=True,
@@ -567,27 +625,38 @@ class _WorkerPool(ProposeBackend):
 
         Replay is safe and deterministic: the snapshot arrays in the
         arena are untouched until every shard of the round is gathered,
-        and propose is a pure function of (snapshot, shard).
+        and propose is a pure function of (snapshot, shard).  Replays
+        always use the explicit-shard form — a respawned worker has no
+        pass orders (``_spawn`` drops its flag), and a compromised one
+        cannot be trusted with a window either.
+
+        Returns ``(verts, targets, wall_seconds)``; the arrays are
+        copied out of the worker's arena reply buffer (the buffer is
+        reused next round, the commit stream must not alias it).
         """
+        cap = self._reply_caps[p]
         for _attempt in range(_MAX_RECOVERIES):
             try:
                 msg = self._await_msg(p)
             except _WorkerFault as f:
                 self._recover(p, f.reason, f.detail)
-                self._conns[p].send(("round", shard, None))
+                self._conns[p].send(("roundv", shard, None))
                 continue
             if _tagged(msg, "error"):
                 raise RuntimeError(
                     f"parallel worker {msg[1]} failed:\n{msg[2]}"
                 )
-            if not _valid_round_reply(msg):
+            if not _valid_round_reply(msg, p, cap):
                 self._recover(
                     p, "corrupt",
                     f"malformed round reply ({type(msg).__name__})",
                 )
-                self._conns[p].send(("round", shard, None))
+                self._conns[p].send(("roundv", shard, None))
                 continue
-            return msg
+            count = msg[2]
+            verts = np.array(self._state[f"reply_verts_{p}"][:count])
+            targets = np.array(self._state[f"reply_targets_{p}"][:count])
+            return verts, targets, msg[3]
         raise RuntimeError(
             f"parallel worker {p} failed {_MAX_RECOVERIES} consecutive "
             f"recoveries at barrier {self._barrier}; giving up"
@@ -602,14 +671,23 @@ class _WorkerPool(ProposeBackend):
         self._check_deadline()
 
     def begin_level(self, net, level, blocks, ws) -> None:
+        # reply buffer capacity per worker = its block length: every
+        # pass order is a subset of the block, proposals a subset of
+        # the shard, so no round can outgrow its buffer
+        self._reply_caps = [len(b) for b in blocks]
         fields = _net_fields(net)
+        for p, cap in enumerate(self._reply_caps):
+            fields.append((f"reply_verts_{p}", (cap,), np.int64))
+            fields.append((f"reply_targets_{p}", (cap,), np.int64))
         descr, size = _layout(fields)
         new = arena.create_arena(size)
         views = _views(new.buf, descr)
+        skip = {"module", "enter", "exit", "flow"}
         for name in views:
-            if name in ("module", "enter", "exit", "flow"):
+            if name in skip or name.startswith("reply_"):
                 continue
             views[name][:] = getattr(net, name)
+        self._state_dirty = True  # fresh arena: snapshot views are unset
         old = self._shm
         # current-arena info first: a recovery during the ack wait must
         # rebind the fresh worker to *this* arena
@@ -625,17 +703,46 @@ class _WorkerPool(ProposeBackend):
             self._gather_bound(p)
         arena.release_arena(old)  # every worker has dropped the old arena
 
+    def on_pass_orders(self, core_orders) -> None:
+        """Ship each worker its whole pass order once.
+
+        Every subsequent round for worker ``p`` is then addressed as a
+        constant-size ``[lo, hi)`` window — the master's ``_cursor``
+        mirrors the bsp driver's sequential slicing exactly.  A worker
+        whose orders cannot be delivered (died at dispatch) is
+        recovered and left in explicit-shard mode for this pass.
+        """
+        self._cursor = [0] * self.workers
+        for p, order in enumerate(core_orders):
+            if len(order) == 0:
+                continue  # never dispatched this pass
+            if self._try_send(p, ("orders", order)):
+                self._orders_ok[p] = True
+            else:
+                self._recover(p, "died", "pipe broken at orders dispatch")
+
     def propose(self, shards, module, enter, exit_, flow):
         st = self._state
-        st["module"][:] = module
-        st["enter"][:] = enter
-        st["exit"][:] = exit_
-        st["flow"][:] = flow
+        if self._state_dirty:
+            # snapshot state changed since last written (a commit
+            # landed, or the arena is fresh) — rewrite it for the
+            # workers.  Rounds after a rejected commit skip this O(n)
+            # write entirely.
+            st["module"][:] = module
+            st["enter"][:] = enter
+            st["exit"][:] = exit_
+            st["flow"][:] = flow
+            self._state_dirty = False
+            self.state_writes += 1
         t0 = time.perf_counter()
+        self.rounds += 1
         dispatched = []
         for p, shard in shards:
             if len(shard) == 0:
                 continue
+            lo = self._cursor[p]
+            hi = lo + len(shard)
+            self._cursor[p] = hi
             fault = None
             if self._injector is not None:
                 spec = self._injector.pop(p, self._barrier, self._level)
@@ -643,9 +750,13 @@ class _WorkerPool(ProposeBackend):
                     fault = spec.kind
                     log.info("injecting fault %s (barrier %d, level %d)",
                              spec, self._barrier, self._level)
-            if not self._try_send(p, ("round", shard, fault)):
+            msg = (
+                ("round", lo, hi, fault) if self._orders_ok[p]
+                else ("roundv", shard, fault)
+            )
+            if not self._try_send(p, msg):
                 self._recover(p, "died", "pipe broken at dispatch")
-                self._conns[p].send(("round", shard, None))
+                self._conns[p].send(("roundv", shard, None))
             dispatched.append((p, shard))
         verts_parts: list[np.ndarray] = []
         targ_parts: list[np.ndarray] = []
@@ -663,6 +774,11 @@ class _WorkerPool(ProposeBackend):
         if not verts_parts:
             return np.empty(0, np.int64), np.empty(0, np.int64)
         return np.concatenate(verts_parts), np.concatenate(targ_parts)
+
+    def on_commit(self, applied) -> None:
+        # only called when moves landed: the snapshot arrays the
+        # workers read are now stale and must be rewritten next round
+        self._state_dirty = True
 
     # ------------------------------------------------- multi-run lifecycle
     def reset_run(
@@ -690,8 +806,13 @@ class _WorkerPool(ProposeBackend):
         self.worker_propose_seconds = [0.0] * self.workers
         self.propose_seconds = 0.0
         self.proposed_vertices = 0
+        self.rounds = 0
+        self.state_writes = 0
         self.respawns = 0
         self.faults_detected = {}
+        self._orders_ok = [False] * self.workers
+        self._cursor = [0] * self.workers
+        self._state_dirty = True
         for p in range(self.workers):
             proc = self._procs[p]
             if proc is None or not proc.is_alive():
@@ -897,6 +1018,10 @@ def run_infomap_parallel(
         reg.gauge("parallel.propose_seconds", engine="parallel").set(
             pool.propose_seconds
         )
+        reg.gauge("parallel.rounds", engine="parallel").set(pool.rounds)
+        reg.gauge("parallel.state_writes", engine="parallel").set(
+            pool.state_writes
+        )
         for kind, n in pool.faults_injected.items():
             reg.counter(
                 "parallel.faults.injected", engine="parallel", kind=kind
@@ -922,6 +1047,8 @@ def run_infomap_parallel(
         worker_propose_seconds=pool.worker_propose_seconds,
         propose_seconds=pool.propose_seconds,
         proposed_vertices=pool.proposed_vertices,
+        rounds=pool.rounds,
+        state_writes=pool.state_writes,
         faults_injected=pool.faults_injected,
         faults_detected=dict(pool.faults_detected),
         respawns=pool.respawns,

@@ -158,6 +158,64 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["run", "--dataset", "amazon", "--backend", "cuckoo"])
 
+    def test_run_surrogate_parallel(self, capsys, tmp_path, monkeypatch):
+        # shrink the recipe so the CLI path stays test-sized
+        import repro.graph.stream as stream
+
+        monkeypatch.setitem(
+            stream.BIGSCALE_RECIPES, "rmat_1m",
+            {"kind": "rmat", "scale": 7, "edge_factor": 6},
+        )
+        ledger = tmp_path / "runs.jsonl"
+        assert main(
+            ["run", "--surrogate", "rmat_1m", "--engine", "parallel",
+             "--workers", "2", "--seed", "3", "--ledger", str(ledger)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rmat_1m" in out and "2 workers" in out
+        import json
+
+        rec = json.loads(ledger.read_text().splitlines()[0])
+        # the ledger reuses the digest computed during the stream
+        assert rec["config"]["graph"].startswith("sha256:") or len(
+            rec["config"]["graph"]) >= 32
+        assert rec["perf"]["sweep_vertices_per_s"] > 0
+        # arena released after the run
+        from repro.core import arena
+
+        assert arena.live_segments(arena.segment_prefix()) == []
+
+    def test_run_validates_before_any_graph_is_built(self, monkeypatch):
+        """Usage errors must fire before dataset load / surrogate stream.
+
+        Regression guard: a bad --engine/--workers combination on a
+        --surrogate run used to be worth multi-seconds of generation
+        before argparse rejected it.  Booby-trap every graph source and
+        assert the error wins.
+        """
+        import repro.cli as cli
+        import repro.graph.stream as stream
+
+        def boom(*a, **k):  # pragma: no cover - must never run
+            raise AssertionError("graph source touched before validation")
+
+        monkeypatch.setattr(cli, "load_dataset", boom)
+        monkeypatch.setattr(cli, "read_edge_list", boom)
+        monkeypatch.setattr(stream, "stream_recipe", boom)
+        for argv in (
+            ["run", "--surrogate", "rmat_1m", "--engine", "parallel",
+             "--workers", "0"],
+            ["run", "--surrogate", "rmat_1m", "--workers", "2"],
+            ["run", "--surrogate", "rmat_1m", "--seed", "-1"],
+            ["run", "--dataset", "amazon", "--seed", "5"],
+            ["run", "--surrogate", "rmat_1m", "--directed"],
+            ["run", "--dataset", "amazon", "--engine", "vectorized",
+             "--fault-plan", "kill@w0:b1"],
+        ):
+            with pytest.raises(SystemExit) as exc:
+                main(argv)
+            assert exc.value.code == 2
+
     @pytest.mark.parametrize("argv", [
         # --workers needs a multi-rank engine
         ["run", "--dataset", "amazon", "--workers", "2"],

@@ -1,0 +1,215 @@
+"""Streaming shared-memory surrogate generators (repro.graph.stream).
+
+Pins the module's three contracts:
+
+* **determinism** — same (params, seed) ⇒ identical digest, and the
+  ``chunk_arcs`` memory knob never changes content;
+* **canonical equality** — the streamed CSR digests byte-identically to
+  the same blocks replayed through the eager
+  :func:`repro.graph.build.from_edge_array` pipeline, and
+  :func:`~repro.graph.stream.streamed_digest` equals
+  :func:`repro.service.cache.graph_digest` on any canonical CSR;
+* **bounded memory** — a subprocess building a ~1M-arc stream must not
+  regress to materialized edge lists (marked ``slow``).
+
+Arena hygiene rides along: every release leaves ``/dev/shm`` clean.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.core import arena
+from repro.graph.generators import powerlaw_degree_sequence, rmat
+from repro.graph.stream import (
+    BIGSCALE_RECIPES,
+    eager_chung_lu_like,
+    eager_rmat_like,
+    recipe_names,
+    stream_chung_lu,
+    stream_rmat,
+    stream_recipe,
+    streamed_digest,
+)
+from repro.service.cache import graph_digest
+
+
+def _assert_no_segments():
+    assert arena.live_segments(arena.segment_prefix()) == []
+
+
+# ------------------------------------------------------------ determinism
+
+def test_stream_rmat_deterministic_at_equal_seed():
+    a = stream_rmat(scale=7, edge_factor=8, seed=11)
+    b = stream_rmat(scale=7, edge_factor=8, seed=11)
+    try:
+        assert a.digest == b.digest
+        assert np.array_equal(a.graph.indptr, b.graph.indptr)
+        assert np.array_equal(a.graph.indices, b.graph.indices)
+        assert np.array_equal(a.graph.weights, b.graph.weights)
+    finally:
+        a.release()
+        b.release()
+    _assert_no_segments()
+
+
+def test_stream_rmat_seed_changes_content():
+    a = stream_rmat(scale=7, edge_factor=8, seed=11)
+    b = stream_rmat(scale=7, edge_factor=8, seed=12)
+    try:
+        assert a.digest != b.digest
+    finally:
+        a.release()
+        b.release()
+
+
+def test_chunk_arcs_is_a_memory_knob_not_a_content_knob():
+    # chunk sizes straddling row-group boundaries, incl. pathological 1
+    digests = set()
+    for chunk in (1, 37, 512, 1 << 20):
+        g = stream_rmat(scale=6, edge_factor=6, seed=4, chunk_arcs=chunk)
+        digests.add(g.digest)
+        g.release()
+    assert len(digests) == 1
+
+
+def test_stream_requires_integer_seed():
+    with pytest.raises(ValueError, match="non-negative integer seed"):
+        stream_rmat(scale=5, edge_factor=4, seed=-1)
+    with pytest.raises(ValueError, match="non-negative integer seed"):
+        stream_rmat(scale=5, edge_factor=4, seed=np.random.default_rng(0))
+
+
+# --------------------------------------------------- streamed == eager
+
+def test_rmat_digest_matches_eager_pipeline():
+    sg = stream_rmat(scale=8, edge_factor=8, seed=3, chunk_arcs=500)
+    eager = eager_rmat_like(scale=8, edge_factor=8, seed=3)
+    try:
+        assert sg.digest == graph_digest(eager)
+        # and the arena CSR itself is canonical: the eager digest of the
+        # streamed graph agrees too
+        assert sg.digest == graph_digest(sg.graph)
+        sg.graph.validate()
+    finally:
+        sg.release()
+
+
+def test_rmat_digest_matches_eager_directed():
+    sg = stream_rmat(scale=7, edge_factor=6, seed=9, directed=True)
+    eager = eager_rmat_like(scale=7, edge_factor=6, seed=9, directed=True)
+    try:
+        assert sg.graph.directed and sg.digest == graph_digest(eager)
+        sg.graph.validate()
+    finally:
+        sg.release()
+
+
+def test_chung_lu_digest_matches_eager_pipeline():
+    deg = powerlaw_degree_sequence(1500, alpha=2.3, seed=1)
+    sg = stream_chung_lu(deg, seed=5, chunk_arcs=777)
+    eager = eager_chung_lu_like(deg, seed=5)
+    try:
+        assert sg.digest == graph_digest(eager)
+        sg.graph.validate()
+    finally:
+        sg.release()
+
+
+def test_streamed_digest_agrees_on_any_canonical_csr():
+    g = rmat(scale=7, edge_factor=8, seed=2)
+    assert streamed_digest(g, chunk_arcs=64) == graph_digest(g)
+
+
+def test_streamed_digest_rejects_non_canonical_rows():
+    from repro.graph.csr import CSRGraph
+
+    # row 0 has destinations out of order — a hand-built CSR
+    g = CSRGraph(
+        indptr=np.array([0, 2, 3, 3]),
+        indices=np.array([2, 1, 0]),
+        weights=np.array([1.0, 1.0, 1.0]),
+        directed=True,
+    )
+    with pytest.raises(ValueError, match="canonical CSR"):
+        streamed_digest(g)
+
+
+# ------------------------------------------------------------- recipes
+
+def test_recipes_are_well_formed():
+    assert set(recipe_names()) == set(BIGSCALE_RECIPES)
+    with pytest.raises(ValueError, match="unknown surrogate recipe"):
+        stream_recipe("nope")
+
+
+def test_recipe_smoke_scaled_down_like_chunglu():
+    # the chunglu recipe path end-to-end, at a test-sized degree budget
+    deg = powerlaw_degree_sequence(400, alpha=2.1, min_degree=4, seed=0)
+    sg = stream_chung_lu(deg, seed=0, name="chunglu_test")
+    try:
+        assert sg.graph.num_vertices == 400
+        assert sg.graph.num_arcs > 0
+        assert sg.name == "chunglu_test"
+    finally:
+        sg.release()
+    _assert_no_segments()
+
+
+def test_release_is_idempotent_and_context_manager_cleans_up():
+    with stream_rmat(scale=5, edge_factor=4, seed=0) as sg:
+        assert sg.graph is not None
+        name = sg._shm.name
+        assert name in arena.live_segments(arena.segment_prefix())
+    assert sg.graph is None
+    sg.release()  # second release is a no-op
+    _assert_no_segments()
+
+
+# ------------------------------------------------------ bounded memory
+
+@pytest.mark.slow
+def test_streaming_build_peak_rss_is_bounded():
+    """A ~1M-arc stream must stay within arena + bounded scratch.
+
+    The guard is against regressing to materialized edge lists: a
+    Python-object edge list for ~600k edges costs >100 MB and even a
+    numpy eager pipeline holds several O(arcs) temporaries at once.
+    The child measures its own RSS delta across the build; the bound is
+    the arena size plus a generous-but-telling scratch allowance.
+    """
+    code = textwrap.dedent(
+        """
+        import resource, sys
+        import numpy as np
+        from repro.graph.stream import stream_rmat
+
+        rss0 = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss  # KiB
+        g = stream_rmat(scale=15, edge_factor=19, seed=0,
+                        chunk_arcs=1 << 18)
+        arcs = g.graph.num_arcs
+        arena_kib = g.arena_bytes // 1024
+        g.release()
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        delta_kib = peak - rss0
+        budget_kib = arena_kib + 100 * 1024  # arena + 100 MiB scratch
+        print(f"arcs={arcs} arena={arena_kib}KiB delta={delta_kib}KiB "
+              f"budget={budget_kib}KiB")
+        sys.exit(0 if (arcs >= 900_000 and delta_kib < budget_kib) else 1)
+        """
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"peak-RSS bound violated or graph too small:\n"
+        f"{proc.stdout}\n{proc.stderr}"
+    )
+    _assert_no_segments()
