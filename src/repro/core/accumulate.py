@@ -1,0 +1,266 @@
+"""Accumulation strategies for the batched sweep (the ASA/CAM analogue).
+
+The paper's thesis is that a small content-addressed accumulator (CAM)
+captures most of FindBestCommunity's sparse accumulation, spilling the
+rare overflowing vertices to a software sort-and-merge (Fig. 5 shows an
+8 KB CAM covering >99 % of vertices).  The simulated-hardware track
+(:mod:`repro.accum`, :mod:`repro.asa`) models that per-instruction; this
+module brings the same *capacity-bounded accumulate + overflow merge*
+structure into the production batched sweep
+(:meth:`repro.core.vectorized.Workspace.best_moves`) as a selectable
+strategy:
+
+``reduceat``
+    The unbounded reference formulation: one stable key sort over all
+    (vertex, candidate-module) pairs, then ``np.add.reduceat`` segment
+    sums.  Every pair pays the O(P log P) sort.
+
+``bounded``
+    A fixed-capacity per-vertex slot table, probed in ``capacity``
+    vectorized passes (:func:`bounded_group_sums`): pass ``s`` tags slot
+    ``s`` of every still-unresolved vertex segment with its first
+    unresolved candidate module and resolves every matching pair — the
+    batch analogue of the CAM's associative match.  Resolved pairs are
+    summed per slot with order-preserving segment sums and **never enter
+    the sort**; only the overflow (pairs of vertices with more distinct
+    candidate modules than slots) falls back to the reduceat path — the
+    software ``sort_and_merge`` of the paper's Algorithm 2.
+
+``auto``
+    Resolves to ``bounded`` or ``reduceat`` per level from the level's
+    degree statistics (:func:`resolve_strategy`) — a deterministic pure
+    function of the bound network, so engine results cannot depend on
+    when the choice is made.
+
+Bit-identity contract
+---------------------
+Every strategy returns **bitwise identical** group sums, and therefore
+bitwise identical moves and partitions.  This holds by construction, not
+by tolerance:
+
+* a (vertex, module) group is either entirely in-table or entirely
+  spilled, never split;
+* within a group, both paths visit pairs in original pair order (stable
+  sorts preserve it; slot extraction is an order-preserving mask);
+* both paths sum each group with the *same* ``np.add.reduceat`` kernel
+  over the same element sequence, so even its pairwise-summation tree is
+  identical.  (``np.bincount`` would *not* be safe here: it accumulates
+  strictly sequentially, which diverges from reduceat's pairwise tree
+  for groups of 8+ pairs.)
+
+``tests/test_accumulator_parity.py`` proves the contract differentially
+across the conformance families, engines, seeds and capacities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ACCUMULATORS",
+    "DEFAULT_CAM_CAPACITY",
+    "AccumStats",
+    "validate_accumulator",
+    "resolve_strategy",
+    "bounded_group_sums",
+]
+
+#: valid accumulation strategies for the batched engines
+ACCUMULATORS = ("reduceat", "bounded", "auto")
+
+#: per-vertex slot count of the bounded table.  The hardware CAM holds
+#: 512 entries (8 KB / 16 B) drained once per vertex; the batched sweep
+#: instead probes all vertices together, one vectorized pass per slot,
+#: so the default stays small enough that the probe loop is a handful of
+#: O(P) passes while still covering the post-coarsening regime where
+#: most vertices see only a few distinct candidate modules.
+DEFAULT_CAM_CAPACITY = 8
+
+#: 90th-percentile nonzero degree at or below which ``auto`` picks the
+#: bounded table for a level (degree upper-bounds a vertex's distinct
+#: candidate modules, so p90(deg) <= capacity means at least ~90 % of
+#: vertices cannot overflow)
+AUTO_P90_QUANTILE = 0.9
+
+
+def validate_accumulator(name: str) -> str:
+    """Return ``name`` if it is a valid strategy, else raise ValueError.
+
+    The error names the valid choices so callers (``run_infomap``, the
+    CLI, ``JobSpec.validate``) can surface it before any graph is
+    loaded.
+    """
+    if name not in ACCUMULATORS:
+        raise ValueError(
+            f"unknown accumulator {name!r}; valid: {ACCUMULATORS}"
+        )
+    return name
+
+
+def resolve_strategy(
+    accumulator: str, indptr: np.ndarray, capacity: int
+) -> str:
+    """Resolve ``auto`` to a concrete strategy for one level.
+
+    A deterministic pure function of the level's out-degree
+    distribution: ``bounded`` iff the 90th-percentile nonzero degree
+    fits the slot table.  Because every strategy is bit-identical, the
+    choice can only affect wall time, never results.
+    """
+    if accumulator != "auto":
+        return accumulator
+    deg = np.diff(indptr)
+    deg = deg[deg > 0]
+    if len(deg) == 0:
+        return "reduceat"
+    p90 = float(np.quantile(deg, AUTO_P90_QUANTILE))
+    return "bounded" if p90 <= capacity else "reduceat"
+
+
+class AccumStats:
+    """Lifetime tallies of the bounded path (the Fig. 5 coverage data).
+
+    ``pairs`` counts every (vertex, candidate-module) pair routed
+    through the bounded table; ``hits`` resolved in a slot, ``spills``
+    overflowed to the sort path (``pairs == hits + spills``).  Sweeps
+    running the ``reduceat`` strategy do not touch these.
+    """
+
+    __slots__ = ("pairs", "hits", "spills")
+
+    def __init__(self) -> None:
+        self.pairs = 0
+        self.hits = 0
+        self.spills = 0
+
+    def snapshot(self) -> tuple[int, int, int]:
+        return self.pairs, self.hits, self.spills
+
+    def coverage(self) -> float | None:
+        """Fraction of pairs resolved in-table (None before any pair)."""
+        if self.pairs == 0:
+            return None
+        return self.hits / self.pairs
+
+
+def bounded_group_sums(
+    pair_src: np.ndarray,
+    mdst: np.ndarray,
+    w_out: np.ndarray,
+    w_in: np.ndarray | None,
+    n: int,
+    capacity: int,
+    buf,
+    iota,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray | None, int, int]:
+    """Per-(vertex, candidate-module) flow sums via the bounded table.
+
+    Parameters
+    ----------
+    pair_src, mdst, w_out, w_in:
+        The sweep's pair list — source vertex (**must be
+        non-decreasing**), candidate module, out-flow weight and
+        (directed networks) in-flow weight per pair.
+    n:
+        Vertex count (the pair-key base).
+    capacity:
+        Slots per vertex segment; also the probe pass count.
+    buf, iota:
+        The owning workspace's capacity-backed scratch allocators
+        (:meth:`repro.core.vectorized.Workspace._buf` / ``_iota``).
+
+    Returns ``(pv, pm, out_to, in_from, hits, spills)`` with the group
+    arrays sorted by ascending ``(vertex, module)`` key — exactly the
+    order (and bit pattern) the reduceat path produces.
+    """
+    P = len(pair_src)
+    idx = iota(P)
+    vb = buf("ab_vb", P, bool)
+    vb[0] = True
+    np.not_equal(pair_src[1:], pair_src[:-1], out=vb[1:])
+    vstarts = np.flatnonzero(vb)
+    seg = np.cumsum(vb, out=buf("ab_seg", P, np.int64))
+    seg -= 1
+    unresolved = buf("ab_unres", P, bool)
+    unresolved.fill(True)
+    slot = buf("ab_slot", P, np.int64)
+    slot.fill(-1)
+    cand = buf("ab_cand", P, np.int64)
+
+    # probe loop: one vectorized associative-match pass per slot
+    for s in range(capacity):
+        np.copyto(cand, idx)
+        cand[~unresolved] = P  # resolved pairs never become tags
+        first = np.minimum.reduceat(cand, vstarts)
+        live = first < P
+        if not live.any():
+            break  # every pair resolved before the table filled
+        # tag slot s of each live segment with its first unresolved
+        # candidate module (dead segments get -1, matching nothing)
+        tag = np.where(live, mdst[np.minimum(first, P - 1)], np.int64(-1))
+        match = unresolved & (mdst == tag[seg])
+        slot[match] = s
+        unresolved[match] = False
+
+    parts_v: list[np.ndarray] = []
+    parts_m: list[np.ndarray] = []
+    parts_o: list[np.ndarray] = []
+    parts_i: list[np.ndarray] = []
+
+    # in-table sums: per slot, an order-preserving extraction keeps each
+    # group's pairs contiguous and in original order, so one reduceat
+    # yields sums bit-identical to the reference path's — no sort
+    for s in range(capacity):
+        mask = slot == s
+        if not mask.any():
+            break  # slots fill in order; s empty => s+1.. empty
+        sv = pair_src[mask]
+        k = len(sv)
+        sb = buf("ab_sb", k, bool)
+        sb[0] = True
+        np.not_equal(sv[1:], sv[:-1], out=sb[1:])
+        sst = np.flatnonzero(sb)
+        parts_v.append(sv[sst])
+        parts_m.append(mdst[mask][sst])
+        parts_o.append(np.add.reduceat(w_out[mask], sst))
+        if w_in is not None:
+            parts_i.append(np.add.reduceat(w_in[mask], sst))
+
+    hits = int(np.count_nonzero(slot >= 0))
+    spills = P - hits
+
+    # overflow merge: spilled pairs (whole groups) take the reference
+    # sort + reduceat path — the software sort_and_merge of Algorithm 2
+    if spills:
+        sp = np.flatnonzero(unresolved)
+        sp_key = pair_src[sp] * np.int64(n) + mdst[sp]
+        o = np.argsort(sp_key, kind="stable")
+        sel = sp[o]
+        ks = sp_key[o]
+        ob = buf("ab_ob", spills, bool)
+        ob[0] = True
+        np.not_equal(ks[1:], ks[:-1], out=ob[1:])
+        ost = np.flatnonzero(ob)
+        parts_v.append(pair_src[sel][ost])
+        parts_m.append(mdst[sel][ost])
+        parts_o.append(np.add.reduceat(w_out[sel], ost))
+        if w_in is not None:
+            parts_i.append(np.add.reduceat(w_in[sel], ost))
+
+    pv = np.concatenate(parts_v)
+    pm = np.concatenate(parts_m)
+    out_to = np.concatenate(parts_o)
+    in_from = np.concatenate(parts_i) if w_in is not None else None
+
+    # restore ascending (vertex, module) key order: group keys are
+    # disjoint across slots and overflow, so this permutes whole groups
+    # (group *sums* are final — no further float ops) and the downstream
+    # argmin sees exactly the reduceat path's tie-break order
+    mkey = pv * np.int64(n) + pm
+    perm = np.argsort(mkey, kind="stable")
+    pv = pv[perm]
+    pm = pm[perm]
+    out_to = out_to[perm]
+    if in_from is not None:
+        in_from = in_from[perm]
+    return pv, pm, out_to, in_from, hits, spills

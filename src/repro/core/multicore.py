@@ -291,6 +291,7 @@ def run_infomap_multicore(
     max_passes_per_level: int = 10,
     chunk: int | None = None,
     seed: int = 0,
+    accumulator: str = "reduceat",
 ) -> MulticoreResult:
     """Run Infomap on ``num_cores`` simulated cores.
 
@@ -305,6 +306,9 @@ def run_infomap_multicore(
     seed:
         Seeds the commit's conflict-backoff RNG.  ``multicore(P=k)`` and
         ``parallel(P=k)`` are bit-identical at equal ``seed``/``chunk``.
+    accumulator:
+        Pair-accumulation strategy of the shard-restricted sweeps (see
+        :mod:`repro.core.accumulate`); bit-identical across strategies.
     """
     if num_cores < 1:
         raise ValueError("num_cores must be >= 1")
@@ -328,6 +332,7 @@ def run_infomap_multicore(
             max_passes_per_level=max_passes_per_level,
             chunk=chunk,
             recorder=recorder,
+            accumulator=accumulator,
         )
 
     iterations = [

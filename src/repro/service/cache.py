@@ -18,9 +18,12 @@ Keys are **content-addressed**, never identity-addressed:
   order or duplicate-edge spelling (the same canonical form
   ``repro.graph.build`` applies when constructing a CSR);
 * :func:`cache_key` appends the canonicalized result-determining
-  parameters (engine, workers, seed, tau, level/pass caps, chunk).
-  Serving parameters (priority, deadline, fault plans) never reach the
-  key — they cannot change a result.
+  parameters (engine, workers, seed, tau, level/pass caps, chunk,
+  accumulator).  Serving parameters (priority, deadline, fault plans)
+  never reach the key — they cannot change a result.  The accumulator
+  strategy is bit-identical by contract but is still hashed, so the
+  replay ledger can attribute any run byte-for-byte to its exact
+  configuration.
 
 ``tests/test_service_cache.py`` pins both directions with hypothesis:
 digests invariant under edge permutation and duplicate-edge rewriting,
@@ -77,10 +80,10 @@ def cache_key(spec: JobSpec) -> str:
     same partition for both.
     """
     params = (
-        f"params/v1:engine={spec.engine}:workers={spec.workers}"
+        f"params/v2:engine={spec.engine}:workers={spec.workers}"
         f":seed={spec.seed}:tau={float(spec.tau)!r}"
         f":levels={spec.max_levels}:passes={spec.max_passes_per_level}"
-        f":chunk={spec.chunk}"
+        f":chunk={spec.chunk}:accumulator={spec.accumulator}"
     )
     return f"{graph_digest(spec.graph)}/{hashlib.sha256(params.encode()).hexdigest()}"
 

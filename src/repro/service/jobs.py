@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.accumulate import validate_accumulator
 from repro.core.faults import FaultPlan
 from repro.graph.csr import CSRGraph
 
@@ -54,7 +55,8 @@ class JobSpec:
 
     Result-determining parameters (everything the cache key hashes):
     ``graph``, ``engine``, ``workers``, ``seed``, ``tau``,
-    ``max_levels``, ``max_passes_per_level``, ``chunk``.  Serving
+    ``max_levels``, ``max_passes_per_level``, ``chunk``,
+    ``accumulator``.  Serving
     parameters (never part of the cache key): ``priority``,
     ``deadline``, ``use_cache``, ``fault_plan``, ``worker_timeout``,
     ``label``.
@@ -68,6 +70,11 @@ class JobSpec:
     max_levels: int = 20
     max_passes_per_level: int = 10
     chunk: int | None = None
+    #: candidate-accumulation strategy for the best-move sweep
+    #: (``"reduceat"`` | ``"bounded"`` | ``"auto"``); every strategy is
+    #: bit-identical, so it is hashed into the cache key only for
+    #: byte-exact replay bookkeeping (see :mod:`repro.core.accumulate`)
+    accumulator: str = "reduceat"
     #: higher runs first; ties break FIFO by submission order
     priority: int = 0
     #: wall-clock budget in seconds (``parallel`` only); a job past it
@@ -109,6 +116,7 @@ class JobSpec:
             )
         if self.chunk is not None and self.chunk < 1:
             raise ValueError("chunk must be >= 1 (or None for whole shards)")
+        validate_accumulator(self.accumulator)
         if self.deadline is not None:
             if self.engine != "parallel":
                 raise ValueError(

@@ -34,8 +34,8 @@ __all__ = ["load_jobs", "append_job", "spec_fields_from_json"]
 #: graph-source keys, which are handled separately)
 _SPEC_KEYS = (
     "engine", "workers", "seed", "tau", "max_levels",
-    "max_passes_per_level", "chunk", "priority", "deadline",
-    "use_cache", "fault_plan", "worker_timeout", "label",
+    "max_passes_per_level", "chunk", "accumulator", "priority",
+    "deadline", "use_cache", "fault_plan", "worker_timeout", "label",
 )
 _GRAPH_KEYS = ("dataset", "edge_list", "planted")
 _FILE_KEYS = _SPEC_KEYS + _GRAPH_KEYS + ("directed",)

@@ -1,0 +1,379 @@
+"""Differential proof of the accumulator bit-identity contract.
+
+:mod:`repro.core.accumulate` promises that every accumulation strategy
+(``reduceat`` | ``bounded`` | ``auto``) produces **bitwise identical**
+results — same partitions, same codelength float bits — because both
+paths sum every (vertex, candidate-module) group with the same
+``np.add.reduceat`` kernel over the same element sequence.  This suite
+proves the contract differentially at three layers:
+
+* **engine grid** — the conformance families (undirected / directed /
+  weighted / pathological) × the batched engines (vectorized /
+  multicore / parallel) × seeds, each non-default strategy compared
+  bit-for-bit against the retained ``reduceat`` reference run;
+* **kernel properties** — hypothesis-driven randomized pair lists fed
+  straight into :func:`bounded_group_sums` at capacities 1, 2, and
+  ≥ max-degree, checked against an independent sort+reduceat oracle
+  (bitwise sums, exact hit/spill accounting, whole-group spilling);
+* **booby traps** — unknown strategy names must die with a clear
+  ``ValueError`` naming the valid choices at every entry point
+  (``run_infomap``, ``Workspace``, ``JobSpec.validate``, the CLI —
+  *before* any graph is loaded) and ``make_accumulator`` must redirect
+  strategy/backend confusion instead of accepting it.
+
+The capacity sweep matters because the failure mode is numeric, not
+logical: a bincount-style sequential sum diverges from reduceat's
+pairwise tree on groups of 8+ pairs, which only skewed inputs expose.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accum.factory import make_accumulator
+from repro.core.accumulate import (
+    ACCUMULATORS,
+    DEFAULT_CAM_CAPACITY,
+    bounded_group_sums,
+    resolve_strategy,
+    validate_accumulator,
+)
+from repro.core.flow import FlowNetwork
+from repro.core.infomap import run_infomap
+from repro.core.multicore import run_infomap_multicore
+from repro.core.parallel import run_infomap_parallel
+from repro.core.vectorized import Workspace, run_infomap_vectorized
+from repro.service.jobs import JobSpec
+
+from tests.test_engine_conformance import FAMILIES, SEEDS
+
+# ---------------------------------------------------------------------------
+# engine grid: every batched engine, uniform (graph, seed, accumulator)
+
+ENGINES = {
+    "vectorized": lambda g, seed, acc: run_infomap_vectorized(
+        g, seed=seed, accumulator=acc
+    ),
+    "multicore": lambda g, seed, acc: run_infomap_multicore(
+        g, num_cores=2, seed=seed, accumulator=acc
+    ),
+    "parallel": lambda g, seed, acc: run_infomap_parallel(
+        g, workers=2, seed=seed, accumulator=acc
+    ),
+}
+
+_REFERENCE: dict[tuple, object] = {}
+
+
+def _reference(family, engine, seed):
+    """The reduceat run for one grid cell (cached across strategies)."""
+    key = (family, engine, seed)
+    if key not in _REFERENCE:
+        g, _ = FAMILIES[family](seed)
+        _REFERENCE[key] = ENGINES[engine](g, seed, "reduceat")
+    return _REFERENCE[key]
+
+
+@pytest.mark.parametrize("strategy", ("bounded", "auto"))
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_grid_bit_identical_to_reduceat(family, seed, engine, strategy):
+    """The differential grid: strategy x engine x family x seed."""
+    g, _ = FAMILIES[family](seed)
+    ref = _reference(family, engine, seed)
+    res = ENGINES[engine](g, seed, strategy)
+    cell = (family, seed, engine, strategy)
+    assert np.array_equal(res.modules, ref.modules), cell
+    assert res.codelength == ref.codelength, cell  # exact float bits
+    assert res.num_modules == ref.num_modules, cell
+
+
+def test_vectorized_result_reports_coverage():
+    """Bounded runs expose the Fig. 5 coverage data; reduceat runs don't."""
+    g, _ = FAMILIES["undirected"](0)
+    res = run_infomap_vectorized(g, accumulator="bounded")
+    assert res.accumulator == "bounded"
+    total = res.bounded_hits + res.bounded_spills
+    assert res.bounded_hits > 0
+    assert res.bounded_coverage == res.bounded_hits / total
+    ref = run_infomap_vectorized(g)
+    assert ref.bounded_hits == 0 and ref.bounded_spills == 0
+    assert ref.bounded_coverage is None
+
+
+# ---------------------------------------------------------------------------
+# workspace-level capacity sweep: identical best moves at any table size
+
+@pytest.mark.parametrize("capacity", (1, 2, DEFAULT_CAM_CAPACITY, 4096))
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_best_moves_bit_identical_at_any_capacity(family, capacity):
+    """Sweep-by-sweep parity of the bounded table vs the reference path.
+
+    capacity=1 maximizes spills (almost everything takes the overflow
+    merge), capacity=4096 exceeds any vertex's candidate count (nothing
+    spills); both must match the reduceat workspace bit-for-bit,
+    including the float bits of the move deltas.
+    """
+    g, _ = FAMILIES[family](0)
+    net = FlowNetwork.from_graph(g)
+    ref_ws = Workspace().bind(net)
+    bnd_ws = Workspace(accumulator="bounded", capacity=capacity).bind(net)
+    assert bnd_ws.strategy == "bounded"
+    n = net.num_vertices
+    module = np.arange(n, dtype=np.int64)
+    for _ in range(3):
+        enter, exit_, flow = ref_ws.module_state(module, n)
+        rv, rt, rd = ref_ws.best_moves(module, enter, exit_, flow)
+        bv, bt, bd = bnd_ws.best_moves(module, enter, exit_, flow)
+        assert np.array_equal(rv, bv), (family, capacity)
+        assert np.array_equal(rt, bt), (family, capacity)
+        assert rd.tobytes() == bd.tobytes(), (family, capacity)
+        if len(rv) == 0:
+            break
+        module = module.copy()
+        module[rv] = rt
+    pairs, hits, spills = bnd_ws.accum_stats.snapshot()
+    assert pairs == hits + spills and pairs > 0
+    if capacity >= n:
+        assert spills == 0  # table can never overflow
+
+
+def test_shard_restricted_sweep_bit_identical_under_bounded():
+    """The per-core restricted sweep (multicore/parallel) matches too."""
+    g, _ = FAMILIES["directed"](1)
+    net = FlowNetwork.from_graph(g)
+    ref_ws = Workspace().bind(net)
+    bnd_ws = Workspace(accumulator="bounded", capacity=2).bind(net)
+    n = net.num_vertices
+    module = np.arange(n, dtype=np.int64)
+    enter, exit_, flow = ref_ws.module_state(module, n)
+    for shard in (
+        np.arange(0, n, 2, dtype=np.int64),
+        np.arange(1, n, 2, dtype=np.int64),
+    ):
+        rv, rt, rd = ref_ws.best_moves(module, enter, exit_, flow, verts=shard)
+        bv, bt, bd = bnd_ws.best_moves(module, enter, exit_, flow, verts=shard)
+        assert np.array_equal(rv, bv)
+        assert np.array_equal(rt, bt)
+        assert rd.tobytes() == bd.tobytes()
+
+
+# ---------------------------------------------------------------------------
+# kernel properties: bounded_group_sums vs an independent oracle
+
+def _oracle(pair_src, mdst, w_out, w_in, n):
+    """Independent reference: one stable key sort + reduceat segments."""
+    key = pair_src * np.int64(n) + mdst
+    order = np.argsort(key, kind="stable")
+    ks = key[order]
+    bounds = np.ones(len(ks), dtype=bool)
+    bounds[1:] = ks[1:] != ks[:-1]
+    starts = np.flatnonzero(bounds)
+    pv = pair_src[order][starts]
+    pm = mdst[order][starts]
+    out_to = np.add.reduceat(w_out[order], starts)
+    in_from = (
+        np.add.reduceat(w_in[order], starts) if w_in is not None else None
+    )
+    return pv, pm, out_to, in_from
+
+
+def _expected_hits(pair_src, mdst, capacity):
+    """Hit count by the CAM semantics: per vertex, the first ``capacity``
+    distinct candidate modules (in arrival order) land in slots; every
+    pair addressed to one of them is a hit, everything else spills."""
+    slots: dict[int, list] = {}
+    hits = 0
+    for v, m in zip(pair_src.tolist(), mdst.tolist()):
+        table = slots.setdefault(v, [])
+        if m in table:
+            hits += 1
+        elif len(table) < capacity:
+            table.append(m)
+            hits += 1
+    return hits
+
+
+@st.composite
+def _pair_lists(draw):
+    """Randomized sweep pair lists: non-decreasing sources, clustered
+    candidate modules (so groups of 8+ pairs — the pairwise-summation
+    regime — actually occur), mixed-magnitude weights."""
+    n = draw(st.integers(2, 10))
+    P = draw(st.integers(1, 64))
+    srcs = np.sort(
+        np.asarray(
+            draw(st.lists(st.integers(0, n - 1), min_size=P, max_size=P)),
+            dtype=np.int64,
+        )
+    )
+    # module ids live in [0, n) like the real sweep's (the pair key is
+    # src*n + module); a small range keeps groups of 8+ pairs frequent
+    mods = np.asarray(
+        draw(st.lists(st.integers(0, min(3, n - 1)), min_size=P, max_size=P)),
+        dtype=np.int64,
+    )
+    weights = st.floats(
+        min_value=1e-9, max_value=1e6, allow_nan=False, allow_infinity=False
+    )
+    w_out = np.asarray(
+        draw(st.lists(weights, min_size=P, max_size=P)), dtype=np.float64
+    )
+    if draw(st.booleans()):  # directed sweeps carry a second weight lane
+        w_in = np.asarray(
+            draw(st.lists(weights, min_size=P, max_size=P)), dtype=np.float64
+        )
+    else:
+        w_in = None
+    return srcs, mods, w_out, w_in, n
+
+
+@settings(max_examples=60, deadline=None)
+@given(_pair_lists())
+def test_bounded_group_sums_matches_oracle_at_every_capacity(pairs):
+    """Capacities 1 and 2 (spill-heavy) and >= max-degree (spill-free)
+    all reproduce the oracle bit-for-bit, with exact CAM accounting."""
+    pair_src, mdst, w_out, w_in, n = pairs
+    P = len(pair_src)
+    ev, em, eo, ei = _oracle(pair_src, mdst, w_out, w_in, n)
+    max_distinct = max(
+        len({int(m) for m in mdst[pair_src == v]})
+        for v in np.unique(pair_src)
+    )
+    ws = Workspace()  # scratch-buffer host; never bound
+    for capacity in (1, 2, max_distinct):
+        pv, pm, out_to, in_from, hits, spills = bounded_group_sums(
+            pair_src, mdst, w_out, w_in, n, capacity, ws._buf, ws._iota
+        )
+        assert np.array_equal(pv, ev), capacity
+        assert np.array_equal(pm, em), capacity
+        assert out_to.tobytes() == eo.tobytes(), capacity
+        if w_in is None:
+            assert in_from is None
+        else:
+            assert in_from.tobytes() == ei.tobytes(), capacity
+        assert hits + spills == P
+        assert hits == _expected_hits(pair_src, mdst, capacity), capacity
+    # a table wide enough for the busiest vertex never spills
+    _, _, _, _, hits, spills = bounded_group_sums(
+        pair_src, mdst, w_out, w_in, n, max_distinct, ws._buf, ws._iota
+    )
+    assert spills == 0 and hits == P
+
+
+def test_bincount_trap_is_real():
+    """Document the hazard the kernel's design avoids: sequential
+    summation (bincount) diverges from reduceat's pairwise tree on 8+
+    element groups, so any 'equivalent' bincount rewrite of either path
+    would break bit-identity.  If numpy ever makes these bitwise equal
+    this test will flag that the guard is obsolete — not that the
+    kernel is wrong."""
+    rng = np.random.default_rng(0)
+    for _ in range(64):
+        w = rng.uniform(0.1, 10.0, size=16)
+        seq = np.bincount(np.zeros(16, dtype=np.int64), weights=w)[0]
+        pair = np.add.reduceat(w, np.array([0]))[0]
+        if seq != pair:
+            return  # divergence exists, exactly as documented
+    pytest.fail("bincount and reduceat agreed on 64 random 16-sums")
+
+
+# ---------------------------------------------------------------------------
+# strategy resolution
+
+def test_resolve_strategy_auto_follows_degree_profile():
+    """auto -> bounded iff the p90 nonzero degree fits the table."""
+    flat = np.arange(0, 33, 2, dtype=np.int64)  # 16 vertices of degree 2
+    assert resolve_strategy("auto", flat, DEFAULT_CAM_CAPACITY) == "bounded"
+    heavy = np.arange(0, 17 * 64, 64, dtype=np.int64)  # degree 64 each
+    assert resolve_strategy("auto", heavy, DEFAULT_CAM_CAPACITY) == "reduceat"
+    empty = np.zeros(5, dtype=np.int64)  # no arcs at all
+    assert resolve_strategy("auto", empty, DEFAULT_CAM_CAPACITY) == "reduceat"
+    # explicit names pass through untouched
+    assert resolve_strategy("reduceat", flat, 1) == "reduceat"
+    assert resolve_strategy("bounded", heavy, 1) == "bounded"
+
+
+# ---------------------------------------------------------------------------
+# booby traps: unknown names die loudly, everywhere, before any work
+
+def test_validate_accumulator_names_valid_choices():
+    with pytest.raises(ValueError, match=r"reduceat.*bounded.*auto"):
+        validate_accumulator("cam9000")
+    for name in ACCUMULATORS:
+        assert validate_accumulator(name) == name
+
+
+def test_run_infomap_rejects_unknown_accumulator():
+    g, _ = FAMILIES["undirected"](0)
+    with pytest.raises(ValueError, match="unknown accumulator"):
+        run_infomap(g, engine="vectorized", accumulator="cam9000")
+
+
+def test_run_infomap_rejects_accumulator_on_sequential_engine():
+    g, _ = FAMILIES["undirected"](0)
+    with pytest.raises(ValueError, match="batched engines"):
+        run_infomap(g, accumulator="bounded")
+
+
+def test_engine_entry_points_reject_unknown_accumulator():
+    g, _ = FAMILIES["undirected"](0)
+    for run in (
+        lambda: run_infomap_vectorized(g, accumulator="cam9000"),
+        lambda: run_infomap_multicore(g, num_cores=2, accumulator="cam9000"),
+        lambda: run_infomap_parallel(g, workers=2, accumulator="cam9000"),
+    ):
+        with pytest.raises(ValueError, match="unknown accumulator"):
+            run()
+
+
+def test_workspace_rejects_unknown_strategy_and_bad_capacity():
+    with pytest.raises(ValueError, match="unknown accumulator"):
+        Workspace(accumulator="cam9000")
+    with pytest.raises(ValueError, match="capacity"):
+        Workspace(capacity=0)
+    with pytest.raises(ValueError, match="unknown accumulator"):
+        Workspace().set_accumulator("cam9000")
+
+
+def test_jobspec_validate_rejects_unknown_accumulator():
+    g, _ = FAMILIES["undirected"](0)
+    spec = JobSpec(graph=g, engine="parallel", accumulator="cam9000")
+    with pytest.raises(ValueError, match="unknown accumulator"):
+        spec.validate()
+
+
+def test_make_accumulator_redirects_strategy_names():
+    """Passing a sweep *strategy* where a per-vertex *backend* belongs is
+    a likely confusion; the factory must explain, not guess."""
+    for name in ACCUMULATORS:
+        with pytest.raises(ValueError, match="strategy"):
+            make_accumulator(name)
+
+
+def test_cli_rejects_unknown_accumulator_before_graph_load(tmp_path, capsys):
+    from repro.cli import main
+
+    missing = tmp_path / "never_created.tsv"
+    with pytest.raises(SystemExit) as exc:
+        main([
+            "run", "--edge-list", str(missing),
+            "--engine", "vectorized", "--accumulator", "cam9000",
+        ])
+    assert exc.value.code == 2
+    assert not missing.exists()  # validation fired before any graph load
+    assert "cam9000" in capsys.readouterr().err
+
+
+def test_cli_rejects_accumulator_on_sequential_engine(tmp_path, capsys):
+    from repro.cli import main
+
+    missing = tmp_path / "never_created.tsv"
+    with pytest.raises(SystemExit) as exc:
+        main(["run", "--edge-list", str(missing), "--accumulator", "bounded"])
+    assert exc.value.code == 2
+    assert not missing.exists()
+    err = capsys.readouterr().err
+    assert "--engine" in err or "engine" in err

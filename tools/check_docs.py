@@ -44,7 +44,7 @@ DOC = REPO_ROOT / "docs" / "observability.md"
 
 #: namespaces under contract — names outside these are ignored on both
 #: sides (the sequential engine's infomap.* metrics predate the check)
-PREFIXES = ("parallel.", "service.")
+PREFIXES = ("accum.", "parallel.", "service.")
 
 #: emission call sites; name helpers (_count & co in service.py) count
 #: as emitters so the check survives indirection through them
@@ -140,8 +140,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"\n{len(errors)} observability-catalog inconsistencies",
               file=sys.stderr)
         return 1
+    scope = "/".join(p + "*" for p in PREFIXES)
     print(f"observability catalog consistent: {len(emitted)} "
-          f"parallel.*/service.* names match docs/observability.md")
+          f"{scope} names match docs/observability.md")
     return 0
 
 
