@@ -15,6 +15,10 @@ Usage (after install)::
     python -m repro trace-view out.trace.json   # self-time breakdown
     python -m repro submit --jobs batch.jsonl --dataset amazon \
         --engine parallel --workers 4 --priority 2
+    python -m repro submit --jobs batch.jsonl --dataset amazon \
+        --delta '[["add", 0, 5, 1.0], ["remove", 3, 4]]'  # one delta job
+    python -m repro submit --jobs batch.jsonl --dataset amazon \
+        --delta-session updates.jsonl   # base job + cumulative delta jobs
     python -m repro serve --jobs batch.jsonl    # warm pools + result cache
     python -m repro serve --jobs batch.jsonl --ledger runs.jsonl \
         --metrics-out metrics.json              # + ledger rows + heartbeat
@@ -206,6 +210,22 @@ def build_parser() -> argparse.ArgumentParser:
                      "(--engine parallel only)")
     smt.add_argument("--no-cache", action="store_true",
                      help="opt this job out of the result cache")
+    dgrp = smt.add_mutually_exclusive_group()
+    dgrp.add_argument("--delta", metavar="JSON",
+                      help="edge ops applied to the graph before an "
+                      "incremental refresh, e.g. "
+                      '\'[["add", 0, 5, 1.0], ["remove", 3, 4]]\' '
+                      "(docs/service.md, delta jobs)")
+    dgrp.add_argument("--delta-session", metavar="JSONL",
+                      help="stream a session of deltas: appends one "
+                      "plain base job, then one cumulative delta job "
+                      "per line of this file (each line a JSON array "
+                      "of ops) — every delta job warm-starts from the "
+                      "base partition the first job caches")
+    smt.add_argument("--base-key", metavar="KEY", default=None,
+                     help="pin the warm-start partition to this exact "
+                     "cache key instead of deriving it from the job's "
+                     "own parameters (delta jobs only)")
     smt.add_argument("--fault-plan", default=None, metavar="PLAN")
     smt.add_argument("--worker-timeout", type=float, default=None,
                      metavar="SECONDS")
@@ -668,6 +688,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     "codelength": r.codelength, "levels": r.levels,
                     "cache_hit": r.cache_hit, "warm_pool": r.warm_pool,
                     "respawns": r.respawns,
+                    "touched_vertices": r.touched_vertices,
+                    "full_rerun": r.full_rerun,
                     "run_seconds": r.run_seconds, "error": r.error,
                 }
                 for r in results
@@ -708,12 +730,66 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             obj[key] = value
     if args.no_cache:
         obj["use_cache"] = False
-    try:
-        written = append_job(args.jobs, obj)
-    except (OSError, ValueError) as exc:
-        print(f"cannot submit: {exc}", file=sys.stderr)
+    if args.base_key is not None and not (args.delta or args.delta_session):
+        print("cannot submit: --base-key requires --delta or "
+              "--delta-session", file=sys.stderr)
         return 1
-    print(f"{args.jobs} += {json.dumps(written, sort_keys=True)}")
+
+    to_append: list[dict] = []
+    if args.delta is not None:
+        try:
+            ops = json.loads(args.delta)
+        except json.JSONDecodeError as exc:
+            print(f"--delta is not JSON: {exc}", file=sys.stderr)
+            return 1
+        job = dict(obj, delta=ops)
+        if args.base_key is not None:
+            job["base_key"] = args.base_key
+        to_append.append(job)
+    elif args.delta_session is not None:
+        # one plain base job (it caches the warm-start partition), then
+        # one cumulative delta job per session line: line k's job
+        # applies every op up to and including line k, so each job
+        # stands alone against the base graph + cached base partition
+        try:
+            with open(args.delta_session) as fh:
+                lines = [(i, raw.strip()) for i, raw in enumerate(fh, 1)
+                         if raw.strip() and not raw.strip().startswith("#")]
+        except OSError as exc:
+            print(f"cannot read --delta-session: {exc}", file=sys.stderr)
+            return 1
+        if not lines:
+            print(f"--delta-session {args.delta_session} has no delta "
+                  f"lines", file=sys.stderr)
+            return 1
+        to_append.append(dict(obj))
+        cumulative: list = []
+        for lineno, line in lines:
+            try:
+                ops = json.loads(line)
+            except json.JSONDecodeError as exc:
+                print(f"{args.delta_session}:{lineno}: not JSON: {exc}",
+                      file=sys.stderr)
+                return 1
+            if not isinstance(ops, list):
+                print(f"{args.delta_session}:{lineno}: expected a JSON "
+                      f"array of ops", file=sys.stderr)
+                return 1
+            cumulative = cumulative + ops
+            job = dict(obj, delta=list(cumulative))
+            if args.base_key is not None:
+                job["base_key"] = args.base_key
+            to_append.append(job)
+    else:
+        to_append.append(obj)
+
+    for job in to_append:
+        try:
+            written = append_job(args.jobs, job)
+        except (OSError, ValueError) as exc:
+            print(f"cannot submit: {exc}", file=sys.stderr)
+            return 1
+        print(f"{args.jobs} += {json.dumps(written, sort_keys=True)}")
     return 0
 
 

@@ -313,6 +313,8 @@ def run_bsp_infomap(
     chunk: int | None = None,
     recorder: TelemetryRecorder | None = None,
     accumulator: str = "reduceat",
+    init_module: np.ndarray | None = None,
+    init_active: np.ndarray | None = None,
 ) -> BSPOutcome:
     """Run the shared multilevel BSP schedule.
 
@@ -340,11 +342,48 @@ def run_bsp_infomap(
         through this workspace, so it inherits the strategy directly;
         the parallel backend configures its workers to match.  All
         strategies are bit-identical, so partitions never depend on it.
+    init_module:
+        Optional warm-start assignment for level 0 (one label per
+        vertex, labels in ``[0, num_vertices)``; densified here).  When
+        given, level 0 optimizes from this partition instead of the
+        all-singletons one — the incremental-recompute entry point
+        (:mod:`repro.core.dynamic`).  Later levels are unaffected.
+        ``None`` keeps the cold schedule byte-identical to before.
+    init_active:
+        Optional restriction of level 0's *first* pass to these
+        vertices (sorted/uniqued here; each core sweeps its block's
+        share).  Subsequent passes grow the worklist from the movers
+        exactly as the cold schedule does, so the restriction composes
+        with the standard convergence rule.  Only meaningful at level
+        0; requires nothing of ``init_module`` but is normally paired
+        with it (warm labels + dirty frontier).
     """
     if num_cores < 1:
         raise ValueError("num_cores must be >= 1")
     if chunk is not None and chunk < 1:
         raise ValueError("chunk must be >= 1 (or None for whole shards)")
+    n0_check = graph.num_vertices
+    if init_module is not None:
+        init_module = np.asarray(init_module, dtype=np.int64)
+        if init_module.shape != (n0_check,):
+            raise ValueError(
+                f"init_module must have shape ({n0_check},), "
+                f"got {init_module.shape}"
+            )
+        uniq0 = np.unique(init_module)
+        if len(uniq0) and (uniq0[0] < 0 or uniq0[-1] >= n0_check):
+            raise ValueError(
+                "init_module labels must lie in [0, num_vertices)"
+            )
+        init_module = np.searchsorted(uniq0, init_module).astype(np.int64)
+    if init_active is not None:
+        init_active = np.unique(np.asarray(init_active, dtype=np.int64))
+        if len(init_active) and (
+            init_active[0] < 0 or init_active[-1] >= n0_check
+        ):
+            raise ValueError(
+                "init_active vertices must lie in [0, num_vertices)"
+            )
 
     rng = make_rng(seed)
     if recorder is None:
@@ -380,11 +419,16 @@ def run_bsp_infomap(
         recorder.begin_level(level, n)
         flat_offset = float(plogp_array(net.node_flow).sum()) - node_flow_log0
 
-        module = np.arange(n, dtype=np.int64)
+        if level == 0 and init_module is not None:
+            module = init_module.copy()
+        else:
+            module = np.arange(n, dtype=np.int64)
         enter, exit_, flow = ws.module_state(module, n)
         length = MapEquation.codelength(enter, exit_, flow, net.node_flow)
 
         active_sets: list[np.ndarray | None] = [None] * num_cores
+        if level == 0 and init_active is not None:
+            active_sets = list(split_active_by_block(init_active, blocks))
         for pass_idx in range(max_passes_per_level):
             wall0 = time.perf_counter()
             backend.begin_pass(module)

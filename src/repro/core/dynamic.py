@@ -5,49 +5,370 @@ introduction motivates) rarely stand still: edges appear and disappear.
 Re-running community detection from scratch after every batch of updates
 wastes work when only a neighbourhood changed.  :class:`DynamicCommunities`
 maintains a partition across edge insertions/deletions by **warm-started
-local re-optimization**: the previous assignment seeds the partition
-(:meth:`repro.core.partition.Partition.from_assignment`) and local-move
-passes run only over the vertices the updates touched (plus whatever the
-moves themselves dirty), falling through to the usual multilevel schedule
-afterwards.
+local re-optimization**, and :func:`warm_refresh` is the module-level entry
+point the serving layer's delta jobs call directly.
 
-This is an extension beyond the paper's evaluation; it reuses the exact
-kernels of the static engine, so all backends remain pluggable.
+The refresh runs on the engines, not beside them.  A warm refresh is one
+run of the shared BSP schedule (:func:`repro.core.bsp.run_bsp_infomap`)
+with two warm-start inputs:
+
+* ``init_module`` — the previous assignment with every *dirty* vertex
+  (an endpoint of a changed edge) re-seeded as its own singleton.
+  Greedy local moves can merge but never split a module, so vertices
+  whose incident edges changed must be free to leave — edge deletions
+  would otherwise be invisible to the optimizer.
+* ``init_active`` — the *dirty frontier* (dirty vertices plus every
+  vertex sharing an arc with one): level 0's first pass sweeps only
+  this set, through the same shard-restricted batched sweep
+  (:meth:`repro.core.vectorized.Workspace.best_moves` with ``verts=``)
+  every BSP engine uses.  Later passes grow the worklist from the
+  movers exactly as a cold run does.
+
+Because the BSP schedule is a pure function of ``(graph, P, seed, chunk,
+init)``, a warm refresh produces **identical partitions on every engine**
+at equal ``workers``/``seed``/dirty set — ``engine="vectorized"`` runs the
+schedule in-process on one shard, ``"multicore"`` on ``P`` simulated
+cores, ``"parallel"`` on ``P`` real worker processes
+(``tests/test_engine_conformance.py``, dynamic column).
+
+When the frontier exceeds ``full_rerun_threshold * num_vertices`` the
+warm start stops paying (most of the graph would be re-swept anyway,
+plus the multilevel fall-through) and the refresh falls back to the
+engine's standard from-scratch run — the measured ``full_rerun`` policy.
+Each refresh publishes ``dynamic.touched_vertices`` /
+``dynamic.frontier_share`` / ``dynamic.full_reruns`` to the metrics
+registry and appends a ``kind="dynamic"`` row to the armed run ledger.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.accum.plain import PlainDictAccumulator
-from repro.core.findbest import find_best_pass
-from repro.core.flow import FlowNetwork
-from repro.core.infomap import _active_set
-from repro.core.mapequation import MapEquation
-from repro.core.partition import Partition
-from repro.core.supernode import convert_to_supernodes
+from repro.core.accumulate import validate_accumulator
+from repro.core.bsp import ProposeBackend, run_bsp_infomap
 from repro.graph.build import from_edge_array
 from repro.graph.csr import CSRGraph
-from repro.sim.context import HardwareContext
-from repro.sim.counters import KernelStats
-from repro.sim.machine import baseline_machine
+from repro.obs import ledger as obs_ledger
+from repro.obs import metrics as obs_metrics
 
-__all__ = ["DynamicCommunities", "RefreshResult"]
+__all__ = [
+    "DYNAMIC_ENGINES",
+    "DEFAULT_FULL_RERUN_THRESHOLD",
+    "DynamicCommunities",
+    "RefreshResult",
+    "dirty_frontier",
+    "warm_refresh",
+]
+
+#: engines a refresh may run on — the three batched engines (the
+#: instrumented sequential engine has no shard-restricted batch sweep)
+DYNAMIC_ENGINES = ("vectorized", "multicore", "parallel")
+
+#: fall back to a full from-scratch run when the dirty frontier covers
+#: more than this share of the vertices (measured: past ~1/4 of V the
+#: restricted first pass plus the multilevel fall-through costs about
+#: as much as a cold run — see benchmarks/bench_dynamic.py)
+DEFAULT_FULL_RERUN_THRESHOLD = 0.25
 
 
 @dataclass
 class RefreshResult:
-    """Outcome of one :meth:`DynamicCommunities.refresh`."""
+    """Outcome of one :func:`warm_refresh` / :meth:`DynamicCommunities.refresh`."""
 
     modules: np.ndarray
     num_modules: int
     codelength: float
-    #: vertices re-examined by the warm-started passes
+    #: multilevel depth of the refresh run (0 for the no-op shortcuts)
+    levels: int
+    #: distinct vertices seeded for re-examination: the dirty frontier
+    #: on a warm refresh, every vertex on a full rerun
     touched_vertices: int
+    #: dirty-frontier share of the vertex set that was measured for the
+    #: fallback decision (1.0 when there was no partition to warm from)
+    frontier_share: float
     #: True when the refresh fell back to a full from-scratch run
     full_rerun: bool
+    #: wall-clock seconds of the engine run
+    seconds: float = 0.0
+
+
+class _InprocessSweep(ProposeBackend):
+    """Minimal BSP backend: the batched sweep, in-process, no accounting.
+
+    What ``engine="vectorized"`` means for a warm refresh — the same
+    propose the simulated-multicore backend computes (via the driver's
+    own :class:`~repro.core.vectorized.Workspace`), minus its per-core
+    hardware accounting, on a single shard.
+    """
+
+    engine = "vectorized"
+
+    def __init__(self) -> None:
+        self.ws = None
+
+    def begin_level(self, net, level, blocks, ws) -> None:
+        self.ws = ws
+
+    def propose(self, shards, module, enter, exit_, flow):
+        verts_parts: list[np.ndarray] = []
+        targ_parts: list[np.ndarray] = []
+        for _p, shard in shards:
+            if len(shard) == 0:
+                continue
+            v, t, _ = self.ws.best_moves(
+                module, enter, exit_, flow, verts=shard
+            )
+            verts_parts.append(v)
+            targ_parts.append(t)
+        if not verts_parts:
+            return np.empty(0, np.int64), np.empty(0, np.int64)
+        return np.concatenate(verts_parts), np.concatenate(targ_parts)
+
+
+def dirty_frontier(graph: CSRGraph, dirty: np.ndarray) -> np.ndarray:
+    """Dirty vertices plus every vertex sharing an arc with one.
+
+    The set level 0's first warm pass sweeps: endpoints of changed edges
+    must be free to move, and their neighbours are the only vertices
+    whose best move can have changed before anything else moves.  Both
+    arc directions count (a changed in-edge changes a vertex's options
+    in a directed graph).
+    """
+    dirty = np.unique(np.asarray(dirty, dtype=np.int64))
+    if len(dirty) == 0:
+        return dirty
+    flags = np.zeros(graph.num_vertices, dtype=bool)
+    flags[dirty] = True
+    src, dst, _ = graph.edge_array()
+    return np.unique(np.concatenate([dirty, dst[flags[src]], src[flags[dst]]]))
+
+
+def _validate_refresh_params(engine: str, workers: int) -> None:
+    if engine not in DYNAMIC_ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}: choose from {DYNAMIC_ENGINES}"
+        )
+    if not isinstance(workers, int) or workers < 1:
+        raise ValueError("workers must be an int >= 1")
+    if engine == "vectorized" and workers != 1:
+        raise ValueError(
+            "engine 'vectorized' is single-rank: workers must be 1"
+        )
+
+
+def warm_refresh(
+    graph: CSRGraph,
+    labels: np.ndarray | None,
+    dirty: np.ndarray,
+    *,
+    engine: str = "vectorized",
+    workers: int = 1,
+    seed: int = 0,
+    tau: float = 0.15,
+    max_levels: int = 20,
+    max_passes: int = 10,
+    chunk: int | None = None,
+    accumulator: str = "reduceat",
+    full_rerun_threshold: float = DEFAULT_FULL_RERUN_THRESHOLD,
+    pool=None,
+    deadline: float | None = None,
+    worker_timeout: float | None = None,
+) -> RefreshResult:
+    """One engine-backed refresh of ``graph`` from a previous partition.
+
+    Parameters
+    ----------
+    labels:
+        Previous assignment (one label per vertex) or ``None`` for a
+        from-scratch run.
+    dirty:
+        Vertices whose incident edges changed since ``labels`` was
+        computed.  Ignored when ``labels`` is ``None``.
+    engine / workers / seed / chunk / accumulator:
+        Which engine runs the refresh and its determinism coordinates;
+        a warm refresh is identical across engines at equal
+        ``workers``/``seed``/``chunk`` (the BSP schedule guarantee).
+    full_rerun_threshold:
+        Dirty-frontier share of the vertex set past which the warm
+        start is abandoned for the engine's standard from-scratch run.
+    pool / deadline / worker_timeout:
+        Forwarded to :func:`repro.core.parallel.run_infomap_parallel`
+        (``engine="parallel"`` only) — how the serving layer runs
+        refreshes on its warm worker pools.
+    """
+    _validate_refresh_params(engine, workers)
+    validate_accumulator(accumulator)
+    if not (0.0 < full_rerun_threshold <= 1.0):
+        raise ValueError("full_rerun_threshold must be in (0, 1]")
+    n = graph.num_vertices
+
+    if labels is None:
+        frontier = None
+        share = 1.0
+        full = True
+    else:
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape != (n,):
+            raise ValueError(
+                f"labels must have shape ({n},), got {labels.shape}"
+            )
+        frontier = dirty_frontier(graph, dirty)
+        share = len(frontier) / n
+        full = share > full_rerun_threshold
+
+    t0 = time.perf_counter()
+    if full:
+        r = _run_full(
+            graph, engine, workers, seed, tau, max_levels, max_passes,
+            chunk, accumulator, pool, deadline, worker_timeout,
+        )
+        touched = n
+    else:
+        # re-seed dirty vertices as provisional singletons, densify
+        dirty = np.unique(np.asarray(dirty, dtype=np.int64))
+        seeded = labels.copy()
+        seeded[dirty] = n + np.arange(len(dirty), dtype=np.int64)
+        _, seeded = np.unique(seeded, return_inverse=True)
+        seeded = seeded.astype(np.int64)
+        r = _run_warm(
+            graph, seeded, frontier, engine, workers, seed, tau,
+            max_levels, max_passes, chunk, accumulator, pool, deadline,
+            worker_timeout,
+        )
+        touched = len(frontier)
+    seconds = time.perf_counter() - t0
+
+    result = RefreshResult(
+        modules=np.asarray(r.modules, dtype=np.int64),
+        num_modules=int(r.num_modules),
+        codelength=float(r.codelength),
+        levels=int(r.levels),
+        touched_vertices=touched,
+        frontier_share=share,
+        full_rerun=full,
+        seconds=seconds,
+    )
+    _publish_refresh(result)
+    _ledger_refresh(
+        graph, engine, workers, seed, tau, max_levels, max_passes, chunk,
+        accumulator, result,
+    )
+    return result
+
+
+def _run_full(
+    graph, engine, workers, seed, tau, max_levels, max_passes, chunk,
+    accumulator, pool, deadline, worker_timeout,
+):
+    """The engine's standard from-scratch run (the fallback policy)."""
+    if engine == "parallel":
+        from repro.core.parallel import run_infomap_parallel
+
+        return run_infomap_parallel(
+            graph, workers=workers, tau=tau, max_levels=max_levels,
+            max_passes_per_level=max_passes, seed=seed, chunk=chunk,
+            pool=pool, deadline=deadline, worker_timeout=worker_timeout,
+            accumulator=accumulator,
+        )
+    if engine == "multicore":
+        from repro.core.multicore import run_infomap_multicore
+
+        return run_infomap_multicore(
+            graph, num_cores=workers, tau=tau, max_levels=max_levels,
+            max_passes_per_level=max_passes, chunk=chunk, seed=seed,
+            accumulator=accumulator,
+        )
+    from repro.core.vectorized import run_infomap_vectorized
+
+    return run_infomap_vectorized(
+        graph, tau=tau, max_levels=max_levels,
+        max_rounds_per_level=max_passes, seed=seed,
+        accumulator=accumulator,
+    )
+
+
+def _run_warm(
+    graph, seeded, frontier, engine, workers, seed, tau, max_levels,
+    max_passes, chunk, accumulator, pool, deadline, worker_timeout,
+):
+    """The warm-started BSP run (identical partition on every engine)."""
+    if engine == "parallel":
+        from repro.core.parallel import run_infomap_parallel
+
+        return run_infomap_parallel(
+            graph, workers=workers, tau=tau, max_levels=max_levels,
+            max_passes_per_level=max_passes, seed=seed, chunk=chunk,
+            pool=pool, deadline=deadline, worker_timeout=worker_timeout,
+            accumulator=accumulator,
+            init_module=seeded, init_active=frontier,
+        )
+    if engine == "multicore":
+        from repro.core.multicore import run_infomap_multicore
+
+        return run_infomap_multicore(
+            graph, num_cores=workers, tau=tau, max_levels=max_levels,
+            max_passes_per_level=max_passes, chunk=chunk, seed=seed,
+            accumulator=accumulator,
+            init_module=seeded, init_active=frontier,
+        )
+    return run_bsp_infomap(
+        graph, _InprocessSweep(), 1, seed=seed, tau=tau,
+        max_levels=max_levels, max_passes_per_level=max_passes,
+        chunk=chunk, accumulator=accumulator,
+        init_module=seeded, init_active=frontier,
+    )
+
+
+def _publish_refresh(result: RefreshResult) -> None:
+    if not obs_metrics.is_enabled():
+        return
+    reg = obs_metrics.get_registry()
+    reg.histogram("dynamic.touched_vertices").observe(
+        result.touched_vertices
+    )
+    reg.histogram("dynamic.frontier_share").observe(result.frontier_share)
+    if result.full_rerun:
+        reg.counter("dynamic.full_reruns").inc()
+
+
+def _ledger_refresh(
+    graph, engine, workers, seed, tau, max_levels, max_passes, chunk,
+    accumulator, result,
+) -> None:
+    """One ``kind="dynamic"`` ledger row per refresh (when armed)."""
+    if not obs_ledger.is_enabled():
+        return
+    from repro.service.cache import graph_digest
+
+    record = obs_ledger.make_record(
+        kind="dynamic",
+        source="dynamic",
+        config={
+            "graph": graph_digest(graph),
+            "engine": engine,
+            "workers": workers,
+            "seed": seed,
+            "tau": tau,
+            "max_levels": max_levels,
+            "max_passes_per_level": max_passes,
+            "chunk": chunk,
+            "accumulator": accumulator,
+        },
+        telemetry={
+            "codelength": result.codelength,
+            "num_modules": result.num_modules,
+            "levels": result.levels,
+            "touched_vertices": result.touched_vertices,
+            "frontier_share": result.frontier_share,
+            "full_rerun": result.full_rerun,
+        },
+        perf={"wall_seconds": result.seconds},
+        label="refresh",
+    )
+    obs_ledger.get_ledger().append(record)
 
 
 class DynamicCommunities:
@@ -61,19 +382,47 @@ class DynamicCommunities:
         Edge direction semantics.
     tau:
         Teleportation for directed flows.
+    engine / workers / seed / chunk / accumulator:
+        Engine configuration every refresh runs with (see
+        :func:`warm_refresh`).
+    full_rerun_threshold:
+        Dirty-frontier share past which a refresh falls back to a full
+        from-scratch run.
     """
 
-    def __init__(self, num_vertices: int, directed: bool = False,
-                 tau: float = 0.15):
+    def __init__(
+        self,
+        num_vertices: int,
+        directed: bool = False,
+        tau: float = 0.15,
+        engine: str = "vectorized",
+        workers: int = 1,
+        seed: int = 0,
+        chunk: int | None = None,
+        accumulator: str = "reduceat",
+        full_rerun_threshold: float = DEFAULT_FULL_RERUN_THRESHOLD,
+    ):
         if num_vertices <= 0:
             raise ValueError("num_vertices must be positive")
+        _validate_refresh_params(engine, workers)
+        validate_accumulator(accumulator)
+        if not (0.0 < full_rerun_threshold <= 1.0):
+            raise ValueError("full_rerun_threshold must be in (0, 1]")
         self.num_vertices = num_vertices
         self.directed = directed
         self.tau = tau
+        self.engine = engine
+        self.workers = workers
+        self.seed = seed
+        self.chunk = chunk
+        self.accumulator = accumulator
+        self.full_rerun_threshold = full_rerun_threshold
         self._edges: dict[tuple[int, int], float] = {}
         self._dirty: set[int] = set()
         self.modules: np.ndarray | None = None
+        self.num_modules: int = 0
         self.codelength: float = float("nan")
+        self.levels: int = 0
 
     # ------------------------------------------------------------------
     def _key(self, u: int, v: int) -> tuple[int, int]:
@@ -127,80 +476,55 @@ class DynamicCommunities:
     def refresh(self, max_passes: int = 10, max_levels: int = 20) -> RefreshResult:
         """Re-optimize after pending updates.
 
-        First call (or after :attr:`modules` was reset) runs from scratch;
-        subsequent calls warm-start from the previous assignment and sweep
-        only dirty neighbourhoods before the multilevel fall-through.
+        First call (or after :attr:`modules` was reset) runs from
+        scratch; subsequent calls warm-start from the previous
+        assignment and sweep only the dirty frontier before the
+        multilevel fall-through — all on the configured engine.
+
+        An **edgeless** graph has a defined result: every vertex is its
+        own singleton module at codelength 0.0 (there is no flow to
+        encode), rather than an error.  A refresh with no pending
+        updates returns the previous partition untouched.
         """
+        if not self._edges:
+            self._dirty.clear()
+            self.modules = np.arange(self.num_vertices, dtype=np.int64)
+            self.num_modules = self.num_vertices
+            self.codelength = 0.0
+            self.levels = 0
+            return RefreshResult(
+                modules=self.modules.copy(),
+                num_modules=self.num_modules,
+                codelength=0.0,
+                levels=0,
+                touched_vertices=0,
+                frontier_share=0.0,
+                full_rerun=False,
+            )
+        if self.modules is not None and not self._dirty:
+            return RefreshResult(
+                modules=self.modules.copy(),
+                num_modules=self.num_modules,
+                codelength=self.codelength,
+                levels=self.levels,
+                touched_vertices=0,
+                frontier_share=0.0,
+                full_rerun=False,
+            )
         graph = self.graph()
-        net = FlowNetwork.from_graph(graph, tau=self.tau)
-        node_flow_log0 = -MapEquation.one_level_codelength(net.node_flow)
-        ctx = HardwareContext(baseline_machine())
-        stats = KernelStats()
-        acc = PlainDictAccumulator()
-
-        full_rerun = self.modules is None
-        touched = 0
-
-        if full_rerun:
-            partition = Partition(net)
-            active: np.ndarray | None = None
-        else:
-            # Re-seed dirty vertices as singletons: greedy local moves can
-            # merge but never split a module, so vertices whose incident
-            # edges changed must be free to leave (edge deletions would
-            # otherwise be invisible to the optimizer).
-            labels = self.modules.copy()
-            dirty_list = sorted(self._dirty)
-            n = self.num_vertices
-            for i, v in enumerate(dirty_list):
-                labels[v] = n + i  # provisional unique singleton ids
-            _, labels = np.unique(labels, return_inverse=True)
-            partition = Partition.from_assignment(net, labels.astype(np.int64))
-            seed = set(dirty_list)
-            for v in dirty_list:
-                lo, hi = net.indptr[v], net.indptr[v + 1]
-                seed.update(net.indices[lo:hi].tolist())
-            active = np.array(sorted(seed), dtype=np.int64)
-
-        # level-0 passes (restricted to the dirty set when warm)
-        for _ in range(max_passes):
-            if active is not None and len(active) == 0:
-                break
-            touched += net.num_vertices if active is None else len(active)
-            moves, moved = find_best_pass(partition, acc, ctx, stats, active)
-            if moves == 0:
-                break
-            active = _active_set(net, moved)
-
-        # multilevel fall-through on the coarse graph
-        mapping, _ = partition.dense_assignment()
-        current = net
-        dense, k = partition.dense_assignment()
-        level_partition = partition
-        for _level in range(max_levels):
-            if k == current.num_vertices:
-                break
-            current = convert_to_supernodes(current, dense, k)
-            level_partition = Partition(current)
-            active = None
-            for _ in range(max_passes):
-                moves, moved = find_best_pass(
-                    level_partition, acc, ctx, stats, active
-                )
-                if moves == 0:
-                    break
-                active = _active_set(current, moved)
-            dense, k = level_partition.dense_assignment()
-            mapping = dense[mapping]
-
-        uniq, final = np.unique(mapping, return_inverse=True)
-        self.modules = final.astype(np.int64)
-        self.codelength = level_partition.flat_codelength(node_flow_log0)
-        self._dirty.clear()
-        return RefreshResult(
-            modules=self.modules,
-            num_modules=len(uniq),
-            codelength=self.codelength,
-            touched_vertices=touched,
-            full_rerun=full_rerun,
+        dirty = np.fromiter(
+            self._dirty, dtype=np.int64, count=len(self._dirty)
         )
+        result = warm_refresh(
+            graph, self.modules, dirty,
+            engine=self.engine, workers=self.workers, seed=self.seed,
+            tau=self.tau, max_levels=max_levels, max_passes=max_passes,
+            chunk=self.chunk, accumulator=self.accumulator,
+            full_rerun_threshold=self.full_rerun_threshold,
+        )
+        self.modules = result.modules.copy()
+        self.num_modules = result.num_modules
+        self.codelength = result.codelength
+        self.levels = result.levels
+        self._dirty.clear()
+        return result

@@ -292,6 +292,8 @@ def run_infomap_multicore(
     chunk: int | None = None,
     seed: int = 0,
     accumulator: str = "reduceat",
+    init_module: np.ndarray | None = None,
+    init_active: np.ndarray | None = None,
 ) -> MulticoreResult:
     """Run Infomap on ``num_cores`` simulated cores.
 
@@ -309,6 +311,10 @@ def run_infomap_multicore(
     accumulator:
         Pair-accumulation strategy of the shard-restricted sweeps (see
         :mod:`repro.core.accumulate`); bit-identical across strategies.
+    init_module / init_active:
+        Warm-start assignment and first-pass restriction for level 0
+        (see :func:`repro.core.bsp.run_bsp_infomap`) — the incremental
+        recompute path of :mod:`repro.core.dynamic`.
     """
     if num_cores < 1:
         raise ValueError("num_cores must be >= 1")
@@ -333,6 +339,8 @@ def run_infomap_multicore(
             chunk=chunk,
             recorder=recorder,
             accumulator=accumulator,
+            init_module=init_module,
+            init_active=init_active,
         )
 
     iterations = [

@@ -956,6 +956,8 @@ def run_infomap_parallel(
     pool: "_WorkerPool | None" = None,
     deadline: float | None = None,
     accumulator: str = "reduceat",
+    init_module: np.ndarray | None = None,
+    init_active: np.ndarray | None = None,
 ) -> ParallelResult:
     """Run Infomap with ``workers`` supervised worker processes.
 
@@ -1010,6 +1012,12 @@ def run_infomap_parallel(
         sweeps (``"reduceat"`` | ``"bounded"`` | ``"auto"``, see
         :mod:`repro.core.accumulate`).  Every strategy is bit-identical;
         this only trades sort work against capacity-bounded probing.
+    init_module / init_active:
+        Warm-start assignment and first-pass restriction for level 0
+        (see :func:`repro.core.bsp.run_bsp_infomap`) — the incremental
+        recompute path of :mod:`repro.core.dynamic`.  A restricted
+        first-pass order is always a subset of each worker's block, so
+        the worker protocol and reply buffers are unchanged.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -1057,6 +1065,8 @@ def run_infomap_parallel(
                 chunk=chunk,
                 recorder=recorder,
                 accumulator=accumulator,
+                init_module=init_module,
+                init_active=init_active,
             )
     except BaseException:
         # a run that unwound mid-schedule cannot trust the pipes again

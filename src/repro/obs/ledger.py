@@ -70,7 +70,7 @@ __all__ = [
 LEDGER_SCHEMA = "repro.ledger/v1"
 
 #: which layer appended a record
-RECORD_KINDS = ("bench", "experiment", "service")
+RECORD_KINDS = ("bench", "experiment", "service", "dynamic")
 
 _REQUIRED_KEYS = (
     "schema", "run_key", "kind", "source", "label",

@@ -78,6 +78,14 @@ def cache_key(spec: JobSpec) -> str:
     Exactly the result-determining fields, canonically spelled; two
     specs share a key iff the engines are guaranteed to hand back the
     same partition for both.
+
+    Delta jobs get a ``delta/v1`` key: the *base* graph's digest plus
+    the delta's op-sequence digest plus the params hash — a warm
+    refresh's result depends on the base partition (a function of the
+    base graph and params) and on the updated graph (base plus delta),
+    so all three must address it.  An explicit ``base_key`` (a pinned
+    warm source that overrides the derived one) is hashed into the
+    params, since it changes what the refresh warms from.
     """
     params = (
         f"params/v2:engine={spec.engine}:workers={spec.workers}"
@@ -85,6 +93,12 @@ def cache_key(spec: JobSpec) -> str:
         f":levels={spec.max_levels}:passes={spec.max_passes_per_level}"
         f":chunk={spec.chunk}:accumulator={spec.accumulator}"
     )
+    if spec.delta is not None:
+        params += f":base={spec.base_key}"
+        return (
+            f"{graph_digest(spec.graph)}+{spec.delta.digest()}"
+            f"/{hashlib.sha256(params.encode()).hexdigest()}"
+        )
     return f"{graph_digest(spec.graph)}/{hashlib.sha256(params.encode()).hexdigest()}"
 
 

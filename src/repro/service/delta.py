@@ -1,0 +1,219 @@
+"""Edge deltas — what a ``delta`` job applies to its base graph.
+
+A :class:`Delta` is an ordered sequence of edge operations::
+
+    [["add", u, v, weight], ["remove", u, v], ...]
+
+applied to a base graph before an incremental refresh
+(:func:`repro.core.dynamic.warm_refresh`).  ``add`` inserts an edge or
+reinforces an existing one (duplicate weights sum — the same coalescing
+rule :mod:`repro.graph.build` applies); ``remove`` deletes an edge
+entirely and fails if it is absent.  Order matters: removing an edge and
+re-adding it is not a no-op for the weight it re-enters with.
+
+Two validation layers, mirroring the jobsfile convention:
+
+* :meth:`Delta.from_json` checks the *shape* (op names, arities, types)
+  and raises ``ValueError`` prefixed with its ``where`` coordinate —
+  a malformed delta line fails the whole file fast with a line number;
+* :meth:`Delta.validate` checks the *values* against a vertex universe
+  (ranges, positive weights) — admission control's job, so one bad job
+  rejects structurally instead of blocking the batch.
+
+:meth:`Delta.digest` is the content address the ``delta/v1`` cache key
+(:func:`repro.service.cache.cache_key`) combines with the base graph's
+digest: the exact op sequence is hashed, so two jobs share a key iff
+they apply the same updates to the same base under the same params.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.build import from_edge_array
+from repro.graph.csr import CSRGraph
+
+__all__ = ["DELTA_OPS", "Delta"]
+
+DELTA_OPS = ("add", "remove")
+
+
+def _is_int(x) -> bool:
+    return isinstance(x, int) and not isinstance(x, bool)
+
+
+@dataclass(frozen=True)
+class Delta:
+    """An ordered, immutable sequence of edge operations.
+
+    ``ops`` entries are ``("add", u, v, weight)`` or ``("remove", u, v)``
+    tuples.  Build via :meth:`from_json` (shape-validating) or pass
+    canonical tuples directly and let :meth:`validate` check them.
+    """
+
+    ops: tuple[tuple, ...]
+
+    # ------------------------------------------------------------ build
+    @staticmethod
+    def from_json(obj, where: str = "delta") -> "Delta":
+        """Shape-check a decoded JSON delta and build the canonical form.
+
+        Raises ``ValueError`` prefixed with ``where`` (the jobsfile
+        passes ``path:lineno`` so malformed lines fail fast with their
+        coordinate).
+        """
+        if not isinstance(obj, list) or not obj:
+            raise ValueError(
+                f"{where}: 'delta' must be a non-empty array of ops, "
+                f"got {type(obj).__name__}"
+            )
+        ops: list[tuple] = []
+        for i, op in enumerate(obj):
+            at = f"{where}: delta op {i}"
+            if not isinstance(op, list):
+                raise ValueError(
+                    f"{at}: expected an array, got {type(op).__name__}"
+                )
+            if not op or op[0] not in DELTA_OPS:
+                head = op[0] if op else None
+                raise ValueError(
+                    f"{at}: op name must be one of {DELTA_OPS}, "
+                    f"got {head!r}"
+                )
+            name = op[0]
+            if name == "add":
+                if len(op) not in (3, 4):
+                    raise ValueError(
+                        f"{at}: 'add' takes [u, v] or [u, v, weight], "
+                        f"got {len(op) - 1} argument(s)"
+                    )
+                u, v = op[1], op[2]
+                w = op[3] if len(op) == 4 else 1.0
+                if not (_is_int(u) and _is_int(v)):
+                    raise ValueError(f"{at}: vertex ids must be integers")
+                if isinstance(w, bool) or not isinstance(w, (int, float)):
+                    raise ValueError(f"{at}: weight must be a number")
+                ops.append(("add", u, v, float(w)))
+            else:
+                if len(op) != 3:
+                    raise ValueError(
+                        f"{at}: 'remove' takes [u, v], "
+                        f"got {len(op) - 1} argument(s)"
+                    )
+                u, v = op[1], op[2]
+                if not (_is_int(u) and _is_int(v)):
+                    raise ValueError(f"{at}: vertex ids must be integers")
+                ops.append(("remove", u, v))
+        return Delta(ops=tuple(ops))
+
+    def to_json(self) -> list:
+        """The JSONL spelling (inverse of :meth:`from_json`)."""
+        return [list(op) for op in self.ops]
+
+    # --------------------------------------------------------- validate
+    def validate(self, num_vertices: int) -> None:
+        """Value-check every op against a vertex universe.
+
+        Raises ``ValueError`` describing the first invalid op — what
+        admission control converts into a structured rejection.
+        """
+        if not isinstance(self.ops, tuple) or not self.ops:
+            raise ValueError("delta must contain at least one op")
+        for i, op in enumerate(self.ops):
+            if not isinstance(op, tuple) or not op or op[0] not in DELTA_OPS:
+                raise ValueError(
+                    f"delta op {i} must be an ('add'|'remove', ...) tuple"
+                )
+            if op[0] == "add":
+                if len(op) != 4:
+                    raise ValueError(
+                        f"delta op {i}: 'add' needs (op, u, v, weight)"
+                    )
+                _, u, v, w = op
+                if not isinstance(w, (int, float)) or w <= 0:
+                    raise ValueError(
+                        f"delta op {i}: weight must be positive, got {w!r}"
+                    )
+            else:
+                if len(op) != 3:
+                    raise ValueError(
+                        f"delta op {i}: 'remove' needs (op, u, v)"
+                    )
+                _, u, v = op
+            if not (_is_int(u) and _is_int(v)):
+                raise ValueError(f"delta op {i}: vertex ids must be integers")
+            if not (0 <= u < num_vertices and 0 <= v < num_vertices):
+                raise ValueError(
+                    f"delta op {i}: vertex out of range ({u}, {v}) for "
+                    f"{num_vertices} vertices"
+                )
+
+    # ------------------------------------------------------------ apply
+    def dirty_vertices(self) -> np.ndarray:
+        """Every vertex an op touches (the warm refresh's dirty set)."""
+        flat: list[int] = []
+        for op in self.ops:
+            flat.append(op[1])
+            flat.append(op[2])
+        return np.unique(np.array(flat, dtype=np.int64))
+
+    def apply(self, graph: CSRGraph) -> CSRGraph:
+        """The updated graph: ``graph`` with every op applied in order.
+
+        Raises ``ValueError`` when a ``remove`` names an absent edge
+        (executed jobs report this as a structured failure).
+        """
+        src, dst, w = graph.edge_array()
+        if not graph.directed:
+            keep = src <= dst  # each undirected edge once (loops once)
+            src, dst, w = src[keep], dst[keep], w[keep]
+        edges: dict[tuple[int, int], float] = {}
+        for s, d, wt in zip(src.tolist(), dst.tolist(), w.tolist()):
+            edges[(s, d)] = edges.get((s, d), 0.0) + wt
+        n = graph.num_vertices
+        for i, op in enumerate(self.ops):
+            u, v = op[1], op[2]
+            if not (0 <= u < n and 0 <= v < n):
+                raise ValueError(
+                    f"delta op {i}: vertex out of range ({u}, {v})"
+                )
+            key = (u, v) if graph.directed or u <= v else (v, u)
+            if op[0] == "add":
+                edges[key] = edges.get(key, 0.0) + op[3]
+            else:
+                if key not in edges:
+                    raise ValueError(
+                        f"delta op {i}: cannot remove absent edge {key}"
+                    )
+                del edges[key]
+        if edges:
+            keys = np.array(list(edges.keys()), dtype=np.int64)
+            esrc, edst = keys[:, 0], keys[:, 1]
+            ew = np.fromiter(edges.values(), dtype=np.float64,
+                             count=len(edges))
+        else:
+            esrc = edst = np.empty(0, dtype=np.int64)
+            ew = np.empty(0, dtype=np.float64)
+        return from_edge_array(
+            esrc, edst, ew, num_vertices=n, directed=graph.directed,
+            name=f"{graph.name}+delta",
+        )
+
+    # ----------------------------------------------------------- digest
+    def digest(self) -> str:
+        """SHA-256 over the exact op sequence (the ``delta/v1`` half of
+        a delta job's cache key)."""
+        h = hashlib.sha256()
+        h.update(f"delta/v1:{len(self.ops)}:".encode())
+        for op in self.ops:
+            if op[0] == "add":
+                h.update(f"a:{op[1]}:{op[2]}:{float(op[3])!r};".encode())
+            else:
+                h.update(f"r:{op[1]}:{op[2]};".encode())
+        return h.hexdigest()
+
+    def __len__(self) -> int:
+        return len(self.ops)

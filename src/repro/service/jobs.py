@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.accumulate import validate_accumulator
 from repro.core.faults import FaultPlan
 from repro.graph.csr import CSRGraph
+from repro.service.delta import Delta
 
 __all__ = [
     "ENGINES",
@@ -56,7 +57,8 @@ class JobSpec:
     Result-determining parameters (everything the cache key hashes):
     ``graph``, ``engine``, ``workers``, ``seed``, ``tau``,
     ``max_levels``, ``max_passes_per_level``, ``chunk``,
-    ``accumulator``.  Serving
+    ``accumulator``, plus — for delta jobs — ``delta`` and
+    ``base_key``.  Serving
     parameters (never part of the cache key): ``priority``,
     ``deadline``, ``use_cache``, ``fault_plan``, ``worker_timeout``,
     ``label``.
@@ -89,6 +91,16 @@ class JobSpec:
     worker_timeout: float | None = None
     #: free-form tag echoed into the result (for batch reports)
     label: str = ""
+    #: edge delta applied to ``graph`` before an incremental refresh —
+    #: makes this a *delta job* (see :mod:`repro.service.delta`); the
+    #: result is keyed under the ``delta/v1`` cache key
+    delta: Delta | None = None
+    #: explicit cache key of the base partition to warm-start from
+    #: (delta jobs only).  ``None`` derives it from this spec's own
+    #: graph+params; an explicit key that is not in the cache rejects
+    #: the job structurally at execution time, while a derived key that
+    #: misses falls back to a full from-scratch run.
+    base_key: str | None = None
 
     def validate(self) -> None:
         """Raise ``ValueError`` describing the first invalid field."""
@@ -139,6 +151,22 @@ class JobSpec:
                 raise ValueError("worker_timeout requires engine 'parallel'")
             if self.worker_timeout <= 0:
                 raise ValueError("worker_timeout must be positive seconds")
+        if self.delta is not None:
+            if not isinstance(self.delta, Delta):
+                raise ValueError(
+                    f"delta must be a Delta, got {type(self.delta).__name__}"
+                )
+            self.delta.validate(self.graph.num_vertices)
+            if self.fault_plan is not None:
+                raise ValueError(
+                    "fault_plan is not supported for delta jobs (chaos "
+                    "runs have no warm-partition determinism proof yet)"
+                )
+        if self.base_key is not None:
+            if self.delta is None:
+                raise ValueError("base_key requires a delta")
+            if not isinstance(self.base_key, str) or not self.base_key:
+                raise ValueError("base_key must be a non-empty string")
 
     @property
     def cacheable(self) -> bool:
@@ -183,6 +211,10 @@ class JobResult:
     queue_seconds: float = 0.0
     #: seconds spent executing (0 for rejected jobs)
     run_seconds: float = 0.0
+    #: delta jobs: vertices the refresh seeded for re-examination
+    touched_vertices: int = 0
+    #: delta jobs: the refresh fell back to a full from-scratch run
+    full_rerun: bool = False
     #: why the job failed / was cancelled / was rejected
     error: str | None = None
 

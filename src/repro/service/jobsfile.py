@@ -13,6 +13,18 @@ name), ``edge_list`` (a path, with optional ``directed``), or
 ``planted`` (an inline planted-partition recipe, handy for smokes and
 CI) — plus any :class:`~repro.service.jobs.JobSpec` field by name.
 
+A **delta job** adds a ``delta`` array of edge operations applied to
+the line's graph before an incremental refresh (and optionally a
+``base_key`` pinning the warm-start partition)::
+
+    {"dataset": "amazon", "engine": "vectorized", "workers": 1,
+     "delta": [["add", 0, 5, 1.0], ["remove", 3, 4]]}
+
+Delta *shape* problems (bad op name, wrong arity, non-integer vertex)
+are file-level and fail fast with the line number; op *values* (vertex
+range, weight sign) are admission control's business like every other
+spec field.
+
 File-level problems (bad JSON, unknown keys, missing graph source) fail
 fast with the line number: a batch driver should refuse a file it
 cannot fully parse.  *Job*-level problems (bad tau, bad engine) are
@@ -26,6 +38,7 @@ import json
 from typing import Iterable
 
 from repro.graph.csr import CSRGraph
+from repro.service.delta import Delta
 from repro.service.jobs import JobSpec
 
 __all__ = ["load_jobs", "append_job", "spec_fields_from_json"]
@@ -36,6 +49,7 @@ _SPEC_KEYS = (
     "engine", "workers", "seed", "tau", "max_levels",
     "max_passes_per_level", "chunk", "accumulator", "priority",
     "deadline", "use_cache", "fault_plan", "worker_timeout", "label",
+    "delta", "base_key",
 )
 _GRAPH_KEYS = ("dataset", "edge_list", "planted")
 _FILE_KEYS = _SPEC_KEYS + _GRAPH_KEYS + ("directed",)
@@ -63,7 +77,12 @@ def spec_fields_from_json(obj: dict, where: str = "job") -> dict:
         )
     if "directed" in obj and sources != ["edge_list"]:
         raise ValueError(f"{where}: 'directed' only applies to 'edge_list'")
-    return {k: obj[k] for k in _SPEC_KEYS if k in obj}
+    fields = {k: obj[k] for k in _SPEC_KEYS if k in obj}
+    if "delta" in fields:
+        # malformed delta *shape* is a file-level problem (fail fast
+        # with the line number); op values are admission's business
+        fields["delta"] = Delta.from_json(fields["delta"], where=where)
+    return fields
 
 
 class _GraphResolver:

@@ -201,6 +201,8 @@ class JobService:
                 result.codelength = entry.codelength
                 result.levels = entry.levels
                 result.cache_hit = True
+            elif spec.delta is not None:
+                self._run_delta(spec, result)
             else:
                 self._run_engine(spec, result)
             if result.ok and key is not None and not result.cache_hit:
@@ -233,26 +235,36 @@ class JobService:
             return
         from repro.service.cache import graph_digest
 
+        config = {
+            "graph": graph_digest(spec.graph),
+            "engine": spec.engine,
+            "workers": spec.workers,
+            "seed": spec.seed,
+            "tau": spec.tau,
+            "max_levels": spec.max_levels,
+            "max_passes_per_level": spec.max_passes_per_level,
+            "chunk": spec.chunk,
+            "accumulator": spec.accumulator,
+        }
+        telemetry = {
+            "status": result.status,
+            "codelength": result.codelength if result.ok else None,
+            "num_modules": result.num_modules if result.ok else None,
+            "levels": result.levels if result.ok else None,
+        }
+        if spec.delta is not None:
+            # delta jobs answer a different question than plain jobs on
+            # the same graph+params — key them apart (plain rows keep
+            # their historical run_keys byte-for-byte)
+            config["delta"] = spec.delta.digest()
+            config["base_key"] = spec.base_key
+            telemetry["touched_vertices"] = result.touched_vertices
+            telemetry["full_rerun"] = result.full_rerun
         record = obs_ledger.make_record(
             kind="service",
             source="service",
-            config={
-                "graph": graph_digest(spec.graph),
-                "engine": spec.engine,
-                "workers": spec.workers,
-                "seed": spec.seed,
-                "tau": spec.tau,
-                "max_levels": spec.max_levels,
-                "max_passes_per_level": spec.max_passes_per_level,
-                "chunk": spec.chunk,
-                "accumulator": spec.accumulator,
-            },
-            telemetry={
-                "status": result.status,
-                "codelength": result.codelength if result.ok else None,
-                "num_modules": result.num_modules if result.ok else None,
-                "levels": result.levels if result.ok else None,
-            },
+            config=config,
+            telemetry=telemetry,
             perf={
                 "queue_seconds": result.queue_seconds,
                 "run_seconds": result.run_seconds,
@@ -264,6 +276,82 @@ class JobService:
             label=result.label,
         )
         obs_ledger.get_ledger().append(record)
+
+    def _run_delta(self, spec: JobSpec, result: JobResult) -> None:
+        """Execute a delta job: incremental refresh of base graph + delta.
+
+        The warm partition comes from the ResultCache: an explicit
+        ``base_key`` that misses rejects the job structurally (the
+        caller pinned a warm source that does not exist), while the
+        derived key — the cache key of this spec minus its delta —
+        falls back to a full from-scratch run of the updated graph when
+        it misses, recorded as ``full_rerun`` in the result.
+        """
+        import dataclasses
+
+        from repro.core.dynamic import warm_refresh
+
+        base_key = spec.base_key
+        if base_key is None:
+            base_key = cache_key(
+                dataclasses.replace(spec, delta=None, base_key=None)
+            )
+            base = self.cache.get(base_key)
+        else:
+            base = self.cache.get(base_key)
+            if base is None:
+                result.status = STATUS_REJECTED
+                result.error = (
+                    f"unknown base_key {spec.base_key!r}: no cached base "
+                    f"partition to warm-start from"
+                )
+                return
+        try:
+            updated = spec.delta.apply(spec.graph)
+            pool = None
+            if spec.engine == "parallel":
+                pool, warm = self.pools.acquire(spec.workers)
+                result.warm_pool = warm
+            r = warm_refresh(
+                updated,
+                base.modules if base is not None else None,
+                spec.delta.dirty_vertices(),
+                engine=spec.engine,
+                workers=spec.workers,
+                seed=spec.seed,
+                tau=spec.tau,
+                max_levels=spec.max_levels,
+                max_passes=spec.max_passes_per_level,
+                chunk=spec.chunk,
+                accumulator=spec.accumulator,
+                pool=pool,
+                deadline=spec.deadline,
+                worker_timeout=spec.worker_timeout,
+            )
+        except DeadlineExceeded as exc:
+            result.status = STATUS_CANCELLED
+            result.error = f"deadline of {spec.deadline}s exceeded ({exc})"
+            self._count("service.deadline_cancellations")
+        except Exception as exc:
+            result.status = STATUS_FAILED
+            result.error = f"{type(exc).__name__}: {exc}"
+            log.error(
+                "job %d failed:\n%s", result.job_id, traceback.format_exc()
+            )
+            if spec.engine == "parallel":
+                try:
+                    self.pools.discard(spec.workers)
+                except Exception:  # pragma: no cover - defensive
+                    log.error("pool discard failed:\n%s",
+                              traceback.format_exc())
+        else:
+            result.status = STATUS_COMPLETED
+            result.modules = r.modules
+            result.num_modules = int(r.num_modules)
+            result.codelength = float(r.codelength)
+            result.levels = int(r.levels)
+            result.touched_vertices = int(r.touched_vertices)
+            result.full_rerun = bool(r.full_rerun)
 
     def _run_engine(self, spec: JobSpec, result: JobResult) -> None:
         """Execute ``spec`` on its engine, reporting into ``result``."""

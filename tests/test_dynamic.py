@@ -11,8 +11,9 @@ from repro.graph.generators import planted_partition, ring_of_cliques
 from repro.quality import normalized_mutual_information
 
 
-def seeded_dynamic(graph):
-    dyn = DynamicCommunities(graph.num_vertices, directed=graph.directed)
+def seeded_dynamic(graph, **kwargs):
+    dyn = DynamicCommunities(graph.num_vertices, directed=graph.directed,
+                             **kwargs)
     src, dst, w = graph.edge_array()
     if not graph.directed:
         keep = src < dst
@@ -79,10 +80,36 @@ class TestDynamicBasics:
         with pytest.raises(ValueError):
             dyn.add_edge(0, 1, weight=0.0)
 
-    def test_empty_graph_refresh_rejected(self):
+    def test_empty_graph_refresh_defined(self):
+        """An edgeless graph refreshes to singletons at codelength 0,
+        rather than leaking ``graph()``'s ValueError."""
         dyn = DynamicCommunities(3)
+        res = dyn.refresh()
+        assert np.array_equal(res.modules, np.arange(3))
+        assert res.num_modules == 3
+        assert res.codelength == 0.0
+        assert res.touched_vertices == 0 and not res.full_rerun
+        # graph() itself still refuses to materialize an edgeless CSR
         with pytest.raises(ValueError):
-            dyn.refresh()
+            dyn.graph()
+
+    def test_refresh_after_emptying_resets(self):
+        dyn = DynamicCommunities(4)
+        dyn.add_edge(0, 1)
+        dyn.add_edge(2, 3)
+        dyn.refresh()
+        dyn.remove_edge(0, 1)
+        dyn.remove_edge(2, 3)
+        res = dyn.refresh()
+        assert res.num_modules == 4 and res.codelength == 0.0
+
+    def test_engine_validation(self):
+        with pytest.raises(ValueError):
+            DynamicCommunities(4, engine="sequential")
+        with pytest.raises(ValueError):
+            DynamicCommunities(4, engine="vectorized", workers=2)
+        with pytest.raises(ValueError):
+            DynamicCommunities(4, full_rerun_threshold=0.0)
 
 
 class TestIncrementalRefresh:
@@ -120,9 +147,9 @@ class TestIncrementalRefresh:
 
     def test_structural_change_tracked(self):
         """Merging two cliques by adding many cross edges must merge their
-        modules incrementally."""
+        modules incrementally (threshold pinned high to stay warm)."""
         g, truth = ring_of_cliques(4, 5)
-        dyn = seeded_dynamic(g)
+        dyn = seeded_dynamic(g, full_rerun_threshold=1.0)
         dyn.refresh()
         before = dyn.modules.copy()
         assert before[0] != before[5]  # cliques 0 and 1 distinct
@@ -131,12 +158,13 @@ class TestIncrementalRefresh:
                 if (i, 5 + j) != (0, 5):
                     dyn.add_edge(i, 5 + j)
         res = dyn.refresh()
+        assert not res.full_rerun
         assert res.modules[0] == res.modules[5]  # merged now
 
     def test_edge_deletion_splits(self):
         """Deleting the bridge edges between two merged cliques must let
-        them separate again."""
-        dyn = DynamicCommunities(10)
+        them separate again (threshold pinned high to stay warm)."""
+        dyn = DynamicCommunities(10, full_rerun_threshold=1.0)
         # two 5-cliques fully cross-connected (one community)
         for a in range(10):
             for b in range(a + 1, 10):
@@ -150,6 +178,7 @@ class TestIncrementalRefresh:
         # keep one weak bridge so the graph stays connected
         dyn.add_edge(0, 5, 0.1)
         res = dyn.refresh()
+        assert not res.full_rerun
         assert res.modules[0] != res.modules[9]
         assert res.num_modules == 2
 

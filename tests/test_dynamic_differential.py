@@ -1,0 +1,251 @@
+"""Differential test program: incremental refresh vs full recompute.
+
+The dynamic layer's contract (docs/service.md, delta jobs) is that a
+**warm** refresh — previous partition + dirty frontier, swept through
+the shared BSP schedule — lands on a partition as good as a full
+from-scratch :func:`repro.core.infomap.run_infomap` on the *updated*
+graph.  This suite is the gate on that claim, as a differential grid:
+
+* the 4 conformance graph families (undirected / directed / weighted /
+  pathological) × 4 scripted delta sequences (insert-only, delete-only,
+  mixed, module-splitting deletions) × seeds;
+* every cell asserts NMI(incremental, full) ≥ floor and codelength
+  agreement within the conformance tolerance, with the refresh pinned
+  to the warm path (``full_rerun_threshold=1.0``) so a silent full
+  rerun can never make the grid pass vacuously;
+* a hypothesis property that **any** add/remove sequence leaves
+  :meth:`DynamicCommunities.graph` with a ``graph_digest`` byte-identical
+  to eagerly building the equivalent edge list — the bookkeeping the
+  ``delta/v1`` cache key rests on;
+* cache-warm bit-identity: the same delta job served twice by the
+  JobService returns byte-identical partitions, and the executed run
+  equals a direct :func:`warm_refresh` at the same coordinates.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dynamic import DynamicCommunities, warm_refresh
+from repro.core.infomap import run_infomap
+from repro.graph.build import from_edge_array
+from repro.quality.nmi import normalized_mutual_information
+from repro.service import JobService, JobSpec
+from repro.service.cache import graph_digest
+from repro.service.delta import Delta
+
+from tests.test_engine_conformance import FAMILIES
+
+#: incremental-vs-full agreement floors for the grid.  The two runs
+#: optimize the same map equation from different starts, so they can
+#: land in different (near-)optima — the floors pin "as good", not
+#: "identical" (identical-across-engines is the conformance suite's
+#: dynamic column).
+NMI_FLOOR = 0.75
+CODELENGTH_SPREAD = 1.10
+
+SEEDS = (0, 1)
+
+
+def seeded_dynamic(graph, **kwargs):
+    """A DynamicCommunities pre-loaded with ``graph``'s edge set."""
+    dyn = DynamicCommunities(graph.num_vertices, directed=graph.directed,
+                             **kwargs)
+    src, dst, w = graph.edge_array()
+    if not graph.directed:
+        keep = src <= dst  # one arc per edge, self-loops included
+        src, dst, w = src[keep], dst[keep], w[keep]
+    for u, v, x in zip(src.tolist(), dst.tolist(), w.tolist()):
+        dyn.add_edge(u, v, x)
+    return dyn
+
+
+def _present_edges(dyn):
+    """The dynamic store's current (u, v) keys, deterministic order."""
+    return sorted(dyn._edges)
+
+
+# ---------------------------------------------------------------------------
+# scripted delta sequences — each takes (dyn, rng) and mutates the store
+
+
+def _insert_only(dyn, rng):
+    n = dyn.num_vertices
+    for _ in range(max(2, n // 20)):
+        u, v = (int(x) for x in rng.integers(0, n, 2))
+        if u != v:
+            dyn.add_edge(u, v)
+
+
+def _delete_only(dyn, rng):
+    edges = _present_edges(dyn)
+    take = max(1, len(edges) // 50)
+    for i in rng.choice(len(edges), size=take, replace=False):
+        u, v = edges[int(i)]
+        dyn.remove_edge(u, v)
+
+
+def _mixed(dyn, rng):
+    _delete_only(dyn, rng)
+    _insert_only(dyn, rng)
+
+
+def _module_splitting(dyn, rng):
+    """Delete a cut through one converged module, so re-optimization
+    must be able to split it (the case a naive warm start that cannot
+    un-merge would get wrong)."""
+    dyn.refresh()
+    modules = dyn.modules
+    # the module of the best-connected vertex, split down the middle
+    target = int(modules[0])
+    members = set(np.flatnonzero(modules == target).tolist())
+    half = set(sorted(members)[: len(members) // 2])
+    for (u, v) in _present_edges(dyn):
+        crosses = (u in half) != (v in half)
+        if crosses and u in members and v in members:
+            dyn.remove_edge(u, v)
+
+
+DELTAS = {
+    "insert_only": _insert_only,
+    "delete_only": _delete_only,
+    "mixed": _mixed,
+    "module_splitting": _module_splitting,
+}
+
+
+# ---------------------------------------------------------------------------
+# the grid: incremental vs full from-scratch run_infomap
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("delta_kind", sorted(DELTAS))
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_incremental_matches_full_recompute(family, delta_kind, seed):
+    g, _ = FAMILIES[family](seed)
+    # threshold pinned to 1.0: the grid must exercise the warm path —
+    # a full-rerun fallback would compare run_infomap with itself
+    dyn = seeded_dynamic(g, seed=seed, full_rerun_threshold=1.0)
+    dyn.refresh()
+
+    rng = np.random.default_rng(seed + 1)
+    DELTAS[delta_kind](dyn, rng)
+    if dyn.num_edges == 0:
+        pytest.skip("delta emptied the graph")
+    incremental = dyn.refresh()
+    # warm path, by construction: a fallback here would compare
+    # run_infomap with itself (the frontier itself may legitimately
+    # span the whole graph — scattered deltas on a dense family)
+    assert not incremental.full_rerun
+
+    full = run_infomap(dyn.graph())
+    nmi = normalized_mutual_information(incremental.modules, full.modules)
+    assert nmi >= NMI_FLOOR, (
+        f"{family}/{delta_kind}/seed={seed}: incremental drifted from the "
+        f"full recompute (NMI {nmi:.3f} < {NMI_FLOOR})"
+    )
+    lo = min(incremental.codelength, full.codelength)
+    hi = max(incremental.codelength, full.codelength)
+    assert hi <= lo * CODELENGTH_SPREAD + 1e-9, (
+        f"{family}/{delta_kind}/seed={seed}: codelengths "
+        f"{incremental.codelength:.4f} vs {full.codelength:.4f}"
+    )
+
+
+@pytest.mark.parametrize("delta_kind", sorted(DELTAS))
+def test_incremental_result_is_internally_consistent(delta_kind):
+    """Refresh output invariants: dense labels, finite codelength."""
+    g, _ = FAMILIES["undirected"](2)
+    dyn = seeded_dynamic(g, full_rerun_threshold=1.0)
+    dyn.refresh()
+    DELTAS[delta_kind](dyn, np.random.default_rng(7))
+    res = dyn.refresh()
+    assert np.isfinite(res.codelength)
+    assert set(np.unique(res.modules)) == set(range(res.num_modules))
+    assert len(res.modules) == g.num_vertices
+
+
+# ---------------------------------------------------------------------------
+# hypothesis: the dynamic store is digest-identical to an eager build
+
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "remove"]),
+        st.integers(0, 7),
+        st.integers(0, 7),
+        st.integers(1, 4),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=_ops, directed=st.booleans())
+def test_any_sequence_digest_identical_to_eager_build(ops, directed):
+    """Any add/remove sequence leaves ``graph()`` byte-identical (by
+    ``graph_digest``) to building the surviving edge list eagerly —
+    duplicate adds accumulate, removals delete outright, direction
+    semantics match."""
+    dyn = DynamicCommunities(8, directed=directed)
+    shadow: dict[tuple[int, int], float] = {}
+    for op, u, v, w in ops:
+        key = (u, v) if directed or u <= v else (v, u)
+        if op == "add":
+            dyn.add_edge(u, v, float(w))
+            shadow[key] = shadow.get(key, 0.0) + float(w)
+        elif key in shadow:
+            dyn.remove_edge(u, v)
+            del shadow[key]
+        else:
+            with pytest.raises(KeyError):
+                dyn.remove_edge(u, v)
+    assert dyn.num_edges == len(shadow)
+    if not shadow:
+        with pytest.raises(ValueError):
+            dyn.graph()
+        return
+    keys = np.array(list(shadow.keys()), dtype=np.int64)
+    weights = np.fromiter(shadow.values(), dtype=np.float64,
+                          count=len(shadow))
+    eager = from_edge_array(keys[:, 0], keys[:, 1], weights,
+                            num_vertices=8, directed=directed)
+    assert graph_digest(dyn.graph()) == graph_digest(eager)
+
+
+# ---------------------------------------------------------------------------
+# cache-warm bit-identity: the same delta job twice through the service
+
+
+def test_delta_job_cache_hit_is_bit_identical():
+    g, _ = FAMILIES["undirected"](0)
+    src, dst, _w = g.edge_array()
+    u, v = next(
+        (int(a), int(b)) for a, b in zip(src, dst) if a < b
+    )
+    delta = Delta.from_json([["add", 0, g.num_vertices - 1, 1.0],
+                             ["remove", u, v]])
+    base = JobSpec(graph=g, engine="vectorized", workers=1, seed=3)
+    job = JobSpec(graph=g, engine="vectorized", workers=1, seed=3,
+                  delta=delta)
+    with JobService(cache_entries=8) as svc:
+        (warm_base,) = svc.run_batch([base])
+        assert warm_base.ok
+        first, second = svc.run_batch([job, job])
+    assert first.ok and second.ok
+    assert not first.cache_hit and second.cache_hit
+    assert np.array_equal(first.modules, second.modules)
+    assert second.codelength == first.codelength
+    assert second.modules is not first.modules  # hit owns its copy
+
+    # the executed run equals a direct warm_refresh from the cached base
+    direct = warm_refresh(
+        delta.apply(g), warm_base.modules, delta.dirty_vertices(),
+        engine="vectorized", workers=1, seed=3,
+    )
+    assert np.array_equal(first.modules, direct.modules)
+    assert first.codelength == direct.codelength
+    assert first.touched_vertices == direct.touched_vertices
+    assert first.full_rerun == direct.full_rerun

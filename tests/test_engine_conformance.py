@@ -288,6 +288,61 @@ def test_shard_restricted_sweep_empty_shard():
 
 
 # ---------------------------------------------------------------------------
+# dynamic column: a warm refresh is engine-independent
+#
+# warm_refresh runs the shared BSP schedule with (previous labels, dirty
+# frontier) as level-0 inputs, so at equal workers/seed/dirty set the
+# partition must be bit-identical across vectorized/multicore/parallel —
+# the dynamic extension of the simulated-vs-real guarantee above.  The
+# threshold is pinned to 1.0 so a large frontier cannot silently fall
+# back to a full rerun (where engines only codelength-agree).
+
+
+def _warm_inputs(family, seed):
+    g, _ = FAMILIES[family](seed)
+    labels = run_infomap_multicore(g, num_cores=1, seed=seed).modules
+    dirty = np.array([0, 1, g.num_vertices // 2], dtype=np.int64)
+    return g, labels, dirty
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_warm_refresh_identical_across_engines(family, seed):
+    from repro.core.dynamic import warm_refresh
+
+    g, labels, dirty = _warm_inputs(family, seed)
+    results = {
+        engine: warm_refresh(
+            g, labels, dirty, engine=engine, workers=1, seed=seed,
+            full_rerun_threshold=1.0,
+        )
+        for engine in ("vectorized", "multicore", "parallel")
+    }
+    ref = results["vectorized"]
+    assert not ref.full_rerun
+    for engine, r in results.items():
+        assert not r.full_rerun, engine
+        assert np.array_equal(r.modules, ref.modules), engine
+        assert r.codelength == ref.codelength, engine
+        assert r.levels == ref.levels, engine
+        assert r.touched_vertices == ref.touched_vertices, engine
+
+
+def test_warm_refresh_multicore_parallel_bit_identical_multiworker():
+    from repro.core.dynamic import warm_refresh
+
+    g, labels, dirty = _warm_inputs("undirected", 3)
+    rm = warm_refresh(g, labels, dirty, engine="multicore", workers=2,
+                      seed=3, full_rerun_threshold=1.0)
+    rp = warm_refresh(g, labels, dirty, engine="parallel", workers=2,
+                      seed=3, full_rerun_threshold=1.0)
+    assert not rm.full_rerun and not rp.full_rerun
+    assert np.array_equal(rp.modules, rm.modules)
+    assert rp.codelength == rm.codelength
+    assert rp.levels == rm.levels
+
+
+# ---------------------------------------------------------------------------
 # engine dispatch: run_infomap(engine=...) matches the direct entry points
 
 

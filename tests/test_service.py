@@ -275,6 +275,188 @@ def test_scheduler_rejects_bad_depth():
 
 
 # ---------------------------------------------------------------------------
+# delta jobs: jobsfile shape errors fail fast, bad values are structured
+
+
+_DELTA_LINE = ('{"planted": %s, "engine": "vectorized", "workers": 1, '
+               '"delta": %s}')
+
+
+def _delta_jobs_file(tmp_path, delta_json):
+    path = tmp_path / "delta-jobs.jsonl"
+    planted = ('{"communities": 4, "size": 20, "p_in": 0.45, '
+               '"p_out": 0.02, "seed": 7}')
+    path.write_text(_DELTA_LINE % (planted, delta_json) + "\n")
+    return str(path)
+
+
+@pytest.mark.parametrize(
+    "bad_delta, message",
+    [
+        ('[]', "non-empty"),
+        ('{"add": [0, 1]}', "array"),
+        ('[["merge", 0, 1]]', "merge"),
+        ('[["add", 0]]', "add"),
+        ('[["remove", 0, 1, 2.0]]', "remove"),
+        ('[["add", 0.5, 1]]', "integer"),
+        ('[["add", 0, 1, "heavy"]]', "number"),
+    ],
+)
+def test_malformed_delta_line_fails_fast_with_line_number(
+    tmp_path, bad_delta, message
+):
+    """Delta *shape* problems are file-level: load_jobs refuses the file
+    naming path:lineno, before any job reaches the scheduler."""
+    path = _delta_jobs_file(tmp_path, bad_delta)
+    with pytest.raises(ValueError) as exc:
+        load_jobs(path)
+    assert f"{path}:1" in str(exc.value)
+    assert message in str(exc.value)
+
+
+def test_wellformed_delta_line_parses_into_spec(tmp_path):
+    from repro.service.delta import Delta
+
+    path = _delta_jobs_file(
+        tmp_path, '[["add", 0, 5, 2.0], ["remove", 3, 4]]'
+    )
+    (spec,) = load_jobs(path)
+    assert isinstance(spec.delta, Delta)
+    assert spec.delta.ops == (("add", 0, 5, 2.0), ("remove", 3, 4))
+    assert spec.base_key is None
+
+
+def test_delta_value_problems_rejected_at_admission():
+    """Op *values* (vertex range, weight sign, base_key without delta)
+    are admission control's business: structured rejections, no raise,
+    and the rest of the batch runs."""
+    from repro.service.delta import Delta
+
+    g = _graph()
+    out_of_range = Delta.from_json([["add", 0, g.num_vertices + 5]])
+    with JobService() as svc:
+        results = svc.run_batch(
+            [
+                JobSpec(graph=g, engine="vectorized", workers=1,
+                        delta=out_of_range),
+                JobSpec(graph=g, engine="vectorized", workers=1,
+                        base_key="orphan"),  # base_key without delta
+                JobSpec(graph=g, engine="vectorized", workers=1, seed=0),
+            ]
+        )
+    assert [r.status for r in results] == [
+        STATUS_REJECTED, STATUS_REJECTED, STATUS_COMPLETED
+    ]
+    assert "out of range" in results[0].error
+    assert "base_key" in results[1].error
+
+
+def test_unknown_base_key_is_structured_rejection():
+    """An explicit base_key that misses the cache cannot be detected at
+    admission (the cache may warm later in the batch) — it becomes a
+    structured rejected result at execution time, nothing raises."""
+    from repro.service.delta import Delta
+
+    g = _graph()
+    delta = Delta.from_json([["add", 0, 5]])
+    with JobService(cache_entries=8) as svc:
+        (r,) = svc.run_batch(
+            [JobSpec(graph=g, engine="vectorized", workers=1,
+                     delta=delta, base_key="no-such-key")]
+        )
+        (after,) = svc.run_batch(
+            [JobSpec(graph=g, engine="vectorized", workers=1, seed=0)]
+        )
+    assert r.status == STATUS_REJECTED
+    assert "no-such-key" in r.error and "base_key" in r.error
+    assert r.modules is None
+    assert after.ok, "a rejected delta job must not poison the service"
+
+
+def test_delta_job_without_cached_base_falls_back_to_full_rerun():
+    """No pinned base_key and a cold cache: the delta job still
+    completes — warm_refresh runs from scratch and says so."""
+    from repro.service.delta import Delta
+
+    g = _graph()
+    delta = Delta.from_json([["add", 0, 5]])
+    with JobService(cache_entries=8) as svc:
+        (r,) = svc.run_batch(
+            [JobSpec(graph=g, engine="vectorized", workers=1, seed=2,
+                     delta=delta)]
+        )
+    assert r.ok, r.error
+    assert r.full_rerun
+    assert r.touched_vertices == g.num_vertices
+
+
+def test_delta_job_warm_starts_from_derived_base():
+    """With the base partition cached under the spec-minus-delta key,
+    the delta job warm-starts: touched < V and the refresh is warm."""
+    from repro.service.delta import Delta
+
+    g = _graph()
+    delta = Delta.from_json([["add", 0, 5]])
+    base = JobSpec(graph=g, engine="vectorized", workers=1, seed=2)
+    job = JobSpec(graph=g, engine="vectorized", workers=1, seed=2,
+                  delta=delta)
+    with JobService(cache_entries=8) as svc:
+        (b,) = svc.run_batch([base])
+        (r,) = svc.run_batch([job])
+    assert b.ok and r.ok
+    assert not r.full_rerun
+    assert 0 < r.touched_vertices < g.num_vertices
+
+
+def test_delta_remove_absent_edge_is_structured_failure():
+    from repro.service.delta import Delta
+
+    g = _graph()
+    # vertex pair guaranteed absent: planted graphs have no self-loops
+    delta = Delta.from_json([["remove", 0, 0]])
+    with JobService(cache_entries=0) as svc:
+        (r,) = svc.run_batch(
+            [JobSpec(graph=g, engine="vectorized", workers=1,
+                     delta=delta)]
+        )
+    assert r.status == STATUS_FAILED
+    assert "absent edge" in r.error
+
+
+def test_delta_job_ledger_row_carries_refresh_telemetry():
+    """Delta service rows add delta/base_key config keys and the
+    touched/full_rerun telemetry; plain rows keep their historical
+    shape (and hence run_keys)."""
+    from repro.obs.ledger import Ledger, scoped_ledger
+    from repro.service.delta import Delta
+
+    import tempfile
+    from pathlib import Path
+
+    g = _graph()
+    delta = Delta.from_json([["add", 0, 5]])
+    with tempfile.TemporaryDirectory() as td:
+        path = Path(td) / "runs.jsonl"
+        with scoped_ledger(path):
+            with JobService(cache_entries=8) as svc:
+                svc.run_batch([
+                    JobSpec(graph=g, engine="vectorized", workers=1,
+                            seed=2),
+                    JobSpec(graph=g, engine="vectorized", workers=1,
+                            seed=2, delta=delta),
+                ])
+        led = Ledger(path)
+        assert led.validate() == []
+        plain, deltarow = [r for r in led.read() if r["kind"] == "service"]
+        assert "delta" not in plain["config"]
+        assert "touched_vertices" not in plain["telemetry"]
+        assert deltarow["config"]["delta"] == delta.digest()
+        assert deltarow["telemetry"]["full_rerun"] is False
+        assert deltarow["telemetry"]["touched_vertices"] > 0
+        assert plain["run_key"] != deltarow["run_key"]
+
+
+# ---------------------------------------------------------------------------
 # service lifecycle
 
 
@@ -422,6 +604,81 @@ def test_cli_serve_rejects_malformed_file(tmp_path, capsys):
 
     missing = tmp_path / "nope.jsonl"
     assert main(["serve", "--jobs", str(missing)]) == 1
+
+
+def test_cli_submit_delta_then_serve_roundtrip(tmp_path, capsys):
+    """A one-shot --delta job appends a well-formed delta line and the
+    service drains it warm-started from the base job's cached result."""
+    from repro.cli import main
+
+    jobs = str(tmp_path / "jobs.jsonl")
+    out = str(tmp_path / "results.json")
+    assert main(["submit", "--jobs", jobs, "--planted", _PLANTED,
+                 "--engine", "vectorized", "--workers", "1",
+                 "--seed", "0"]) == 0
+    assert main(["submit", "--jobs", jobs, "--planted", _PLANTED,
+                 "--engine", "vectorized", "--workers", "1", "--seed", "0",
+                 "--delta", '[["add", 0, 5, 1.0]]']) == 0
+    specs = load_jobs(jobs)
+    assert specs[0].delta is None and specs[1].delta is not None
+
+    assert main(["serve", "--jobs", jobs, "--json-out", out]) == 0
+    with open(out) as fh:
+        payload = json.load(fh)
+    base_row, delta_row = payload["results"]
+    assert [base_row["status"], delta_row["status"]] == ["completed"] * 2
+    assert not delta_row["full_rerun"], "delta job should warm-start"
+    assert 0 < delta_row["touched_vertices"] < 80
+
+
+def test_cli_submit_delta_session_streams_cumulative_jobs(tmp_path):
+    """--delta-session appends the base job plus one cumulative delta
+    job per session line, so job k stands alone against the base."""
+    from repro.cli import main
+
+    session = tmp_path / "updates.jsonl"
+    session.write_text(
+        '[["add", 0, 21, 2.0]]\n'
+        '\n'
+        '# comment lines and blanks are skipped\n'
+        '[["add", 1, 22], ["add", 2, 23]]\n'
+    )
+    jobs = str(tmp_path / "jobs.jsonl")
+    assert main(["submit", "--jobs", jobs, "--planted", _PLANTED,
+                 "--engine", "vectorized", "--workers", "1", "--seed", "0",
+                 "--delta-session", str(session)]) == 0
+    specs = load_jobs(jobs)
+    assert len(specs) == 3
+    assert specs[0].delta is None
+    assert len(specs[1].delta.ops) == 1
+    assert len(specs[2].delta.ops) == 3  # cumulative: line 1 + line 2
+    assert specs[2].delta.ops[0] == ("add", 0, 21, 2.0)
+
+
+def test_cli_submit_delta_rejects_bad_input(tmp_path, capsys):
+    from repro.cli import main
+
+    jobs = str(tmp_path / "jobs.jsonl")
+    assert main(["submit", "--jobs", jobs, "--planted", _PLANTED,
+                 "--delta", "not json"]) == 1
+    assert "not JSON" in capsys.readouterr().err
+    # malformed op shape bounces through the jobsfile validator
+    assert main(["submit", "--jobs", jobs, "--planted", _PLANTED,
+                 "--delta", '[["merge", 0, 1]]']) == 1
+    assert "merge" in capsys.readouterr().err
+    # --base-key without a delta is meaningless
+    assert main(["submit", "--jobs", jobs, "--planted", _PLANTED,
+                 "--base-key", "abc"]) == 1
+    assert "base-key" in capsys.readouterr().err
+    # a bad session line names its file:line coordinate
+    session = tmp_path / "bad-session.jsonl"
+    session.write_text('[["add", 0, 1]]\nnot json\n')
+    assert main(["submit", "--jobs", jobs, "--planted", _PLANTED,
+                 "--delta-session", str(session)]) == 1
+    assert f"{session}:2" in capsys.readouterr().err
+    # nothing was appended by any failed submit
+    import os
+    assert not os.path.exists(jobs)
 
 
 def test_cli_serve_exit_code_reflects_failed_jobs(tmp_path):

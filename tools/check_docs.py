@@ -44,7 +44,7 @@ DOC = REPO_ROOT / "docs" / "observability.md"
 
 #: namespaces under contract — names outside these are ignored on both
 #: sides (the sequential engine's infomap.* metrics predate the check)
-PREFIXES = ("accum.", "parallel.", "service.")
+PREFIXES = ("accum.", "parallel.", "service.", "dynamic.")
 
 #: emission call sites; name helpers (_count & co in service.py) count
 #: as emitters so the check survives indirection through them
@@ -56,10 +56,12 @@ _EMIT = re.compile(
 
 #: dynamic-name expansions: static f-string prefix -> the values its
 #: placeholder takes at runtime.  service.jobs.{result.status} counts a
-#: *finished* job, so "pending" and "rejected" (counted explicitly at
-#: submit time) never reach it.
+#: *finished* job: completed/failed/cancelled, plus rejected for delta
+#: jobs whose explicit base_key misses the cache at execution time
+#: ("pending" never reaches it; submit-time rejections are counted by
+#: the explicit literal in service.py).
 _FSTRING_EXPANSIONS = {
-    "service.jobs.": ("completed", "failed", "cancelled"),
+    "service.jobs.": ("completed", "failed", "cancelled", "rejected"),
 }
 
 #: doc table rows: leading `name` cell, possibly a `a` / `.b` / `.c`
