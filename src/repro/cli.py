@@ -155,22 +155,48 @@ def build_parser() -> argparse.ArgumentParser:
 
     srv = sub.add_parser(
         "serve",
-        help="run a JSONL batch of jobs over warm pools + result cache",
-        description="Batch driver for the job service (docs/service.md): "
-        "executes every job in --jobs over warm worker pools and a "
-        "content-addressed result cache, printing one row per job. "
-        "Exit 0 iff no job failed or was rejected.",
+        help="run a JSONL jobs batch, or an async gateway with --listen",
+        description="Job-service driver (docs/service.md): with --jobs, "
+        "executes every job in the file over warm worker pools and a "
+        "content-addressed result cache, printing one row per job "
+        "(exit 0 iff no job failed or was rejected).  With --listen "
+        "HOST:PORT, runs the asyncio gateway instead: JSONL jobs over "
+        "a socket, per-tenant rate limits, queue-depth backpressure, "
+        "and rendezvous-sharded JobServices streaming results back as "
+        "they complete (docs/service.md, gateway section).",
     )
-    srv.add_argument("--jobs", required=True, metavar="JSONL",
+    srv.add_argument("--jobs", metavar="JSONL", default=None,
                      help="jobs file, one JSON job per line (see "
                      "docs/service.md for the schema; 'repro submit' "
                      "appends well-formed lines)")
+    srv.add_argument("--listen", metavar="HOST:PORT", default=None,
+                     help="serve JSONL jobs over a socket instead of a "
+                     "file (port 0 picks an ephemeral port, printed on "
+                     "startup)")
     srv.add_argument("--max-queue-depth", type=int, default=64,
                      help="admission bound; surplus jobs are rejected "
-                     "(default 64)")
+                     "(per shard under --listen; default 64)")
     srv.add_argument("--cache-entries", type=int, default=128,
                      help="result-cache LRU capacity; 0 disables caching "
-                     "(default 128)")
+                     "(per shard under --listen; default 128)")
+    srv.add_argument("--shards", type=int, default=2, metavar="N",
+                     help="JobService shards behind the gateway "
+                     "(--listen only; default 2)")
+    srv.add_argument("--tenant-rate", type=float, default=50.0,
+                     metavar="JOBS_PER_S",
+                     help="per-tenant token-bucket refill rate "
+                     "(--listen only; default 50)")
+    srv.add_argument("--tenant-burst", type=float, default=100.0,
+                     metavar="JOBS",
+                     help="per-tenant burst capacity "
+                     "(--listen only; default 100)")
+    srv.add_argument("--max-connections", type=int, default=64,
+                     help="concurrent client connections "
+                     "(--listen only; default 64)")
+    srv.add_argument("--frontier-budget", type=float, default=0.25,
+                     help="flush a live delta session when its pending "
+                     "ops' dirty frontier reaches this vertex share "
+                     "(--listen only; default 0.25)")
     srv.add_argument("--json-out", metavar="PATH", default=None,
                      help="also write per-job results + service stats as JSON")
     srv.add_argument("--heartbeat", type=float, default=0.0,
@@ -631,6 +657,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import JobService, STATUS_COMPLETED
     from repro.service.jobsfile import load_jobs
 
+    if args.listen is not None:
+        return _cmd_serve_listen(args)
+    if args.jobs is None:
+        print("serve: one of --jobs or --listen is required",
+              file=sys.stderr)
+        return 2
     try:
         specs = load_jobs(args.jobs)
     except (OSError, ValueError) as exc:
@@ -701,6 +733,63 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"results: {args.json_out}")
     bad = [r for r in results if r.status in ("failed", "rejected")]
     return 1 if bad else 0
+
+
+def _cmd_serve_listen(args: argparse.Namespace) -> int:
+    """Long-lived asyncio gateway (docs/service.md, gateway section)."""
+    import asyncio
+
+    from repro.service.gateway import Gateway, GatewayConfig
+
+    host, sep, port_s = args.listen.rpartition(":")
+    if not sep or not host:
+        print(f"serve: --listen must be HOST:PORT, got {args.listen!r}",
+              file=sys.stderr)
+        return 2
+    try:
+        port = int(port_s)
+    except ValueError:
+        print(f"serve: bad --listen port {port_s!r}", file=sys.stderr)
+        return 2
+    try:
+        config = GatewayConfig(
+            shards=args.shards,
+            queue_depth=args.max_queue_depth,
+            cache_entries=args.cache_entries,
+            tenant_rate=args.tenant_rate,
+            tenant_burst=args.tenant_burst,
+            max_connections=args.max_connections,
+            frontier_budget=args.frontier_budget,
+        )
+        config.validate()
+    except ValueError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+
+    async def _serve() -> int:
+        gw = Gateway(config)
+        await gw.start(host, port)
+        print(f"gateway listening on {host}:{gw.port} "
+              f"({config.shards} shard(s), queue depth "
+              f"{config.queue_depth}, {config.tenant_rate}/s per tenant)",
+              flush=True)
+        try:
+            await asyncio.Event().wait()  # run until interrupted
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await gw.stop()
+            s = gw.stats
+            print(f"gateway: {s['connections']} connection(s), "
+                  f"{s['accepted']} accepted, {s['rejected']} rejected, "
+                  f"{s['streamed']} result(s) streamed")
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("gateway stopped")
+        return 0
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:

@@ -26,9 +26,13 @@ from repro.core.mapequation import MapEquation
 from repro.core.supernode import convert_to_supernodes
 from repro.graph.csr import CSRGraph
 from repro.util.entropy import plogp_array
-from repro.util.validation import check_positive
 
-__all__ = ["run_infomap_distributed", "DistributedResult", "NetworkModel"]
+__all__ = [
+    "run_infomap_distributed",
+    "validate_distributed_params",
+    "DistributedResult",
+    "NetworkModel",
+]
 
 
 @dataclass(frozen=True)
@@ -102,6 +106,74 @@ class DistributedResult:
             f"{len(self.supersteps)} supersteps, "
             f"{self.total_messages} msgs / {self.total_bytes} B)"
         )
+
+
+def _is_int(x) -> bool:
+    return isinstance(x, int) and not isinstance(x, bool)
+
+
+def validate_distributed_params(
+    num_ranks: int = 4,
+    tau: float = 0.15,
+    max_levels: int = 20,
+    max_supersteps_per_level: int = 12,
+    compute_rate_ops_per_s: float = 5e7,
+    network: NetworkModel | None = None,
+) -> None:
+    """Raise ``ValueError`` describing the first invalid parameter.
+
+    Everything a caller can get wrong fails *here*, with a readable
+    reason — never as a ``TypeError``/``IndexError`` deep inside the
+    superstep loop.  This is the same two-layer contract the serving
+    stack runs on (:meth:`repro.service.jobs.JobSpec.validate`):
+    validation raises ``ValueError``, and admission control converts it
+    into a structured rejection instead of letting it escape a batch —
+    the alignment this dormant seed needs before the gateway's shard
+    router can grow a cross-host story on top of it.
+    """
+    if not _is_int(num_ranks) or num_ranks < 1:
+        raise ValueError(
+            f"num_ranks must be an int >= 1, got {num_ranks!r}"
+        )
+    if not (isinstance(tau, (int, float)) and not isinstance(tau, bool)
+            and 0.0 < tau < 1.0):
+        raise ValueError(f"tau must be in (0, 1), got {tau!r}")
+    if not _is_int(max_levels) or max_levels < 1:
+        raise ValueError(
+            f"max_levels must be an int >= 1, got {max_levels!r}"
+        )
+    if not _is_int(max_supersteps_per_level) or max_supersteps_per_level < 1:
+        raise ValueError(
+            f"max_supersteps_per_level must be an int >= 1, "
+            f"got {max_supersteps_per_level!r}"
+        )
+    if not (isinstance(compute_rate_ops_per_s, (int, float))
+            and not isinstance(compute_rate_ops_per_s, bool)
+            and 0 < compute_rate_ops_per_s < float("inf")):
+        raise ValueError(
+            f"compute_rate_ops_per_s must be positive finite ops/s, "
+            f"got {compute_rate_ops_per_s!r}"
+        )
+    if network is not None:
+        if not isinstance(network, NetworkModel):
+            raise ValueError(
+                f"network must be a NetworkModel, "
+                f"got {type(network).__name__}"
+            )
+        if not (network.latency_s >= 0):
+            raise ValueError(
+                f"network latency_s must be >= 0, got {network.latency_s!r}"
+            )
+        if not (network.bandwidth_Bps > 0):
+            raise ValueError(
+                f"network bandwidth_Bps must be positive, "
+                f"got {network.bandwidth_Bps!r}"
+            )
+        if not _is_int(network.record_bytes) or network.record_bytes < 1:
+            raise ValueError(
+                f"network record_bytes must be an int >= 1, "
+                f"got {network.record_bytes!r}"
+            )
 
 
 def _rank_blocks(n: int, arcs_per_vertex: np.ndarray, ranks: int) -> list[np.ndarray]:
@@ -241,7 +313,15 @@ def run_infomap_distributed(
     concurrent moves) is rolled back with a halved acceptance, mirroring
     the damping used by distributed implementations.
     """
-    check_positive("num_ranks", num_ranks)
+    if not isinstance(graph, CSRGraph):
+        raise ValueError(
+            f"graph must be a CSRGraph, got {type(graph).__name__}"
+        )
+    validate_distributed_params(
+        num_ranks=num_ranks, tau=tau, max_levels=max_levels,
+        max_supersteps_per_level=max_supersteps_per_level,
+        compute_rate_ops_per_s=compute_rate_ops_per_s, network=network,
+    )
     network = network or NetworkModel()
     net = FlowNetwork.from_graph(graph, tau=tau)
 

@@ -33,6 +33,7 @@ distinct under weight/seed/engine changes.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -120,11 +121,19 @@ class ResultCache:
     warm-pool speedups are never conflated with cache hits.  Arrays are
     copied on the way in and out, so cached partitions can never be
     mutated by callers.
+
+    Thread-safe: the gateway's shards each run a JobService on their
+    own executor thread while stats readers poll from the event loop,
+    so every mutation of the LRU order and its counters happens under
+    one lock (``tests/test_service_cache.py`` hammers this from
+    threads; the invariant is ``hits + misses == lookups`` and
+    ``len <= max_entries`` at every instant).
     """
 
     def __init__(self, max_entries: int = 128) -> None:
         self.max_entries = int(max_entries)
         self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -138,52 +147,58 @@ class ResultCache:
 
     def get(self, key: str) -> CacheEntry | None:
         """Look up ``key``; a hit refreshes its LRU recency."""
-        entry = self._entries.get(key) if self.enabled else None
-        if entry is None:
-            self.misses += 1
-            self._publish("service.cache.misses")
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        self._publish("service.cache.hits")
-        return CacheEntry(
-            modules=entry.modules.copy(),
-            num_modules=entry.num_modules,
-            codelength=entry.codelength,
-            levels=entry.levels,
-        )
+        with self._lock:
+            entry = self._entries.get(key) if self.enabled else None
+            if entry is None:
+                self.misses += 1
+                self._publish("service.cache.misses")
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            self._publish("service.cache.hits")
+            return CacheEntry(
+                modules=entry.modules.copy(),
+                num_modules=entry.num_modules,
+                codelength=entry.codelength,
+                levels=entry.levels,
+            )
 
     def put(self, key: str, entry: CacheEntry) -> None:
         """Insert (or refresh) ``key``, evicting the LRU tail if full."""
         if not self.enabled:
             return
-        self._entries[key] = CacheEntry(
+        # the deep copy happens outside the lock (it is the expensive
+        # part and touches nothing shared)
+        frozen = CacheEntry(
             modules=np.array(entry.modules, dtype=np.int64, copy=True),
             num_modules=int(entry.num_modules),
             codelength=float(entry.codelength),
             levels=int(entry.levels),
         )
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-            self._publish("service.cache.evictions")
+        with self._lock:
+            self._entries[key] = frozen
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                self._publish("service.cache.evictions")
+            size = len(self._entries)
         if obs_metrics.is_enabled():
-            obs_metrics.get_registry().gauge("service.cache.size").set(
-                len(self._entries)
-            )
+            obs_metrics.get_registry().gauge("service.cache.size").set(size)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> dict:
-        return {
-            "entries": len(self._entries),
-            "max_entries": self.max_entries,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
     @staticmethod
     def _publish(name: str) -> None:

@@ -9,9 +9,18 @@ One job per line, e.g.::
      "p_out": 0.02, "seed": 7}, "priority": 2, "deadline": 30.0}
 
 Exactly one graph source per line — ``dataset`` (a Table I surrogate
-name), ``edge_list`` (a path, with optional ``directed``), or
-``planted`` (an inline planted-partition recipe, handy for smokes and
-CI) — plus any :class:`~repro.service.jobs.JobSpec` field by name.
+name), ``edge_list`` (a path, with optional ``directed``), ``planted``
+(an inline planted-partition recipe, handy for smokes and CI), or
+``edges`` (a fully inline graph, the only spelling that survives a
+socket hop losslessly: unlike an edge-list file it carries
+``num_vertices``, so isolated vertices are preserved and the received
+graph digests identically to the sender's)::
+
+    {"edges": {"num_vertices": 5, "directed": false,
+     "arcs": [[0, 1], [1, 2, 2.0]]}, "engine": "vectorized",
+     "workers": 1}
+
+— plus any :class:`~repro.service.jobs.JobSpec` field by name.
 
 A **delta job** adds a ``delta`` array of edge operations applied to
 the line's graph before an incremental refresh (and optionally a
@@ -51,7 +60,7 @@ _SPEC_KEYS = (
     "deadline", "use_cache", "fault_plan", "worker_timeout", "label",
     "delta", "base_key",
 )
-_GRAPH_KEYS = ("dataset", "edge_list", "planted")
+_GRAPH_KEYS = ("dataset", "edge_list", "planted", "edges")
 _FILE_KEYS = _SPEC_KEYS + _GRAPH_KEYS + ("directed",)
 
 
@@ -85,6 +94,32 @@ def spec_fields_from_json(obj: dict, where: str = "job") -> dict:
     return fields
 
 
+def _check_edges_recipe(recipe, where: str) -> None:
+    """Shape-check an inline ``edges`` graph (file-level, fail fast)."""
+    if not isinstance(recipe, dict):
+        raise ValueError(f"{where}: 'edges' must be an object, got "
+                         f"{type(recipe).__name__}")
+    unknown = sorted(set(recipe) - {"arcs", "num_vertices", "directed",
+                                    "name"})
+    if unknown:
+        raise ValueError(f"{where}: unknown 'edges' key(s) {unknown}")
+    arcs = recipe.get("arcs")
+    if not isinstance(arcs, list):
+        raise ValueError(f"{where}: 'edges' needs an 'arcs' array")
+    for i, arc in enumerate(arcs):
+        if (not isinstance(arc, list) or len(arc) not in (2, 3)
+                or not all(isinstance(x, (int, float))
+                           and not isinstance(x, bool) for x in arc)):
+            raise ValueError(
+                f"{where}: arc {i} must be [u, v] or [u, v, weight], "
+                f"got {arc!r}"
+            )
+    nv = recipe.get("num_vertices")
+    if nv is not None and (not isinstance(nv, int) or isinstance(nv, bool)
+                           or nv < 1):
+        raise ValueError(f"{where}: 'num_vertices' must be an int >= 1")
+
+
 class _GraphResolver:
     """Load each distinct graph source once per file."""
 
@@ -94,6 +129,10 @@ class _GraphResolver:
     def resolve(self, obj: dict, where: str) -> CSRGraph:
         if "dataset" in obj:
             key = ("dataset", obj["dataset"])
+        elif "edges" in obj:
+            recipe = obj["edges"]
+            _check_edges_recipe(recipe, where)
+            key = ("edges", json.dumps(recipe, sort_keys=True))
         elif "edge_list" in obj:
             key = ("edge_list", obj["edge_list"],
                    bool(obj.get("directed", False)))
@@ -109,6 +148,19 @@ class _GraphResolver:
             from repro.graph.datasets import load_dataset
 
             graph = load_dataset(obj["dataset"])
+        elif key[0] == "edges":
+            from repro.graph.build import from_edges
+
+            recipe = obj["edges"]
+            try:
+                graph = from_edges(
+                    [tuple(a) for a in recipe["arcs"]],
+                    num_vertices=recipe.get("num_vertices"),
+                    directed=bool(recipe.get("directed", False)),
+                    name=str(recipe.get("name", "inline")),
+                )
+            except ValueError as exc:
+                raise ValueError(f"{where}: bad 'edges' graph: {exc}")
         elif key[0] == "edge_list":
             from repro.graph.io import read_edge_list
 

@@ -1,0 +1,152 @@
+"""Admission and routing primitives for the async gateway.
+
+Two small, deterministic pieces that the gateway composes
+(:mod:`repro.service.gateway`) but that stand alone and are property-
+tested in isolation (``tests/test_router.py``):
+
+* :class:`TokenBucket` — per-tenant rate limiting.  A bucket holds at
+  most ``burst`` tokens and refills at ``rate`` tokens/second; each
+  admitted job spends one token, and a spend that would overdraw is
+  refused.  The clock is injectable, so decisions are a **pure function
+  of the (timestamp, cost) sequence** — the traffic harness drives a
+  virtual clock and replays byte-identical accept/reject sequences.
+
+* :class:`RendezvousRouter` — highest-random-weight (rendezvous)
+  hashing of job cache keys across N shards.  Every client that knows
+  the shard names agrees on the owner of every key with no coordination,
+  keys spread evenly (each shard wins each key with probability 1/N),
+  and adding or removing a shard only moves the keys that shard gains
+  or loses — the property that keeps shard-local result caches warm
+  across resizes.  With one shard it degenerates to constant routing.
+
+The gateway routes on the job's **cache key** (for delta jobs, the key
+of the *base* partition they warm-start from), so a repeated job — or a
+delta riding on a cached base — always lands on the shard whose
+:class:`~repro.service.cache.ResultCache` owns the result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Callable, Sequence
+
+__all__ = ["TokenBucket", "RendezvousRouter"]
+
+
+class TokenBucket:
+    """Deterministic token-bucket rate limiter.
+
+    Parameters
+    ----------
+    rate:
+        Refill rate in tokens per second; must be positive and finite.
+    burst:
+        Bucket capacity (maximum tokens, also the initial fill); must
+        be >= 1 so at least one job can ever be admitted.
+    clock:
+        0-arg callable returning seconds (default ``time.monotonic``).
+        Tests and the traffic harness pass a virtual clock; admission
+        decisions are then a pure function of the observed timestamps.
+    """
+
+    __slots__ = ("rate", "burst", "clock", "_tokens", "_last")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not (rate > 0 and rate == rate and rate != float("inf")):
+            raise ValueError(f"rate must be positive finite tokens/s, got {rate!r}")
+        if not (burst >= 1):
+            raise ValueError(f"burst must be >= 1 token, got {burst!r}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.clock = clock
+        self._tokens = float(burst)
+        self._last = float(clock())
+
+    @property
+    def tokens(self) -> float:
+        """Current fill **without** refilling (what the last decision saw)."""
+        return self._tokens
+
+    def _refill(self, now: float) -> None:
+        # a clock that runs backwards (virtual clocks replaying a prefix)
+        # never un-refills: elapsed time is clamped at zero
+        elapsed = max(0.0, now - self._last)
+        self._last = max(self._last, now)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_acquire(self, cost: float = 1.0, now: float | None = None) -> bool:
+        """Spend ``cost`` tokens if the bucket holds them.
+
+        Returns ``True`` (and debits) on admission, ``False`` (no
+        debit) on refusal — refusal is a return value, never an
+        exception, matching the service's structured-rejection
+        convention.  ``now`` overrides the clock for one decision (the
+        gateway's virtual-time mode).
+        """
+        if cost < 0:
+            raise ValueError("cost must be >= 0")
+        self._refill(self.clock() if now is None else float(now))
+        if self._tokens + 1e-12 >= cost:
+            self._tokens -= cost
+            return True
+        return False
+
+
+class RendezvousRouter:
+    """Highest-random-weight hashing of string keys across named shards.
+
+    ``weight(shard, key) = sha256("rdzv/v1:" + shard + ":" + key)``;
+    the key's owner is the shard with the lexicographically largest
+    digest.  Digests are 256-bit, so ties are (cryptographically) never
+    observed, and the winner is a pure function of ``(shard name,
+    key)`` — independent of shard order, router instance, process, or
+    host.
+    """
+
+    __slots__ = ("names",)
+
+    def __init__(self, shards: int | Sequence[str]) -> None:
+        if isinstance(shards, int):
+            if shards < 1:
+                raise ValueError(f"need at least one shard, got {shards}")
+            names: tuple[str, ...] = tuple(f"shard{i}" for i in range(shards))
+        else:
+            names = tuple(shards)
+            if not names:
+                raise ValueError("need at least one shard name")
+            if len(set(names)) != len(names):
+                raise ValueError(f"shard names must be unique, got {list(names)}")
+            if any(not isinstance(n, str) or not n for n in names):
+                raise ValueError("shard names must be non-empty strings")
+        self.names = names
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    @staticmethod
+    def weight(shard: str, key: str) -> bytes:
+        """The rendezvous weight of ``shard`` for ``key``."""
+        return hashlib.sha256(f"rdzv/v1:{shard}:{key}".encode()).digest()
+
+    def route(self, key: str) -> int:
+        """Index of the shard that owns ``key``."""
+        names = self.names
+        if len(names) == 1:  # degenerate single-shard routing
+            return 0
+        best = 0
+        best_w = self.weight(names[0], key)
+        for i in range(1, len(names)):
+            w = self.weight(names[i], key)
+            if w > best_w:
+                best, best_w = i, w
+        return best
+
+    def shard_for(self, key: str) -> str:
+        """Name of the shard that owns ``key``."""
+        return self.names[self.route(key)]

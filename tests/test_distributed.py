@@ -6,6 +6,7 @@ import pytest
 from repro.core.distributed import (
     NetworkModel,
     run_infomap_distributed,
+    validate_distributed_params,
 )
 from repro.core.infomap import run_infomap
 from repro.graph.generators import planted_partition, ring_of_cliques
@@ -73,6 +74,70 @@ class TestDistributedRun:
         g, _ = ring_of_cliques(2, 3)
         with pytest.raises(ValueError):
             run_infomap_distributed(g, num_ranks=0)
+
+
+class TestValidationAlignment:
+    """Every bad parameter raises a readable ``ValueError`` up front —
+    never a ``TypeError``/``IndexError`` from deep inside the superstep
+    loop — so service-layer admission control can convert it into a
+    structured rejection like any other job-level problem (the
+    JobSpec.validate contract this dormant seed predated)."""
+
+    def test_non_integer_ranks_raise_value_error_not_type_error(self):
+        g, _ = ring_of_cliques(2, 3)
+        # 2.5 used to pass check_positive and crash in _rank_blocks
+        # with a bare TypeError; True used to silently mean 1 rank
+        for bad in (2.5, "4", True, None, -3):
+            with pytest.raises(ValueError, match="num_ranks"):
+                run_infomap_distributed(g, num_ranks=bad)
+
+    def test_bad_tau_and_caps_name_their_field(self):
+        g, _ = ring_of_cliques(2, 3)
+        with pytest.raises(ValueError, match="tau"):
+            run_infomap_distributed(g, tau=1.5)
+        with pytest.raises(ValueError, match="tau"):
+            run_infomap_distributed(g, tau=0.0)
+        with pytest.raises(ValueError, match="max_levels"):
+            run_infomap_distributed(g, max_levels=0)
+        with pytest.raises(ValueError, match="max_supersteps_per_level"):
+            run_infomap_distributed(g, max_supersteps_per_level=0)
+        with pytest.raises(ValueError, match="compute_rate"):
+            run_infomap_distributed(g, compute_rate_ops_per_s=0.0)
+
+    def test_bad_network_model_rejected_structurally(self):
+        g, _ = ring_of_cliques(2, 3)
+        with pytest.raises(ValueError, match="NetworkModel"):
+            run_infomap_distributed(g, network="fast ethernet")
+        with pytest.raises(ValueError, match="bandwidth"):
+            run_infomap_distributed(
+                g, network=NetworkModel(bandwidth_Bps=0)
+            )
+        with pytest.raises(ValueError, match="latency"):
+            run_infomap_distributed(
+                g, network=NetworkModel(latency_s=-1e-6)
+            )
+        with pytest.raises(ValueError, match="record_bytes"):
+            run_infomap_distributed(
+                g, network=NetworkModel(record_bytes=0)
+            )
+
+    def test_bad_graph_rejected(self):
+        with pytest.raises(ValueError, match="CSRGraph"):
+            run_infomap_distributed([[0, 1]], num_ranks=2)
+
+    def test_validator_is_importable_for_admission_layers(self):
+        """The standalone validator lets a future shard router reject
+        rank specs without constructing a run."""
+        validate_distributed_params(num_ranks=4, tau=0.15)
+        with pytest.raises(ValueError, match="num_ranks"):
+            validate_distributed_params(num_ranks=1.5)
+
+    def test_valid_params_still_run(self):
+        g, _ = ring_of_cliques(2, 3)
+        rd = run_infomap_distributed(
+            g, num_ranks=2, network=NetworkModel(latency_s=0.0)
+        )
+        assert rd.num_modules >= 1
 
     def test_superstep_records_complete(self):
         g, _ = planted_partition(4, 20, 0.4, 0.02, seed=6)

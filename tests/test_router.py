@@ -1,0 +1,168 @@
+"""Property tests for the gateway's admission and routing primitives.
+
+:mod:`repro.service.router` is deliberately tiny and pure — the right
+shape for hypothesis.  The properties pinned here are exactly what the
+gateway builds on:
+
+* the token bucket's decisions are a **pure function of the stamped
+  request sequence** (equal inputs → equal accept/reject sequences,
+  across instances), it never over-admits its rate, and refusal never
+  mutates state;
+* rendezvous routing is deterministic across router instances and
+  processes, degenerates to constant routing at one shard, spreads
+  keys within a statistical balance bound, and moves **only** the keys
+  a new shard wins when the fleet grows (minimal disruption — the
+  property that keeps shard caches warm across resizes).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.router import RendezvousRouter, TokenBucket
+
+# ------------------------------------------------------------ strategies
+#: strictly increasing-ish timestamp deltas (seconds)
+gaps = st.lists(
+    st.floats(min_value=0.0, max_value=5.0, allow_nan=False,
+              allow_infinity=False),
+    min_size=1, max_size=60,
+)
+rates = st.floats(min_value=0.01, max_value=100.0)
+bursts = st.floats(min_value=1.0, max_value=50.0)
+keys = st.lists(st.text(min_size=1, max_size=24), min_size=1,
+                max_size=200, unique=True)
+
+
+def _stamps(gap_list):
+    out, t = [], 0.0
+    for g in gap_list:
+        t += g
+        out.append(t)
+    return out
+
+
+# ------------------------------------------------------------ TokenBucket
+class TestTokenBucket:
+    @given(rate=rates, burst=bursts, gap_list=gaps)
+    @settings(max_examples=80, deadline=None)
+    def test_decisions_are_deterministic(self, rate, burst, gap_list):
+        stamps = _stamps(gap_list)
+        a = TokenBucket(rate, burst, clock=lambda: 0.0)
+        b = TokenBucket(rate, burst, clock=lambda: 0.0)
+        seq_a = [a.try_acquire(now=t) for t in stamps]
+        seq_b = [b.try_acquire(now=t) for t in stamps]
+        assert seq_a == seq_b
+
+    @given(rate=rates, burst=bursts, gap_list=gaps)
+    @settings(max_examples=80, deadline=None)
+    def test_never_admits_more_than_rate_allows(self, rate, burst,
+                                                gap_list):
+        stamps = _stamps(gap_list)
+        bucket = TokenBucket(rate, burst, clock=lambda: 0.0)
+        admitted = sum(bucket.try_acquire(now=t) for t in stamps)
+        # over [0, T] at most burst + rate*T whole tokens ever existed
+        ceiling = burst + rate * stamps[-1] + 1e-6
+        assert admitted <= ceiling
+        assert -1e-9 <= bucket.tokens <= burst + 1e-9
+
+    @given(rate=rates, burst=bursts, gap_list=gaps)
+    @settings(max_examples=60, deadline=None)
+    def test_refusal_never_debits(self, rate, burst, gap_list):
+        bucket = TokenBucket(rate, burst, clock=lambda: 0.0)
+        for t in _stamps(gap_list):
+            before = bucket.tokens
+            if not bucket.try_acquire(cost=burst * 2, now=t):
+                # the refill may have raised tokens, never lowered them
+                assert bucket.tokens >= before - 1e-9
+
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=lambda: 0.0)
+        assert [bucket.try_acquire(now=0.0) for _ in range(4)] == \
+            [True, True, True, False]
+        assert bucket.try_acquire(now=0.5)      # 2/s for 0.5s = 1 token
+        assert not bucket.try_acquire(now=0.5)
+
+    def test_clock_running_backwards_never_unrefills(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=lambda: 0.0)
+        assert bucket.try_acquire(now=10.0)
+        assert not bucket.try_acquire(now=0.0)  # no time credit invented
+        assert not bucket.try_acquire(now=10.5)
+        assert bucket.try_acquire(now=11.0)
+
+    def test_invalid_params(self):
+        for rate in (0, -1, float("inf"), float("nan")):
+            with pytest.raises(ValueError):
+                TokenBucket(rate)
+        with pytest.raises(ValueError):
+            TokenBucket(1.0, burst=0.5)
+        with pytest.raises(ValueError):
+            TokenBucket(1.0).try_acquire(cost=-1)
+
+
+# -------------------------------------------------------- RendezvousRouter
+class TestRendezvousRouter:
+    @given(key_list=keys, shards=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_deterministic_across_instances(self, key_list, shards):
+        a = RendezvousRouter(shards)
+        b = RendezvousRouter(shards)
+        assert [a.route(k) for k in key_list] == \
+            [b.route(k) for k in key_list]
+
+    @given(key_list=keys)
+    @settings(max_examples=40, deadline=None)
+    def test_single_shard_degenerates_to_constant(self, key_list):
+        router = RendezvousRouter(1)
+        assert all(router.route(k) == 0 for k in key_list)
+        assert all(router.shard_for(k) == "shard0" for k in key_list)
+
+    @given(key_list=keys, shards=st.integers(min_value=2, max_value=6))
+    @settings(max_examples=60, deadline=None)
+    def test_route_is_independent_of_shard_order(self, key_list, shards):
+        """The winner is a function of (name, key), not list position."""
+        names = [f"shard{i}" for i in range(shards)]
+        fwd = RendezvousRouter(names)
+        rev = RendezvousRouter(list(reversed(names)))
+        for k in key_list:
+            assert fwd.shard_for(k) == rev.shard_for(k)
+
+    def test_balance_within_bound(self):
+        """2000 uniform keys over 4 shards: every shard within ±40% of
+        the fair share (sha256 weights; a fixed key set, so this is a
+        regression pin, not a flaky statistical test)."""
+        router = RendezvousRouter(4)
+        counts = [0] * 4
+        for i in range(2000):
+            counts[router.route(f"key-{i}")] += 1
+        fair = 2000 / 4
+        for c in counts:
+            assert 0.6 * fair <= c <= 1.4 * fair, counts
+
+    @given(key_list=keys, shards=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=60, deadline=None)
+    def test_minimal_disruption_on_grow(self, key_list, shards):
+        """Adding a shard moves only the keys the new shard wins;
+        every other key keeps its old owner (cache-warmth invariant)."""
+        names = [f"shard{i}" for i in range(shards)]
+        before = RendezvousRouter(names)
+        after = RendezvousRouter(names + ["shardNEW"])
+        for k in key_list:
+            if after.shard_for(k) != "shardNEW":
+                assert after.shard_for(k) == before.shard_for(k)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RendezvousRouter(0)
+        with pytest.raises(ValueError):
+            RendezvousRouter([])
+        with pytest.raises(ValueError):
+            RendezvousRouter(["a", "a"])
+        with pytest.raises(ValueError):
+            RendezvousRouter(["a", ""])
+
+    def test_len_and_names(self):
+        router = RendezvousRouter(["east", "west"])
+        assert len(router) == 2
+        assert router.names == ("east", "west")
+        assert router.shard_for("abc") in ("east", "west")

@@ -195,6 +195,97 @@ def test_cache_disabled_stores_and_returns_nothing():
 
 
 # ---------------------------------------------------------------------------
+# concurrency: the gateway hammers shard caches from worker threads
+# while stats readers poll from the event loop
+
+
+def test_cache_concurrent_hammer_keeps_invariants():
+    """8 threads × mixed get/put over a tight key space, against a
+    capacity-4 LRU.  At every instant (checked live by reader threads
+    and at the end): size never exceeds capacity, every served hit is a
+    self-consistent entry (modules payload matches its codelength tag),
+    and the hit/miss/eviction counters reconcile exactly with the
+    operations performed."""
+    import threading
+
+    cache = ResultCache(max_entries=4)
+    keys = [f"k{i}" for i in range(10)]
+    per_thread_ops = 400
+    num_threads = 8
+    errors: list[str] = []
+    local_counts = []  # per-thread (gets, puts)
+
+    def worker(tid: int) -> None:
+        rng = np.random.default_rng(tid)
+        gets = puts = 0
+        for i in range(per_thread_ops):
+            key = keys[int(rng.integers(0, len(keys)))]
+            tag = int(key[1:])
+            if rng.random() < 0.5:
+                cache.put(key, _entry(tag))
+                puts += 1
+            else:
+                out = cache.get(key)
+                gets += 1
+                if out is not None:
+                    # a hit must be internally consistent, never a
+                    # half-written or cross-key entry
+                    if (out.codelength != float(tag)
+                            or out.modules.tolist() != [tag, tag]):
+                        errors.append(f"torn read for {key}: "
+                                      f"{out.codelength}, {out.modules}")
+            if i % 50 == 0 and len(cache) > cache.max_entries:
+                errors.append(f"size {len(cache)} exceeds capacity")
+        local_counts.append((gets, puts))
+
+    threads = [threading.Thread(target=worker, args=(t,))
+               for t in range(num_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert not errors, errors[:5]
+    stats = cache.stats()
+    total_gets = sum(g for g, _ in local_counts)
+    total_puts = sum(p for _, p in local_counts)
+    assert total_gets + total_puts == num_threads * per_thread_ops
+    # counters reconcile exactly: every get was a hit or a miss — a
+    # lost update under a race would break this equality
+    assert stats["hits"] + stats["misses"] == total_gets
+    assert len(cache) <= cache.max_entries
+    assert stats["entries"] == len(cache)
+
+
+def test_cache_concurrent_evictions_reconcile_exactly():
+    """Pure put storm from threads: live entries + evictions == puts
+    is exact under the lock (it was a data race before)."""
+    import threading
+
+    cache = ResultCache(max_entries=3)
+    puts_per_thread = 300
+    num_threads = 6
+
+    def worker(tid: int) -> None:
+        for i in range(puts_per_thread):
+            cache.put(f"t{tid}-{i}", _entry(tid))
+
+    threads = [threading.Thread(target=worker, args=(t,))
+               for t in range(num_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    stats = cache.stats()
+    total_puts = num_threads * puts_per_thread
+    # every put either still lives or was evicted — nothing lost or
+    # double-counted (keys are unique, so no same-key overwrites)
+    assert stats["entries"] + stats["evictions"] == total_puts
+    assert stats["entries"] <= 3
+
+
+# ---------------------------------------------------------------------------
 # chaos: injected kill faults through the service path
 
 

@@ -1,0 +1,388 @@
+"""Seeded, deterministic async load generator for the gateway.
+
+The traffic harness is first-class test infrastructure
+(``tests/test_gateway.py`` drives it; CI's ``gateway`` job runs it as a
+30-second soak): it generates a **reproducible** request stream — same
+seed, same tenant mix, same jobs, same virtual-time stamps, same
+malformed-line injections — sends it at a gateway over real sockets,
+and reduces the responses to per-tenant accept/reject/result digests
+that are byte-equal across runs at equal seed.
+
+Determinism model
+-----------------
+Everything random comes from one ``numpy`` Generator seeded by
+``TrafficConfig.seed``; nothing reads the wall clock into the request
+stream.  The gateway must run with ``virtual_time=True`` so rate-limit
+decisions are a pure function of each line's ``at`` stamp, and with a
+queue depth deep enough that backpressure never fires under the
+configured load (backpressure depends on drain timing, which is real —
+the backpressure *tests* pin it separately with a paused gateway).
+Responses stream back in completion order, which is **not**
+deterministic; the digest therefore sorts each tenant's responses by
+the client-chosen ``id`` before hashing, so it pins *what* every
+request got, not *when* it arrived.
+
+Arrival processes
+-----------------
+``open`` mode fires the whole schedule without waiting for responses
+(optionally paced in real time to stretch a soak over ``--seconds``);
+``closed`` mode awaits each response before the next send — the
+classic closed-loop client.  Virtual-time stamps advance by seeded
+exponential inter-arrival gaps in both modes, so the admission
+decisions are identical between them.
+
+Chaos
+-----
+``chaos=True`` makes a seeded fraction of jobs ``parallel`` jobs with
+``random:SEED:N`` fault plans (:mod:`repro.core.faults`) — worker
+kills, hangs, slowdowns, and corruptions mid-run.  Faulted runs are
+bit-identical by the supervisor's replay contract, so the digest stays
+reproducible with chaos on.
+
+Run the soak standalone::
+
+    PYTHONPATH=src:. python -m tests.traffic --seconds 30 --shards 2 \
+        --chaos --seed 7 --report soak.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import hashlib
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TrafficConfig", "GatewayClient", "build_schedule",
+           "run_traffic", "run_soak", "sequence_digest"]
+
+#: tenant name -> share of the request stream
+DEFAULT_TENANTS = {"alice": 0.5, "bob": 0.3, "mallory": 0.2}
+
+
+@dataclass
+class TrafficConfig:
+    """One reproducible load shape."""
+
+    seed: int = 7
+    jobs: int = 60
+    tenants: dict = field(default_factory=lambda: dict(DEFAULT_TENANTS))
+    #: "open" fires the schedule; "closed" awaits each response first
+    mode: str = "open"
+    #: mean virtual-time gap between a tenant's arrivals (seconds)
+    mean_gap: float = 0.05
+    #: fraction of jobs that are parallel chaos jobs (0 disables)
+    chaos_share: float = 0.0
+    #: fraction of lines that are deliberately malformed (shape errors)
+    invalid_share: float = 0.05
+    #: fraction of jobs that repeat an earlier job verbatim (cache food)
+    repeat_share: float = 0.3
+    #: stretch real sending over this many wall seconds (0 = flat out);
+    #: pacing never reaches the request stream, only the send times
+    pace_seconds: float = 0.0
+
+    def validate(self) -> None:
+        if self.mode not in ("open", "closed"):
+            raise ValueError(f"mode must be open|closed, got {self.mode!r}")
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if not self.tenants:
+            raise ValueError("need at least one tenant")
+
+
+class GatewayClient:
+    """Minimal JSONL client: one connection, send objects, read rows."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "GatewayClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def send(self, obj: dict) -> None:
+        self.writer.write((json.dumps(obj, sort_keys=True) + "\n").encode())
+        await self.writer.drain()
+
+    async def send_raw(self, data: bytes) -> None:
+        self.writer.write(data)
+        await self.writer.drain()
+
+    async def recv(self) -> dict | None:
+        """Next response row, or None at end of stream."""
+        line = await self.reader.readline()
+        if not line:
+            return None
+        return json.loads(line)
+
+    async def recv_many(self, n: int) -> list[dict]:
+        rows = []
+        for _ in range(n):
+            row = await self.recv()
+            if row is None:
+                break
+            rows.append(row)
+        return rows
+
+    def write_eof(self) -> None:
+        """Half-close: no more requests; responses keep streaming."""
+        self.writer.write_eof()
+
+    async def drain_to_eof(self) -> list[dict]:
+        """Half-close and collect every remaining response row."""
+        self.write_eof()
+        rows = []
+        while True:
+            row = await self.recv()
+            if row is None:
+                return rows
+            rows.append(row)
+
+    async def close(self) -> None:
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+# --------------------------------------------------------------- schedule
+def _job_body(rng: np.random.Generator, chaos: bool) -> dict:
+    """One deterministic job object (jobsfile schema, no envelope)."""
+    recipe = {
+        "communities": int(rng.integers(3, 5)),
+        "size": int(rng.integers(12, 20)),
+        "p_in": 0.45, "p_out": 0.02,
+        "seed": int(rng.integers(0, 4)),
+    }
+    body = {"planted": recipe, "seed": int(rng.integers(0, 3))}
+    if chaos:
+        body.update({
+            "engine": "parallel", "workers": 2,
+            "fault_plan": f"random:{int(rng.integers(0, 1000))}:1",
+            # short reply deadline so an injected hang recovers fast
+            # inside a bounded soak
+            "worker_timeout": 2.0,
+        })
+    else:
+        body.update({"engine": "vectorized", "workers": 1})
+    return body
+
+
+def _invalid_body(rng: np.random.Generator) -> dict:
+    """A deterministically malformed line (drawn from real failure modes)."""
+    kind = int(rng.integers(0, 3))
+    if kind == 0:    # unknown key → jobsfile shape error
+        return {"planted": {"communities": 3, "size": 12, "p_in": 0.45,
+                            "p_out": 0.02}, "bogus_key": 1}
+    if kind == 1:    # no graph source
+        return {"engine": "vectorized", "workers": 1}
+    return {"planted": {"communities": 3, "size": 12, "p_in": 0.45,
+                        "p_out": 0.02}, "engine": "vectorized",
+            "workers": 1, "tau": 7.0}  # bad value → admission reject
+
+
+def build_schedule(cfg: TrafficConfig) -> dict[str, list[dict]]:
+    """Per-tenant request schedules, fully determined by ``cfg.seed``.
+
+    Each entry already carries its envelope: ``tenant``, ``id``
+    (``{tenant}-{i}``), and a strictly increasing virtual-time ``at``
+    stamp from a seeded exponential arrival process.
+    """
+    cfg.validate()
+    rng = np.random.default_rng(cfg.seed)
+    names = sorted(cfg.tenants)
+    weights = np.array([cfg.tenants[t] for t in names], dtype=float)
+    weights /= weights.sum()
+    counts = {t: 0 for t in names}
+    for _ in range(cfg.jobs):
+        counts[names[int(rng.choice(len(names), p=weights))]] += 1
+
+    schedules: dict[str, list[dict]] = {}
+    history: list[dict] = []
+    for tenant in names:
+        lines: list[dict] = []
+        at = 0.0
+        for i in range(counts[tenant]):
+            at += float(rng.exponential(cfg.mean_gap))
+            roll = float(rng.random())
+            if roll < cfg.invalid_share:
+                body = _invalid_body(rng)
+            elif roll < cfg.invalid_share + cfg.repeat_share and history:
+                body = dict(history[int(rng.integers(0, len(history)))])
+            else:
+                chaos = (cfg.chaos_share > 0
+                         and float(rng.random()) < cfg.chaos_share)
+                body = _job_body(rng, chaos)
+                history.append(body)
+            line = dict(body)
+            line.update({"tenant": tenant, "id": f"{tenant}-{i}",
+                         "at": round(at, 6)})
+            lines.append(line)
+        schedules[tenant] = lines
+    return schedules
+
+
+# ----------------------------------------------------------------- digests
+def sequence_digest(rows: list[dict]) -> str:
+    """Order-independent digest of what every request got.
+
+    Sorts by the client ``id`` (completion order is real concurrency,
+    not semantics) and hashes the per-request outcome tuple: status,
+    reject gate, module count, codelength.  Two runs at equal seed must
+    produce equal digests — the soak's reproducibility contract.
+    """
+    keyed = sorted(rows, key=lambda r: str(r.get("id")))
+    h = hashlib.sha256()
+    for r in keyed:
+        h.update((
+            f"{r.get('id')}|{r.get('status')}|{r.get('reject', '')}"
+            f"|{r.get('num_modules', '')}|{r.get('codelength', '')};"
+        ).encode())
+    return h.hexdigest()
+
+
+# -------------------------------------------------------------------- run
+async def _run_tenant(host: str, port: int, lines: list[dict],
+                      mode: str, pace: float) -> list[dict]:
+    client = await GatewayClient.connect(host, port)
+    try:
+        if mode == "closed":
+            rows: list[dict] = []
+            for line in lines:
+                await client.send(line)
+                row = await client.recv()
+                if row is None:
+                    break
+                rows.append(row)
+                if pace > 0:
+                    await asyncio.sleep(pace)
+            rows.extend(await client.drain_to_eof())
+            return rows
+        for line in lines:
+            await client.send(line)
+            if pace > 0:
+                await asyncio.sleep(pace)
+        return await client.drain_to_eof()
+    finally:
+        await client.close()
+
+
+async def run_traffic(host: str, port: int,
+                      cfg: TrafficConfig) -> dict:
+    """Send ``cfg``'s schedule at a gateway; reduce to a report dict.
+
+    One connection per tenant, all tenants concurrent.  The report
+    carries per-tenant sent/accept/reject/completed counts and
+    digests, plus the combined digest the soak reproducibility test
+    compares across runs.
+    """
+    schedules = build_schedule(cfg)
+    pace = (cfg.pace_seconds / max(1, cfg.jobs)
+            if cfg.pace_seconds > 0 else 0.0)
+    t0 = time.perf_counter()
+    results = await asyncio.gather(*[
+        _run_tenant(host, port, lines, cfg.mode, pace)
+        for _, lines in sorted(schedules.items())
+    ])
+    wall = time.perf_counter() - t0
+    per_tenant = {}
+    all_rows: list[dict] = []
+    for tenant, rows in zip(sorted(schedules), results):
+        statuses: dict[str, int] = {}
+        for r in rows:
+            statuses[r.get("status", "?")] = \
+                statuses.get(r.get("status", "?"), 0) + 1
+        per_tenant[tenant] = {
+            "sent": len(schedules[tenant]),
+            "responses": len(rows),
+            "statuses": statuses,
+            "digest": sequence_digest(rows),
+        }
+        all_rows.extend(rows)
+    completed = sum(1 for r in all_rows if r.get("status") == "completed")
+    return {
+        "seed": cfg.seed,
+        "mode": cfg.mode,
+        "jobs": cfg.jobs,
+        "chaos_share": cfg.chaos_share,
+        "wall_seconds": round(wall, 3),
+        "throughput_jobs_per_s": round(completed / wall, 2) if wall else 0.0,
+        "per_tenant": per_tenant,
+        "digest": sequence_digest(all_rows),
+    }
+
+
+def run_soak(cfg: TrafficConfig, *, shards: int = 2,
+             queue_depth: int = 4096) -> dict:
+    """Start a gateway, run ``cfg`` against it, return the report.
+
+    The gateway runs with ``virtual_time=True`` and a soak-deep queue,
+    so every admission decision is deterministic (see module docs).
+    """
+    from repro.service.gateway import Gateway, GatewayConfig
+
+    async def _soak() -> dict:
+        gw = Gateway(GatewayConfig(
+            shards=shards, queue_depth=queue_depth,
+            tenant_rate=50.0, tenant_burst=20.0, virtual_time=True,
+        ))
+        await gw.start("127.0.0.1", 0)
+        try:
+            report = await run_traffic("127.0.0.1", gw.port, cfg)
+        finally:
+            await gw.stop()
+        report["gateway"] = dict(gw.stats)
+        report["shards"] = shards
+        return report
+
+    return asyncio.run(_soak())
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        description="seeded soak against an in-process gateway",
+    )
+    ap.add_argument("--seconds", type=float, default=30.0,
+                    help="wall-clock spread of the send schedule")
+    ap.add_argument("--jobs", type=int, default=None,
+                    help="override the request count (default: 4/s)")
+    ap.add_argument("--shards", type=int, default=2)
+    ap.add_argument("--seed", type=int, default=7)
+    ap.add_argument("--chaos", action="store_true",
+                    help="inject random worker faults into a share of jobs")
+    ap.add_argument("--mode", choices=("open", "closed"), default="open")
+    ap.add_argument("--report", metavar="PATH", default=None,
+                    help="write the JSON report here")
+    args = ap.parse_args(argv)
+
+    cfg = TrafficConfig(
+        seed=args.seed,
+        jobs=args.jobs if args.jobs is not None
+             else max(1, int(args.seconds * 4)),
+        mode=args.mode,
+        chaos_share=0.15 if args.chaos else 0.0,
+        pace_seconds=args.seconds,
+    )
+    report = run_soak(cfg, shards=args.shards)
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+    print(f"soak: {report['jobs']} request(s) over "
+          f"{report['wall_seconds']}s, "
+          f"{report['throughput_jobs_per_s']} completed/s, "
+          f"digest {report['digest'][:16]}")
+    for tenant, row in sorted(report["per_tenant"].items()):
+        print(f"  {tenant}: sent {row['sent']}, {row['statuses']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

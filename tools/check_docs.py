@@ -44,7 +44,7 @@ DOC = REPO_ROOT / "docs" / "observability.md"
 
 #: namespaces under contract — names outside these are ignored on both
 #: sides (the sequential engine's infomap.* metrics predate the check)
-PREFIXES = ("accum.", "parallel.", "service.", "dynamic.")
+PREFIXES = ("accum.", "parallel.", "service.", "dynamic.", "gateway.")
 
 #: emission call sites; name helpers (_count & co in service.py) count
 #: as emitters so the check survives indirection through them
